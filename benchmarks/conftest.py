@@ -1,0 +1,46 @@
+"""Shared infrastructure for the benchmark/experiment harness.
+
+Every file in benchmarks/ regenerates one of the paper's tables or
+figures (see DESIGN.md section 4). Each experiment runs once under
+``benchmark.pedantic`` so ``pytest benchmarks/ --benchmark-only`` both
+times the regeneration and prints/saves the paper-style report: rendered
+tables are written to ``benchmarks/reports/<experiment>.txt`` and echoed
+to stdout (run with ``-s`` to see them inline).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner, RunnerConfig
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """Full-size experiment runner; baselines cached across benchmarks."""
+    return ExperimentRunner(RunnerConfig(seed=1234), quick=False)
+
+
+@pytest.fixture(scope="session")
+def reports_dir() -> Path:
+    REPORTS_DIR.mkdir(exist_ok=True)
+    return REPORTS_DIR
+
+
+def emit(report, reports_dir: Path) -> None:
+    """Print an ExperimentReport and persist it under benchmarks/reports/."""
+    text = str(report)
+    print()
+    print(text)
+    (reports_dir / f"{report.experiment}.txt").write_text(text + "\n")
+
+
+def run_experiment(benchmark, fn, reports_dir: Path):
+    """Run one experiment driver exactly once under the benchmark timer."""
+    report = benchmark.pedantic(fn, rounds=1, iterations=1)
+    emit(report, reports_dir)
+    return report

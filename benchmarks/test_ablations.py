@@ -1,0 +1,50 @@
+"""E8 — ablation benches for the design choices the paper calls out.
+
+* object-aligned splits vs naive midpoints (section 2.2),
+* the phase heuristic on applu (section 3.5),
+* dedicated counters vs one multiplexed counter (sections 2.2/3.4),
+* replacement-policy robustness of the rankings.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments.ablations import (
+    run_alignment_ablation,
+    run_multiplex_ablation,
+    run_phase_heuristic_ablation,
+    run_policy_ablation,
+)
+
+
+def test_ablation_alignment(benchmark, runner, reports_dir):
+    report = run_experiment(
+        benchmark, lambda: run_alignment_ablation(runner), reports_dir
+    )
+    aligned = report.values["aligned"]
+    naive = report.values["naive"]
+    assert aligned["hot_rank"] == 1
+    assert (naive["hot_share"] or 0.0) < aligned["hot_share"] * 0.75
+
+
+def test_ablation_phase_heuristic(benchmark, runner, reports_dir):
+    report = run_experiment(
+        benchmark, lambda: run_phase_heuristic_ablation(runner), reports_dir
+    )
+    assert (
+        report.values["with heuristic"]["top5_hit_rate"]
+        > report.values["without"]["top5_hit_rate"]
+    )
+
+
+def test_ablation_multiplex(benchmark, runner, reports_dir):
+    report = run_experiment(
+        benchmark, lambda: run_multiplex_ablation(runner), reports_dir
+    )
+    assert report.values["multiplexed"]["found"][0] == "U"
+
+
+def test_ablation_policy(benchmark, runner, reports_dir):
+    report = run_experiment(
+        benchmark, lambda: run_policy_ablation(runner), reports_dir
+    )
+    tops = [tuple(sorted(v["sampled_top3"])) for v in report.values.values()]
+    assert len(set(tops)) == 1  # identical top-3 set under every policy

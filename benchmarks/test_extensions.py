@@ -1,0 +1,73 @@
+"""Extension benches: features beyond the published evaluation.
+
+* sampling skid (imprecise counters, section 2.1's worry),
+* search continuation (section 6's proposal),
+* profiling behind an L1+L2 hierarchy,
+* next-line prefetch robustness.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments.extensions import (
+    run_continuation,
+    run_hierarchy,
+    run_prefetch_ablation,
+    run_skid_ablation,
+)
+
+
+def test_ext_skid(benchmark, runner, reports_dir):
+    report = run_experiment(benchmark, lambda: run_skid_ablation(runner), reports_dir)
+    for key, vals in report.values.items():
+        if key.startswith("skid_"):
+            assert vals["top"] == "U", key  # the dominant object survives
+    assert report.values["skid_16"]["max_error"] < 0.05
+
+
+def test_ext_continuation(benchmark, runner, reports_dir):
+    report = run_experiment(benchmark, lambda: run_continuation(runner), reports_dir)
+    plain = report.values["single batch (paper)"]
+    cont = next(v for k, v in report.values.items() if k.startswith("+"))
+    assert len(cont["found"]) > len(plain["found"])
+    assert cont["coverage"] >= plain["coverage"]
+
+
+def test_ext_hierarchy(benchmark, runner, reports_dir):
+    report = run_experiment(benchmark, lambda: run_hierarchy(runner), reports_dir)
+    single = report.values["single_actual"]
+    l2 = report.values["l2_actual"]
+    for name, share in list(single.items())[:3]:
+        assert abs(l2.get(name, 0.0) - share) < 0.05, name
+
+
+def test_ext_prefetch(benchmark, runner, reports_dir):
+    report = run_experiment(
+        benchmark, lambda: run_prefetch_ablation(runner), reports_dir
+    )
+    assert report.values["misses_with"] < report.values["misses_without"]
+    plain = report.values["plain_actual"]
+    with_pf = report.values["prefetch_actual"]
+    top3 = sorted(plain, key=plain.get, reverse=True)[:3]
+    pf_top3 = sorted(with_pf, key=with_pf.get, reverse=True)[:3]
+    assert set(top3) == set(pf_top3)
+
+
+def test_ext_mrc(benchmark, runner, reports_dir):
+    from repro.experiments.mrc import run_mrc
+
+    report = run_experiment(benchmark, lambda: run_mrc(runner), reports_dir)
+    sizes = report.values["sizes"]
+    for app in ("mgrid", "compress", "ijpeg"):
+        curve = [report.values[app][s] for s in sizes]
+        assert curve == sorted(curve, reverse=True), app
+    for s in sizes:
+        assert report.values["ijpeg"][s] <= report.values["mgrid"][s]
+
+
+def test_ext_geometry_sweep(benchmark, runner, reports_dir):
+    from repro.experiments.sweep import run_geometry_sweep
+
+    report = run_experiment(
+        benchmark, lambda: run_geometry_sweep(runner), reports_dir
+    )
+    assert report.values["stable_top"]
+    assert report.values["reference_top"] == "U"

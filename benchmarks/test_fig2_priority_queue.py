@@ -1,0 +1,20 @@
+"""E7 — regenerate Figure 2: search with vs without the priority queue.
+
+Expected shape: on a layout where one region's *aggregate* misses (60%)
+exceed the region holding the single hottest array E (35%), the greedy
+search discards E's region in its first refinement and terminates inside
+the 60% region (the paper's diagram ends on C); the priority-queue search
+backtracks and ranks E first.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments.fig2 import run_fig2
+
+
+def test_fig2(benchmark, runner, reports_dir):
+    report = run_experiment(benchmark, lambda: run_fig2(runner), reports_dir)
+
+    assert report.values["hottest"] == "E"
+    assert report.values["pq_top"] == "E"
+    assert report.values["greedy_top"] != "E"
+    assert "E" not in report.values["greedy_found"]

@@ -1,0 +1,23 @@
+"""E3 — regenerate Figure 3: % increase in cache misses under
+instrumentation.
+
+Expected shape (paper section 3.2): all perturbations are near-negligible
+(the paper's worst cases are 0.14% for compress/search and 2.4% for
+ijpeg/search); for some applications the sampling perturbation *rises* as
+sampling gets rarer (instrumentation data evicted between samples) before
+vanishing at 1-in-1M.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments.fig3 import run_fig3
+
+
+def test_fig3(benchmark, runner, reports_dir):
+    report = run_experiment(benchmark, lambda: run_fig3(runner), reports_dir)
+
+    for app, vals in report.values.items():
+        for key, increase in vals.items():
+            if key == "baseline_misses":
+                continue
+            assert increase < 0.05, (app, key)
+        assert vals["sample_1000000"] <= vals["sample_1000"] + 0.001, app

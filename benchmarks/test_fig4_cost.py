@@ -1,0 +1,27 @@
+"""E4 — regenerate Figure 4 and the section 3.3 cost diagnostics.
+
+Expected shape: sampling 1-in-1,000 costs up to ~16-19% (worst on
+tomcatv, the highest miss rate); 1-in-10,000 costs <= ~2%; sampling costs
+~9,000 cycles/interrupt and the search 26,000-64,000; the search's
+interrupt count is fixed by convergence, so at paper scale (tens of
+Gcycles) its slowdown amortises far below even 1-in-100,000 sampling —
+the "slowdown @ paper scale" row makes that visible at our run lengths.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments.fig4 import run_fig4
+
+
+def test_fig4(benchmark, runner, reports_dir):
+    report = run_experiment(benchmark, lambda: run_fig4(runner), reports_dir)
+
+    worst_1k = max(v["sample_1000"]["slowdown"] for v in report.values.values())
+    assert 0.05 < worst_1k < 0.35
+    for app, vals in report.values.items():
+        assert vals["sample_10000"]["slowdown"] < 0.03, app
+        assert 8_800 <= vals["sample_1000"]["cycles_per_interrupt"] <= 11_000, app
+        assert 20_000 <= vals["search"]["cycles_per_interrupt"] <= 64_000, app
+        assert (
+            vals["search"]["slowdown_paper_scale"]
+            < vals["sample_10000"]["slowdown_paper_scale"]
+        ), app

@@ -1,0 +1,23 @@
+"""E5 — regenerate Figure 5: applu per-array misses over time.
+
+Expected shape (paper section 3.5): a, b and c share one curve and
+periodically drop to *zero* misses in a bucket while rsd (and d) remain
+active — the phase pattern that motivates the search's zero-miss
+retention heuristic.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments.fig5 import run_fig5
+
+
+def test_fig5(benchmark, runner, reports_dir):
+    report = run_experiment(benchmark, lambda: run_fig5(runner), reports_dir)
+
+    assert report.values["abc_zero_buckets"] >= 5
+    assert report.values["rsd_exceeds_a_buckets"] >= 5
+    # a, b, c share "almost exactly the same access pattern".
+    import numpy as np
+
+    a = np.array(report.values["series"]["a"], dtype=float)
+    b = np.array(report.values["series"]["b"], dtype=float)
+    assert np.corrcoef(a, b)[0, 1] > 0.95

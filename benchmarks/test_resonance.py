@@ -1,0 +1,21 @@
+"""E6 — regenerate the section 3.1 resonance experiment on tomcatv.
+
+Expected shape: an even fixed period splits the RX/RY pair far from
+22.5/22.5 (the paper measured 37.1 vs 17.6, a 14.6% max error); the
+nearby prime period estimates both within a fraction of a percent (the
+paper: ~0.3%); pseudo-random periods also avoid the resonance.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments.resonance import run_resonance
+
+
+def test_resonance(benchmark, runner, reports_dir):
+    report = run_experiment(benchmark, lambda: run_resonance(runner), reports_dir)
+
+    even = report.values["even/fixed"]["max_error"]
+    prime_key = next(k for k in report.values if k.startswith("prime"))
+    prime = report.values[prime_key]["max_error"]
+    assert even > 0.05            # strong resonance with the even period
+    assert prime < 0.01           # prime period kills it (paper: ~0.3%)
+    assert even > 5 * prime

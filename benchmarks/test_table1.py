@@ -1,0 +1,37 @@
+"""E1 — regenerate Table 1: actual vs sampling vs 10-way search.
+
+Expected shape (paper section 3.1): both techniques rank the objects they
+find in actual-miss order except among near-ties (<~2% apart); sampling
+estimates track actual shares except for tomcatv's resonant RX/RY split;
+the search reports up to n-1 = 9 objects with estimation-pass shares
+close to actual.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments.table1 import run_table1
+
+
+def test_table1(benchmark, runner, reports_dir):
+    report = run_experiment(benchmark, lambda: run_table1(runner), reports_dir)
+
+    # Shape assertions (loose: quick sanity, the test suite has more).
+    for app, vals in report.values.items():
+        if app != "tomcatv":
+            # tomcatv's fixed-period sampling resonates on RX/RY exactly
+            # as in the paper's own Table 1 (RX 37.1 vs RY 17.6, Y ranked
+            # 7th at 0.2%); the resonance bench covers it.
+            assert vals["sample_rank_agreement"] >= 0.95, app
+        assert vals["search_rank_agreement"] >= 0.75, app
+    rxry = (
+        report.values["tomcatv"]["sample"].get("RX", 0)
+        + report.values["tomcatv"]["sample"].get("RY", 0)
+    )
+    assert abs(rxry - 0.45) < 0.03  # the pair's combined share stays right
+    # The dominant object of each skewed app is found by both techniques.
+    for app, top in (
+        ("su2cor", "U"),
+        ("compress", "orig_text_buffer"),
+        ("ijpeg", "0x141020000"),
+    ):
+        assert top in report.values[app]["sample"]
+        assert top in report.values[app]["search"]

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Profiling a heap-heavy application and aggregating by allocation site.
+
+The paper's Table 1 identifies ijpeg's hottest object only as the hex
+address ``0x141020000`` — readable, but not actionable when an app has
+thousands of small blocks. Section 5 proposes aggregating "related blocks
+of dynamically allocated memory (for instance, the nodes of a tree)".
+
+This example profiles a pointer-chasing workload over ~3,000 heap nodes
+with miss-address sampling, shows the raw per-block profile (a wall of
+hex), then folds it by allocation site into three actionable lines.
+
+Run:  python examples/heap_profiling.py
+"""
+
+from repro import (
+    CacheConfig,
+    SamplingProfiler,
+    Simulator,
+    aggregate_heap_by_site,
+    workloads,
+)
+
+
+def main() -> None:
+    sim = Simulator(CacheConfig(size="256K", assoc=4), seed=13)
+    app = workloads.TreeChaser(seed=13, n_nodes=3000, n_steps=30, refs_per_step=8000)
+
+    baseline = sim.run(app)
+    period = max(16, baseline.stats.app_misses // 4000)
+    run = sim.run(
+        workloads.TreeChaser(seed=13, n_nodes=3000, n_steps=30, refs_per_step=8000),
+        tool=SamplingProfiler(period=period, schedule="prime"),
+    )
+
+    raw = run.measured
+    print("== raw per-block profile (top 8 of "
+          f"{len(raw)} sampled objects) ==")
+    print(raw.table(k=8))
+
+    print("\n== aggregated by allocation site (paper section 5) ==")
+    agg = aggregate_heap_by_site(raw)
+    print(agg.table(k=8))
+
+    hottest = agg.names()[0]
+    print(f"\n=> optimise the allocator call site behind `{hottest}` "
+          "(pool the nodes, or allocate them contiguously).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Which technique runs on which processor? (paper sections 1 and 4)
+
+The paper's whole premise is that hardware support was, circa 2000,
+uneven: everyone counts misses, some can interrupt on overflow, only the
+Itanium reports the miss *address* and supports address-qualified
+counting. This example prints the capability matrix as executable
+checks, then demonstrates the Itanium path end-to-end: the search run
+with a *single multiplexed* conditional counter (the workaround the
+paper proposes in section 2.2) versus ten dedicated ones.
+
+Run:  python examples/pmu_portability.py
+"""
+
+from repro import CacheConfig, NWaySearch, Simulator, workloads
+from repro.hpm.presets import PRESETS, technique_support
+from repro.util.format import Table, render_table
+
+
+def main() -> None:
+    table = Table(
+        ["processor", "counters", "overflow irq", "miss addr", "cond. counters",
+         "sampling", "10-way search"],
+        title="PMU capability matrix (paper sections 1/4)",
+    )
+    for preset in PRESETS.values():
+        support = technique_support(preset, n=10)
+        table.add_row(
+            [
+                preset.name,
+                preset.n_counters,
+                "yes" if preset.overflow_interrupt else "no",
+                "yes" if preset.reports_miss_address else "no",
+                preset.conditional_counters,
+                support["sampling"],
+                support["search"],
+            ]
+        )
+    print(render_table(table))
+
+    print("\nOn an Itanium the 10-way search must time-share its single "
+          "conditional counter; comparing against dedicated counters:\n")
+
+    def run(multiplexed):
+        sim = Simulator(
+            CacheConfig(size="256K", assoc=4),
+            multiplexed_counters=multiplexed,
+            seed=17,
+        )
+        wl = workloads.Su2cor(seed=17, total_lines=160_000, slices_per_era=24)
+        base_cycles = 160_000 * 2 * workloads.Su2cor.cycles_per_ref
+        return sim.run(
+            wl, tool=NWaySearch(n=10, interval_cycles=int(base_cycles) // 45)
+        )
+
+    dedicated = run(multiplexed=False)
+    shared = run(multiplexed=True)
+    print("dedicated counters:", dedicated.measured.table(k=4), sep="\n")
+    print("\nmultiplexed single counter:", shared.measured.table(k=4), sep="\n")
+    print("\nboth find the dominant array; the multiplexed estimates are "
+          "noisier (each region observed only 1/n of the time, then "
+          "scaled), exactly the trade-off section 2.2 anticipates.")
+
+
+if __name__ == "__main__":
+    main()

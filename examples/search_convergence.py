@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Watch the n-way search converge (the paper's Figure 1, animated).
+
+Figure 1 of the paper sketches how the search narrows from
+whole-address-space regions to the hot object. This example runs a real
+10-way search over su2cor — seventeen arrays, one of which (U) causes
+~57% of the misses — and renders every iteration's measured regions as
+a convergence diagram: wide faint spans early, narrowing dark bands as
+the counters close in on U, then the steady estimation rows.
+
+Run:  python examples/search_convergence.py
+"""
+
+from repro import CacheConfig, NWaySearch, Simulator, workloads
+from repro.core.search_trace import render_trace, trace_summary
+
+
+def main() -> None:
+    sim = Simulator(CacheConfig(size="256K", assoc=4), seed=5)
+    wl = workloads.Su2cor(seed=5)
+    base = sim.run(workloads.Su2cor(seed=5))
+    interval = base.stats.app_cycles // 45
+
+    tool = NWaySearch(n=10, interval_cycles=interval)
+    result = sim.run(wl, tool=tool)
+
+    print(render_trace(tool.trace))
+    print()
+    print("iteration log:")
+    print(trace_summary(tool.trace))
+    print()
+    print(result.measured.table(k=5))
+    print(
+        f"\nconverged in {tool.iterations} search iterations "
+        f"({len(result.stats.interrupts)} interrupts total, "
+        f"{result.stats.slowdown:.2%} overhead)"
+    )
+
+
+if __name__ == "__main__":
+    main()

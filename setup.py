@@ -1,0 +1,8 @@
+"""Shim for environments whose pip/setuptools cannot do PEP 660 editable
+installs (no `wheel` package available offline). `pip install -e .` falls
+back to `setup.py develop` via --no-use-pep517; all real metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

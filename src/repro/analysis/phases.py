@@ -1,0 +1,151 @@
+"""Phase detection from per-object miss time series.
+
+Section 3.5 of the paper handles *short* phases with the zero-miss
+retention heuristic, and notes that longer phases "would require more
+sophisticated handling". This module is that handling, offline: given
+the Figure-5-style per-object miss series (from
+:class:`repro.cache.attribution.MissSeries`), it segments time into
+phases by change-point detection on the per-bucket miss-share vector —
+buckets whose object-share composition differs sharply from the running
+phase centroid open a new phase — and reports each phase's dominant
+objects, so a per-phase profile can replace one misleading whole-run
+average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cache.attribution import MissSeries
+from repro.util.format import Table, render_table
+from repro.util.units import fmt_pct
+
+
+@dataclass
+class Phase:
+    """One detected phase: a bucket range with a stable miss composition."""
+
+    start_bucket: int
+    end_bucket: int               #: inclusive
+    total_misses: int
+    #: name -> share of the phase's misses.
+    shares: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_buckets(self) -> int:
+        return self.end_bucket - self.start_bucket + 1
+
+    def top(self, k: int = 3) -> list[tuple[str, float]]:
+        ordered = sorted(self.shares.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ordered[:k]
+
+    def describe(self) -> str:
+        tops = ", ".join(f"{n} {fmt_pct(s)}%" for n, s in self.top())
+        return (
+            f"buckets {self.start_bucket}-{self.end_bucket} "
+            f"({self.total_misses:,} misses): {tops}"
+        )
+
+
+def _share_matrix(series: MissSeries) -> tuple[list[str], np.ndarray]:
+    """Rows = buckets, columns = objects, values = per-bucket shares."""
+    names = series.names()
+    n_buckets = series.max_bucket + 1
+    counts = np.zeros((n_buckets, len(names)), dtype=np.float64)
+    for j, name in enumerate(names):
+        dense = series.series_for(name)
+        counts[: len(dense), j] = dense
+    totals = counts.sum(axis=1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        shares = np.where(totals > 0, counts / totals, 0.0)
+    return names, shares
+
+
+def detect_phases(
+    series: MissSeries,
+    threshold: float = 0.5,
+    min_buckets: int = 1,
+) -> list[Phase]:
+    """Segment the run into phases of stable miss composition.
+
+    A new phase opens when a bucket's share vector sits further than
+    ``threshold`` (L1 distance, max 2.0) from the running centroid of the
+    current phase. ``min_buckets`` suppresses one-bucket flickers by
+    merging too-short phases into their predecessor.
+    """
+    names, shares = _share_matrix(series)
+    n_buckets = shares.shape[0]
+    if n_buckets == 0:
+        return []
+
+    boundaries: list[int] = [0]
+    centroid = shares[0].copy()
+    count = 1
+    for b in range(1, n_buckets):
+        row = shares[b]
+        if row.sum() == 0:
+            continue  # idle bucket: no evidence either way
+        distance = float(np.abs(row - centroid).sum())
+        if distance > threshold:
+            boundaries.append(b)
+            centroid = row.copy()
+            count = 1
+        else:
+            count += 1
+            centroid += (row - centroid) / count
+    boundaries.append(n_buckets)
+
+    # Merge segments shorter than min_buckets into their predecessor.
+    merged: list[tuple[int, int]] = []
+    for lo, hi in zip(boundaries, boundaries[1:]):
+        if merged and (hi - lo) < min_buckets:
+            merged[-1] = (merged[-1][0], hi)
+        else:
+            merged.append((lo, hi))
+
+    phases: list[Phase] = []
+    dense = {name: series.series_for(name) for name in names}
+    for lo, hi in merged:
+        counts = {
+            name: int(dense[name][lo:hi].sum()) for name in names
+        }
+        total = sum(counts.values())
+        phases.append(
+            Phase(
+                start_bucket=lo,
+                end_bucket=hi - 1,
+                total_misses=total,
+                shares={
+                    name: (c / total if total else 0.0)
+                    for name, c in counts.items()
+                    if c > 0
+                },
+            )
+        )
+    return phases
+
+
+def phase_table(phases: list[Phase], k: int = 3) -> str:
+    t = Table(
+        ["phase", "buckets", "misses", "dominant objects"],
+        title="detected phases",
+    )
+    for i, phase in enumerate(phases):
+        tops = ", ".join(f"{n} ({fmt_pct(s)}%)" for n, s in phase.top(k))
+        t.add_row(
+            [i, f"{phase.start_bucket}-{phase.end_bucket}", phase.total_misses, tops]
+        )
+    return render_table(t)
+
+
+def phase_profiles_differ(phases: list[Phase], min_share: float = 0.2) -> bool:
+    """True when at least two phases have different dominant objects —
+    the condition under which a whole-run average misleads."""
+    dominants = {
+        phase.top(1)[0][0]
+        for phase in phases
+        if phase.shares and phase.top(1)[0][1] >= min_share
+    }
+    return len(dominants) > 1

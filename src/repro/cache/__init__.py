@@ -1,0 +1,59 @@
+"""Processor-cache simulation substrate.
+
+The paper's evaluation runs applications under a software cache simulator:
+"The cache simulated is a single-level set associative cache (2MB in size
+for these experiments)". This package provides that simulator in two
+flavours — an exact set-associative model with pluggable replacement
+(:class:`SetAssociativeCache`) and a fully vectorised direct-mapped model
+(:class:`DirectMappedCache`) for large sweeps — plus the ground-truth
+per-object miss attribution that produces the paper's "Actual" columns.
+"""
+
+from repro.cache.config import CacheConfig
+from repro.cache.base import AccessResult, CacheModel, CacheStats
+from repro.cache.policies import ReplacementPolicy
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.direct_mapped import DirectMappedCache
+from repro.cache.hierarchy import TwoLevelCache
+from repro.cache.attribution import GroundTruth, MissSeries
+from repro.errors import CacheConfigError
+
+__all__ = [
+    "CacheConfig",
+    "CacheModel",
+    "CacheStats",
+    "AccessResult",
+    "ReplacementPolicy",
+    "SetAssociativeCache",
+    "DirectMappedCache",
+    "TwoLevelCache",
+    "GroundTruth",
+    "MissSeries",
+]
+
+
+def make_cache(
+    config: CacheConfig,
+    seed: int | None = None,
+    l1_config: CacheConfig | None = None,
+    prefetch_next_line: bool = False,
+) -> CacheModel:
+    """Build the right cache model for ``config``.
+
+    Direct-mapped geometries get the vectorised model automatically unless
+    a prefetcher is requested (prefetch needs the sequential model).
+    ``l1_config`` puts a filtering L1 in front, returning a
+    :class:`TwoLevelCache` whose miss stream (what the counters see) is
+    the L2's.
+    """
+    if l1_config is not None:
+        if prefetch_next_line:
+            raise CacheConfigError(
+                "prefetch_next_line is not supported on the two-level model"
+            )
+        return TwoLevelCache(l1_config, config)
+    if config.assoc == 1 and not prefetch_next_line:
+        return DirectMappedCache(config)
+    return SetAssociativeCache(
+        config, seed=seed, prefetch_next_line=prefetch_next_line
+    )

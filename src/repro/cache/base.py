@@ -1,0 +1,101 @@
+"""Cache-model interface and statistics.
+
+All cache models consume *chunked* NumPy address arrays (never one Python
+call per reference — see DESIGN.md section 6) and support a ``miss_budget``
+early-exit so the simulation engine can stop exactly at the reference whose
+miss overflows a hardware counter, which is what makes interrupt delivery
+points exact rather than chunk-granular.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.cache.config import CacheConfig
+
+
+@dataclass
+class CacheStats:
+    """Running totals for one cache model."""
+
+    accesses: int = 0
+    misses: int = 0
+    #: Dirty lines written back to memory on eviction (write-back model).
+    writebacks: int = 0
+    #: Prefetch fills issued (next-line prefetcher, when enabled).
+    prefetches: int = 0
+    #: Per-category totals, keyed by the ``tag`` passed to ``access``
+    #: ("app" for application references, "instr" for instrumentation).
+    accesses_by_tag: dict[str, int] = field(default_factory=dict)
+    misses_by_tag: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def record(self, tag: str, accesses: int, misses: int) -> None:
+        self.accesses += accesses
+        self.misses += misses
+        self.accesses_by_tag[tag] = self.accesses_by_tag.get(tag, 0) + accesses
+        self.misses_by_tag[tag] = self.misses_by_tag.get(tag, 0) + misses
+
+
+class AccessResult(NamedTuple):
+    """Result of a (possibly budget-limited) chunk access.
+
+    ``miss_mask`` covers only the ``consumed`` leading references of the
+    chunk; references past ``consumed`` were *not* applied to the cache.
+    """
+
+    miss_mask: np.ndarray
+    consumed: int
+
+    @property
+    def n_misses(self) -> int:
+        return int(self.miss_mask.sum())
+
+
+class CacheModel(abc.ABC):
+    """Abstract single-level cache."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.stats = CacheStats()
+
+    @abc.abstractmethod
+    def access(
+        self,
+        addrs: np.ndarray,
+        miss_budget: int | None = None,
+        tag: str = "app",
+        writes: np.ndarray | None = None,
+    ) -> AccessResult:
+        """Run a chunk of byte addresses through the cache.
+
+        ``addrs`` is a uint64 array; references are applied in order. If
+        ``miss_budget`` is given, processing stops immediately after the
+        budget-th miss and ``consumed`` reports how many references were
+        applied (the rest must be resubmitted by the caller). ``writes``
+        optionally marks store references (same length as ``addrs``);
+        models with write-back semantics use it to track dirty lines.
+        """
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Empty the cache (cold start) without clearing statistics."""
+
+    @abc.abstractmethod
+    def contents_line_count(self) -> int:
+        """Number of valid lines currently cached (for tests/diagnostics)."""
+
+    def warm_fraction(self) -> float:
+        """Fraction of the cache currently holding valid lines."""
+        return self.contents_line_count() / self.config.n_lines

@@ -1,0 +1,82 @@
+"""Cache geometry configuration and validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.policies import ReplacementPolicy
+from repro.errors import CacheConfigError
+from repro.util.units import fmt_bytes, parse_size
+
+
+def _log2_exact(n: int, what: str) -> int:
+    if n <= 0 or n & (n - 1):
+        raise CacheConfigError(f"{what} must be a positive power of two, got {n}")
+    return n.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of a single-level set-associative cache.
+
+    Defaults model the scaled experimental cache (256 KiB, 4-way, 64-byte
+    lines); :meth:`paper` returns the paper's 2 MB geometry. Sizes accept
+    ints (bytes) or strings like ``"256K"``.
+    """
+
+    size: int = 256 * 1024
+    line_size: int = 64
+    assoc: int = 4
+    policy: ReplacementPolicy = field(default=ReplacementPolicy.LRU)
+
+    def __post_init__(self) -> None:
+        size = parse_size(self.size) if isinstance(self.size, str) else self.size
+        object.__setattr__(self, "size", size)
+        _log2_exact(self.size, "cache size")
+        _log2_exact(self.line_size, "line size")
+        if self.assoc <= 0:
+            raise CacheConfigError(f"associativity must be positive, got {self.assoc}")
+        lines = self.size // self.line_size
+        if lines % self.assoc:
+            raise CacheConfigError(
+                f"{lines} lines not divisible by associativity {self.assoc}"
+            )
+        if self.n_sets <= 0 or self.n_sets & (self.n_sets - 1):
+            raise CacheConfigError(
+                f"number of sets ({self.n_sets}) must be a power of two"
+            )
+
+    @property
+    def n_lines(self) -> int:
+        return self.size // self.line_size
+
+    @property
+    def n_sets(self) -> int:
+        return self.n_lines // self.assoc
+
+    @property
+    def line_bits(self) -> int:
+        return self.line_size.bit_length() - 1
+
+    @property
+    def set_mask(self) -> int:
+        return self.n_sets - 1
+
+    def set_of(self, addr: int) -> int:
+        """Set index of an address (index bits above the line offset)."""
+        return (addr >> self.line_bits) & self.set_mask
+
+    def line_of(self, addr: int) -> int:
+        """Global line number of an address (address >> line bits)."""
+        return addr >> self.line_bits
+
+    @classmethod
+    def paper(cls) -> "CacheConfig":
+        """The paper's experimental geometry: 2 MB set-associative."""
+        return cls(size=2 * 1024 * 1024, line_size=64, assoc=4)
+
+    def describe(self) -> str:
+        return (
+            f"{fmt_bytes(self.size)} {self.assoc}-way, "
+            f"{self.line_size}B lines, {self.n_sets} sets, {self.policy.value}"
+        )

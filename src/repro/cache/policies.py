@@ -1,0 +1,19 @@
+"""Replacement policies for the set-associative cache model.
+
+The paper's simulator models a generic set-associative cache; the policy
+is not specified, so LRU is the default and FIFO/RANDOM are provided for
+the replacement-policy ablation (benchmarks/test_ablations.py) to confirm
+the profiling techniques' rankings are robust to the policy choice.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ReplacementPolicy(enum.Enum):
+    """Which line a set evicts when full."""
+
+    LRU = "lru"        #: evict the least recently used line
+    FIFO = "fifo"      #: evict the oldest-inserted line (no hit promotion)
+    RANDOM = "random"  #: evict a uniformly random line

@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m repro <experiment>``.
+
+Regenerates any of the paper's artifacts from the terminal::
+
+    python -m repro table1
+    python -m repro fig4 --apps tomcatv ijpeg
+    python -m repro resonance --quick
+    python -m repro all --quick
+
+``--quick`` runs reduced-size workloads (the same knobs the test suite
+uses); the default sizes match EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ExperimentRunner,
+    run_continuation,
+    run_hierarchy,
+    run_prefetch_ablation,
+    run_geometry_sweep,
+    run_mrc,
+    run_skid_ablation,
+    run_alignment_ablation,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_multiplex_ablation,
+    run_phase_heuristic_ablation,
+    run_policy_ablation,
+    run_resonance,
+    run_table1,
+    run_table2,
+)
+
+_EXPERIMENTS = {
+    "table1": lambda runner, apps: run_table1(runner, apps),
+    "table2": lambda runner, apps: run_table2(runner, apps),
+    "fig2": lambda runner, apps: run_fig2(runner),
+    "fig3": lambda runner, apps: run_fig3(runner, apps),
+    "fig4": lambda runner, apps: run_fig4(runner, apps),
+    "fig5": lambda runner, apps: run_fig5(runner),
+    "resonance": lambda runner, apps: run_resonance(runner),
+    "ablation-alignment": lambda runner, apps: run_alignment_ablation(runner),
+    "ablation-phase": lambda runner, apps: run_phase_heuristic_ablation(runner),
+    "ablation-multiplex": lambda runner, apps: run_multiplex_ablation(runner),
+    "ablation-policy": lambda runner, apps: run_policy_ablation(runner),
+    "ext-skid": lambda runner, apps: run_skid_ablation(runner),
+    "ext-continuation": lambda runner, apps: run_continuation(runner),
+    "ext-hierarchy": lambda runner, apps: run_hierarchy(runner),
+    "ext-prefetch": lambda runner, apps: run_prefetch_ablation(runner),
+    "ext-mrc": lambda runner, apps: run_mrc(runner, apps),
+    "ext-sweep": lambda runner, apps: run_geometry_sweep(runner),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures from Buck & Hollingsworth (SC 2000).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*_EXPERIMENTS, "all", "profile"],
+        help="which artifact to regenerate, or 'profile' to profile one app",
+    )
+    parser.add_argument(
+        "--apps",
+        nargs="+",
+        default=None,
+        help="restrict to these applications (default: all seven); for "
+        "'profile', the single application to profile",
+    )
+    parser.add_argument(
+        "--tool",
+        choices=["sampling", "search", "adaptive"],
+        default="sampling",
+        help="profile subcommand: which measurement technique to use",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced workload sizes (faster)"
+    )
+    parser.add_argument("--seed", type=int, default=1234)
+    return parser
+
+
+def _profile_app(runner: ExperimentRunner, app: str, tool_name: str) -> None:
+    """The `profile` subcommand: one app, one technique, full report."""
+    from repro.core.adaptive import AdaptiveSamplingProfiler
+    from repro.core.report import comparison_table
+
+    base = runner.baseline(app)
+    if tool_name == "search":
+        run = runner.with_search(app, n=10)
+    elif tool_name == "adaptive":
+        period = runner.scaled_sampling_period(app)
+        tool = AdaptiveSamplingProfiler(
+            initial_period=period, target_overhead=0.01, seed=runner.config.seed
+        )
+        run = runner.simulator.run(runner.make(app), tool=tool)
+    else:
+        run = runner.with_sampling(app, schedule="prime")
+    print(comparison_table(base.actual, [run.measured], title=f"profile: {app}"))
+    stats = run.stats
+    print(
+        f"\noverhead: {stats.slowdown:.3%} "
+        f"({len(stats.interrupts)} interrupts, "
+        f"{stats.interrupts.mean_cycles():,.0f} cycles each); "
+        f"perturbation: {stats.miss_increase_vs(base.stats):+.4%} misses"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    from repro.experiments.runner import RunnerConfig
+
+    runner = ExperimentRunner(RunnerConfig(seed=args.seed), quick=args.quick)
+    if args.experiment == "profile":
+        apps = args.apps or ["tomcatv"]
+        for app in apps:
+            _profile_app(runner, app, args.tool)
+        return 0
+    names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        t0 = time.time()
+        report = _EXPERIMENTS[name](runner, args.apps)
+        print(report)
+        print(f"[{name} in {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""The paper's contribution: data-centric cache profiling techniques.
+
+Two techniques attribute cache misses to source-level data structures
+using simulated hardware-performance-monitor features:
+
+* :class:`SamplingProfiler` — cache-miss address sampling (paper §2.1),
+* :class:`NWaySearch` — n-way counter search with priority-queue
+  backtracking (paper §2.2), plus :class:`GreedySearch`, the
+  no-priority-queue variant whose failure mode Figure 2 illustrates.
+
+Results are :class:`DataProfile` objects; :mod:`repro.core.report`
+renders paper-style comparison tables and accuracy metrics.
+"""
+
+from repro.core.profile import DataProfile, ObjectShare
+from repro.core.sampling import PeriodSchedule, SamplingProfiler
+from repro.core.regions import RegionState, initial_regions, split_region
+from repro.core.search import NWaySearch, SearchPhase
+from repro.core.greedy_search import GreedySearch
+from repro.core.adaptive import AdaptiveSamplingProfiler
+from repro.core.aggregate import aggregate_by, aggregate_heap_by_site
+from repro.core.report import (
+    comparison_table,
+    max_share_error,
+    rank_agreement,
+    spearman_rank_correlation,
+)
+
+__all__ = [
+    "DataProfile",
+    "ObjectShare",
+    "SamplingProfiler",
+    "PeriodSchedule",
+    "RegionState",
+    "initial_regions",
+    "split_region",
+    "NWaySearch",
+    "SearchPhase",
+    "GreedySearch",
+    "AdaptiveSamplingProfiler",
+    "aggregate_by",
+    "aggregate_heap_by_site",
+    "comparison_table",
+    "rank_agreement",
+    "max_share_error",
+    "spearman_rank_correlation",
+]

@@ -1,0 +1,91 @@
+"""Adaptive sampling period — the paper's future-work extension (section 5).
+
+"Currently, the algorithms depend on certain arbitrarily chosen
+parameters, such as sampling frequency ... We plan to investigate how
+these values could be adjusted automatically by the algorithms in order to
+achieve greater accuracy and efficiency."
+
+:class:`AdaptiveSamplingProfiler` implements that loop for sampling: the
+handler tracks its own cost (interrupt count times per-interrupt cycles)
+against elapsed virtual time and steers the period toward a target
+overhead fraction — doubling the period when overhead runs hot, shrinking
+it geometrically (never below a floor) when there is headroom, so the
+profiler collects as many samples as the overhead budget allows.
+"""
+
+from __future__ import annotations
+
+from repro.core.sampling import PeriodSchedule, SamplingProfiler
+from repro.errors import CounterError
+from repro.sim.instrumentation import HandlerResult
+
+
+class AdaptiveSamplingProfiler(SamplingProfiler):
+    """Sampling profiler that auto-tunes its period to an overhead target."""
+
+    name = "adaptive-sampling"
+
+    def __init__(
+        self,
+        initial_period: int,
+        target_overhead: float = 0.01,
+        adjust_every: int = 32,
+        min_period: int = 64,
+        max_period: int | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if not 0.0 < target_overhead < 1.0:
+            raise CounterError(
+                f"target_overhead must be in (0,1), got {target_overhead}"
+            )
+        if adjust_every <= 0:
+            raise CounterError("adjust_every must be positive")
+        super().__init__(
+            period=initial_period, schedule=PeriodSchedule.PRIME, seed=seed
+        )
+        self.target_overhead = target_overhead
+        self.adjust_every = adjust_every
+        self.min_period = min_period
+        self.max_period = max_period or initial_period * 1024
+        self.period_history: list[int] = [self.base_period]
+        self._interrupts_seen = 0
+        self._instr_cycles_est = 0
+
+    def on_miss_overflow(self, cycle: int) -> HandlerResult:
+        result = super().on_miss_overflow(cycle)
+        self._interrupts_seen += 1
+        self._instr_cycles_est += (
+            self.ctx.cost_model.interrupt_delivery_cycles + result.handler_cycles
+        )
+        if self._interrupts_seen % self.adjust_every == 0 and cycle > 0:
+            overhead = self._instr_cycles_est / cycle
+            if overhead > self.target_overhead * 1.25:
+                # Scale the growth with the overshoot so a wildly-too-hot
+                # period converges in a few adjustments, not dozens.
+                factor = min(16.0, max(2.0, overhead / self.target_overhead))
+                self._set_period(int(self.base_period * factor))
+            elif overhead < self.target_overhead * 0.5:
+                self._set_period(max(self.min_period, self.base_period * 2 // 3))
+            # Re-arm with the (possibly new) period.
+            result = HandlerResult(
+                handler_cycles=result.handler_cycles,
+                mem_refs=result.mem_refs,
+                rearm_overflow=self.next_period(),
+            )
+        return result
+
+    def _set_period(self, period: int) -> None:
+        period = int(min(max(period, self.min_period), self.max_period))
+        if period != self.base_period:
+            self.base_period = period
+            from repro.util.primes import next_prime
+
+            self._prime_period = next_prime(period - 1)
+            self.period_history.append(period)
+
+    def profile(self):
+        prof = super().profile()
+        prof.meta["period_history"] = list(self.period_history)
+        prof.meta["final_period"] = self.base_period
+        prof.meta["target_overhead"] = self.target_overhead
+        return prof

@@ -1,0 +1,65 @@
+"""Aggregating related objects — the paper's future-work extension.
+
+Section 5 proposes "aggregating data for all instances of the same local
+variable, and for related blocks of dynamically allocated memory (for
+instance, the nodes of a tree)". Stack locals already aggregate by
+construction (every instance shares the ``function:variable`` name, see
+:mod:`repro.memory.stack`); this module supplies the heap-side
+aggregation: folding a profile's per-block shares by allocation site, or
+by any caller-supplied key.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.profile import DataProfile, ObjectShare
+from repro.memory.objects import MemoryObject, ObjectKind
+
+
+def aggregate_by(
+    profile: DataProfile, key: Callable[[ObjectShare], str]
+) -> DataProfile:
+    """Fold a profile's entries whose ``key`` matches into one entry.
+
+    Shares and counts add; the representative object of each group is the
+    member with the largest share (reports keep a concrete exemplar to
+    point the programmer at).
+    """
+    grouped: dict[str, list[ObjectShare]] = {}
+    for share in profile.shares:
+        grouped.setdefault(key(share), []).append(share)
+    shares = []
+    for name, members in grouped.items():
+        best = max(members, key=lambda s: s.share)
+        shares.append(
+            ObjectShare(
+                name=name,
+                count=sum(m.count for m in members),
+                share=sum(m.share for m in members),
+                obj=best.obj,
+            )
+        )
+    return DataProfile(
+        source=f"{profile.source}+aggregated",
+        shares=shares,
+        total_misses=profile.total_misses,
+        meta={**profile.meta, "aggregated": True},
+    )
+
+
+def _site_key(share: ObjectShare) -> str:
+    obj: MemoryObject | None = share.obj
+    if obj is not None and obj.kind is ObjectKind.HEAP and obj.alloc_site:
+        return f"heap@{obj.alloc_site}"
+    return share.name
+
+
+def aggregate_heap_by_site(profile: DataProfile) -> DataProfile:
+    """Group heap blocks by allocation site (non-heap entries pass through).
+
+    This answers the paper's "nodes of a tree" scenario: a linked structure
+    of thousands of small blocks shows up as one line item per allocating
+    call site instead of thousands of hex addresses.
+    """
+    return aggregate_by(profile, _site_key)

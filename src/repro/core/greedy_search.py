@@ -1,0 +1,28 @@
+"""Greedy search without the priority queue — Figure 2's failure mode.
+
+An early version of the paper's search "without the priority queue for
+previously examined regions, failed to find the top object because the
+coarser granularity made the [search] more likely to discard important
+regions": once a region is passed over, it is gone, so a region whose
+*aggregate* misses are high can permanently shadow a sibling containing
+the single hottest object (Figure 2's array E).
+
+:class:`GreedySearch` is exactly :class:`NWaySearch` with backtracking
+disabled: each iteration ranks only the regions measured in that interval
+and discards the rest. The ``fig2`` benchmark pits the two against each
+other on the paper's illustrated layout.
+"""
+
+from __future__ import annotations
+
+from repro.core.search import NWaySearch
+
+
+class GreedySearch(NWaySearch):
+    """N-way search that never backtracks (no priority queue memory)."""
+
+    name = "greedy-search"
+
+    def __init__(self, n: int = 2, **kwargs) -> None:
+        kwargs["backtracking"] = False
+        super().__init__(n=n, **kwargs)

@@ -1,0 +1,81 @@
+"""Data-centric profiles: ranked per-object miss shares.
+
+A :class:`DataProfile` is the common output format of ground truth
+("Actual" in the paper's tables), the sampling profiler, and the n-way
+search, so experiment code can compare the three uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.objects import MemoryObject
+from repro.util.format import Table, render_table
+from repro.util.units import fmt_pct
+
+
+@dataclass(frozen=True)
+class ObjectShare:
+    """One object's share of the profiled cache misses."""
+
+    name: str
+    count: int            #: raw measurement (misses, samples, or counter sum)
+    share: float          #: estimated fraction of all cache misses
+    obj: MemoryObject | None = None
+
+    @property
+    def pct(self) -> float:
+        return 100.0 * self.share
+
+
+@dataclass
+class DataProfile:
+    """A ranked list of object shares from one measurement source."""
+
+    source: str
+    shares: list[ObjectShare] = field(default_factory=list)
+    total_misses: int = 0
+    #: Free-form measurement metadata (period, iterations, ...).
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Keep shares ranked: descending share, then name for determinism.
+        self.shares = sorted(self.shares, key=lambda s: (-s.share, s.name))
+
+    def __len__(self) -> int:
+        return len(self.shares)
+
+    def top(self, k: int, min_share: float = 0.0001) -> list[ObjectShare]:
+        """The top-k objects, excluding those below ``min_share``.
+
+        The paper's tables exclude "objects causing less than 0.01% of the
+        total misses", hence the default threshold.
+        """
+        return [s for s in self.shares if s.share >= min_share][:k]
+
+    def rank_of(self, name: str) -> int | None:
+        """1-based rank of an object, or None if it was not measured."""
+        for i, share in enumerate(self.shares):
+            if share.name == name:
+                return i + 1
+        return None
+
+    def share_of(self, name: str) -> float:
+        for share in self.shares:
+            if share.name == name:
+                return share.share
+        return 0.0
+
+    def names(self) -> list[str]:
+        return [s.name for s in self.shares]
+
+    def table(self, k: int = 10) -> str:
+        """Render the top-k as a small report table."""
+        t = Table(["rank", "object", "%", "count"], title=f"profile: {self.source}")
+        for i, s in enumerate(self.top(k), start=1):
+            t.add_row([i, s.name, fmt_pct(s.share), s.count])
+        return render_table(t)
+
+    def as_dict(self) -> dict[str, float]:
+        """name -> share mapping (for comparisons and serialisation)."""
+        return {s.name: s.share for s in self.shares}

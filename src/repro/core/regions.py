@@ -1,0 +1,188 @@
+"""Search regions: object-aligned address ranges with measurement state.
+
+The n-way search's unit of work is a region of the address space being
+measured by one conditional miss counter. This module owns the two pieces
+of region logic the paper calls out explicitly:
+
+* **Object-aligned splitting** — "adjust the extents of the regions each
+  time they are split so that objects do not span region boundaries"
+  (section 2.2); an array straddling a split might otherwise not cause
+  enough misses in either half to attract the search.
+* **Measurement state** — single-object regions stay in the priority
+  queue and are re-measured; their results are *averaged* over
+  iterations, "allowing the objects to be ranked with increasing
+  accuracy". Regions recently in the top ranks survive zero-miss
+  intervals (the phase heuristic of section 3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SearchError
+from repro.memory.object_map import ObjectMap
+from repro.memory.objects import MemoryObject
+from repro.util.intervals import Interval, interval_len
+
+
+@dataclass(eq=False)
+class RegionState:
+    """One region under measurement. Hash/eq by identity: regions are
+    created once (at split time) and flow between the measurement set and
+    the priority queue as the same object."""
+
+    interval: Interval
+    #: Objects overlapping the region at creation time.
+    n_objects: int
+    #: The single contained object, when ``n_objects == 1``.
+    obj: MemoryObject | None = None
+    #: Shares measured in each interval in which the region had misses.
+    share_history: list[float] = field(default_factory=list)
+    #: Consecutive zero-miss intervals survived via the phase heuristic.
+    zero_streak: int = 0
+    #: Whether this region (or its parent) was recently ranked in the top
+    #: n/2 — the condition for surviving a zero-miss interval.
+    was_top: bool = False
+    #: Generation (search iteration) at which the region was created.
+    created_iteration: int = 0
+
+    @property
+    def single_object(self) -> bool:
+        return self.n_objects == 1
+
+    @property
+    def mean_share(self) -> float:
+        """Average measured share; the search's ranking estimate."""
+        if not self.share_history:
+            return 0.0
+        return sum(self.share_history) / len(self.share_history)
+
+    @property
+    def n_measurements(self) -> int:
+        return len(self.share_history)
+
+    def record_share(self, share: float) -> None:
+        self.share_history.append(share)
+        self.zero_streak = 0
+
+    def describe(self) -> str:
+        label = self.obj.name if self.obj is not None else f"{self.n_objects} objs"
+        return (
+            f"[{self.interval.lo:#x},{self.interval.hi:#x}) "
+            f"{label} share~{self.mean_share:.4f}"
+        )
+
+
+def region_for(
+    object_map: ObjectMap, interval: Interval, iteration: int = 0
+) -> RegionState | None:
+    """Build a region over ``interval``; None if it contains no objects.
+
+    A single-object region is *narrowed to the object's extent* so that
+    later re-measurements count exactly the object's misses — the paper's
+    final estimates are taken "with each cache miss counter set to cover
+    exactly the area of one of the found objects".
+    """
+    objs = object_map.objects_overlapping(interval)
+    if not objs:
+        return None
+    if len(objs) == 1:
+        obj = objs[0]
+        clipped = Interval(max(interval.lo, obj.base), min(interval.hi, obj.end))
+        return RegionState(
+            interval=clipped, n_objects=1, obj=obj, created_iteration=iteration
+        )
+    return RegionState(
+        interval=interval, n_objects=len(objs), created_iteration=iteration
+    )
+
+
+def split_region(
+    object_map: ObjectMap,
+    region: RegionState,
+    iteration: int = 0,
+    aligned: bool = True,
+) -> list[RegionState]:
+    """Split a multi-object region in half, snapping to object boundaries.
+
+    The split point is the legal boundary (an object start or end) nearest
+    the midpoint, so no object spans the cut. Children containing no
+    objects are dropped (they can never cause attributable misses).
+    Raises :class:`SearchError` on a single-object region — the search
+    must re-measure those instead.
+
+    ``aligned=False`` cuts at the raw midpoint regardless of object
+    extents — the naive behaviour whose failure mode section 2.2
+    describes (an array spanning the cut "may not cause enough cache
+    misses in any single region to attract the search to it"). Provided
+    for the alignment ablation bench.
+    """
+    if region.single_object:
+        raise SearchError(f"cannot split single-object region {region.describe()}")
+    iv = region.interval
+    midpoint = (iv.lo + iv.hi) // 2
+    if not aligned:
+        cut = midpoint
+        if not (iv.lo < cut < iv.hi):
+            child = region_for(object_map, iv, iteration)
+            return [child] if child is not None else []
+        children = []
+        for child_iv in (Interval(iv.lo, cut), Interval(cut, iv.hi)):
+            child = region_for(object_map, child_iv, iteration)
+            if child is not None:
+                child.was_top = region.was_top
+                children.append(child)
+        return children
+    boundaries = object_map.boundaries_in(iv)
+    if not boundaries:
+        # No legal internal cut: treat as unsplittable (one object spans
+        # the whole region, or the region covers one object plus empty
+        # space that region_for() will clip away).
+        child = region_for(object_map, iv, iteration)
+        return [child] if child is not None else []
+    cut = min(boundaries, key=lambda b: abs(b - midpoint))
+    children = []
+    for child_iv in (Interval(iv.lo, cut), Interval(cut, iv.hi)):
+        child = region_for(object_map, child_iv, iteration)
+        if child is not None:
+            # Children of a refined (top-ranked) region inherit phase
+            # protection: their addresses were recently hot.
+            child.was_top = region.was_top
+            children.append(child)
+    return children
+
+
+def initial_regions(
+    object_map: ObjectMap, whole: Interval, n: int
+) -> list[RegionState]:
+    """Divide the address space into (up to) n object-populated regions.
+
+    "At the beginning of the search, the address space is divided into n
+    areas, each assigned to a miss counter." Cuts are snapped to the
+    nearest legal object boundary; empty areas are dropped immediately
+    (their counters would read zero forever).
+    """
+    if n < 2:
+        raise SearchError(f"n-way search needs n >= 2, got {n}")
+    if interval_len(whole) == 0:
+        raise SearchError("empty address space")
+    raw_cuts = [whole.lo + (interval_len(whole) * i) // n for i in range(1, n)]
+    boundaries = object_map.boundaries_in(whole)
+    cuts: list[int] = []
+    for raw in raw_cuts:
+        if boundaries:
+            snapped = min(boundaries, key=lambda b: abs(b - raw))
+        else:
+            snapped = raw
+        if snapped not in cuts and whole.lo < snapped < whole.hi:
+            cuts.append(snapped)
+    cuts.sort()
+    edges = [whole.lo, *cuts, whole.hi]
+    regions: list[RegionState] = []
+    for lo, hi in zip(edges, edges[1:]):
+        region = region_for(object_map, Interval(lo, hi))
+        if region is not None:
+            regions.append(region)
+    if not regions:
+        raise SearchError("no memory objects inside the searched address space")
+    return regions

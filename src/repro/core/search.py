@@ -1,0 +1,516 @@
+"""The n-way counter search for memory bottlenecks (paper section 2.2).
+
+The search assigns each of n base/bounds-qualified miss counters to a
+region of the address space, lets the application run for a timer
+interval, then:
+
+1. converts each counter into the region's percentage of total misses
+   (an extra unqualified counter provides the denominator),
+2. pushes every measured region into a **priority queue** ranked by that
+   percentage — the queue is what lets the search back-track to a region
+   measured several iterations ago (Figure 2's failure without it),
+3. pops the best regions and splits each at an object-aligned midpoint to
+   form the next measurement set; popped single-object regions cannot be
+   split, so they are re-measured and their percentages **averaged**
+   across iterations,
+4. applies the **phase heuristic** (section 3.5): a region recently in
+   the top ranks that shows zero misses this interval is retained for a
+   few iterations, and each retention stretches future intervals so one
+   interval spans multiple phases,
+5. terminates when the top n-1 queue entries are single objects (or the
+   unsearched share falls below a threshold), then runs a final
+   **estimation phase** with each counter set to exactly one found
+   object's extent — the percentages the paper reports come from these
+   post-search measurements, which is why su2cor's 2-way search can
+   report 0.0% for an array whose access pattern changed after it was
+   found.
+
+**Continuation** (``continuation_rounds > 0``) implements the fix the
+paper's conclusion proposes for the search's limited result count: "this
+may be correctable by returning to search previously discarded areas
+after the ones causing the most cache misses have been examined fully".
+After each estimation batch, the found objects are retired from the
+queue and the search resumes over what remains, so an n-way search can
+report more than n-1 objects across batches.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.core.profile import DataProfile, ObjectShare
+from repro.core.regions import RegionState, initial_regions, split_region
+from repro.core.search_trace import IterationRecord, MeasuredRegion
+from repro.datastructs.heap_pq import MaxPriorityQueue
+from repro.errors import SearchError
+from repro.memory.objects import MemoryObject
+from repro.sim.instrumentation import (
+    HandlerResult,
+    InstrumentationTool,
+    ToolContext,
+    _RefPattern,
+)
+from repro.util.intervals import Interval
+
+
+class SearchPhase(enum.Enum):
+    SEARCHING = "searching"
+    ESTIMATING = "estimating"
+    DONE = "done"
+
+
+class NWaySearch(InstrumentationTool):
+    """N-way search instrumentation tool.
+
+    Parameters
+    ----------
+    n:
+        Number of region counters to use (the paper evaluates 2 and 10).
+        Must not exceed the monitor's counter bank.
+    interval_cycles:
+        Initial timer interval between search iterations, in virtual
+        cycles. The phase heuristic may grow it up to ``max_interval_cycles``.
+    zero_keep_max:
+        How many consecutive zero-miss intervals a recently-top region
+        survives before being discarded.
+    interval_growth:
+        Multiplier applied to the interval each time a zero-miss region is
+        retained ("the duration of future sample intervals is increased").
+    unsearched_threshold:
+        Terminate early once the non-single-object share of the queue
+        falls below this fraction ("if the percentage of cache misses
+        within unsearched regions drops below a selectable threshold").
+    estimate_rounds:
+        Number of post-search intervals over which final per-object
+        percentages are measured.
+    backtracking:
+        True for the paper's priority-queue algorithm. False gives the
+        greedy variant (each iteration considers only the regions measured
+        in that interval and discards the rest), whose failure mode
+        Figure 2 illustrates; see :class:`repro.core.greedy_search.GreedySearch`.
+    align_splits:
+        True for the paper's object-aligned splits; False cuts at raw
+        midpoints (the section 2.2 failure mode, for the ablation bench).
+    continuation_rounds:
+        Extra search->estimate batches after the first (the paper's
+        section 6 proposal). 0 reproduces the published algorithm.
+    """
+
+    name = "nway-search"
+
+    def __init__(
+        self,
+        n: int = 10,
+        interval_cycles: int = 400_000,
+        zero_keep_max: int = 3,
+        interval_growth: float = 1.5,
+        max_interval_cycles: int | None = None,
+        unsearched_threshold: float = 0.005,
+        estimate_rounds: int = 8,
+        backtracking: bool = True,
+        align_splits: bool = True,
+        max_results: int | None = None,
+        continuation_rounds: int = 0,
+    ) -> None:
+        super().__init__()
+        if n < 2:
+            raise SearchError(f"n-way search needs n >= 2, got {n}")
+        if interval_cycles <= 0:
+            raise SearchError("interval_cycles must be positive")
+        if continuation_rounds < 0:
+            raise SearchError("continuation_rounds must be non-negative")
+        self.n = n
+        self.interval_cycles = interval_cycles
+        self.initial_interval_cycles = interval_cycles
+        self.zero_keep_max = zero_keep_max
+        self.interval_growth = interval_growth
+        self.max_interval_cycles = max_interval_cycles or interval_cycles * 64
+        self.unsearched_threshold = unsearched_threshold
+        self.estimate_rounds = estimate_rounds
+        self.backtracking = backtracking
+        self.align_splits = align_splits
+        #: Up to how many objects to report per batch; the paper's
+        #: algorithm yields n-1 ("an n-way search will return n-1 objects").
+        self.max_results = max_results or (n - 1)
+        self.continuation_rounds = continuation_rounds
+
+        self.phase = SearchPhase.SEARCHING
+        self.queue = MaxPriorityQueue()
+        self.current_set: list[RegionState] = []
+        #: Regions in the estimation batch currently being measured.
+        self.found: list[RegionState] = []
+        #: Finished per-object measurements: (object, est_count, est_total,
+        #: search-time mean share, n search measurements).
+        self.results: list[tuple[MemoryObject, int, int, float, int]] = []
+        self.iterations = 0
+        self.restarts = 0
+        self.batches_completed = 0
+        self._continuations_left = continuation_rounds
+        self._excluded_uids: set[int] = set()
+        self._estimate_counts: list[int] = []
+        self._estimate_total = 0
+        self._estimate_rounds_left = 0
+        self._whole: Interval | None = None
+        self._queue_struct: _RefPattern | None = None
+        self._table_struct: _RefPattern | None = None
+        #: Per-interrupt measurement log; render with
+        #: :func:`repro.core.search_trace.render_trace` (Figure-1 style).
+        self.trace: list[IterationRecord] = []
+
+    # ------------------------------------------------------------- lifecycle
+
+    def attach(self, ctx: ToolContext) -> HandlerResult:
+        bank = ctx.monitor.regions
+        if self.n > len(bank):
+            raise SearchError(
+                f"{self.n}-way search needs {self.n} region counters, "
+                f"monitor has {len(bank)}"
+            )
+        self._whole = ctx.address_space.application_extent()
+        self.current_set = initial_regions(ctx.object_map, self._whole, self.n)
+        bank.program([r.interval for r in self.current_set])
+        ctx.monitor.global_counter.clear()
+        queue_obj = ctx.alloc_instr("search.queue", 4096)
+        table_obj = ctx.alloc_instr("search.regions", 4096)
+        self._queue_struct = _RefPattern(queue_obj.base, queue_obj.size)
+        self._table_struct = _RefPattern(table_obj.base, table_obj.size)
+        return HandlerResult(next_timer_in=self.interval_cycles)
+
+    # ---------------------------------------------------------------- timer
+
+    def on_timer(self, cycle: int) -> HandlerResult:
+        if self.phase is SearchPhase.SEARCHING:
+            return self._search_iteration()
+        if self.phase is SearchPhase.ESTIMATING:
+            return self._estimate_iteration()
+        return HandlerResult(done=True)
+
+    # ------------------------------------------------------ search iteration
+
+    def _search_iteration(self) -> HandlerResult:
+        ctx = self.ctx
+        bank = ctx.monitor.regions
+        counts = bank.read_all()
+        total = ctx.monitor.global_counter.read_and_clear()
+        self.iterations += 1
+        counter_io = len(counts) + 1
+
+        if not self.backtracking:
+            # Greedy variant: only this interval's measurements compete;
+            # previously measured regions are forgotten.
+            self.queue = MaxPriorityQueue()
+
+        self.trace.append(
+            IterationRecord(
+                iteration=self.iterations,
+                phase="searching",
+                total_misses=total,
+                regions=[
+                    MeasuredRegion(
+                        interval=region.interval,
+                        share=(count / total) if total > 0 else 0.0,
+                        single_object=region.single_object,
+                        label=region.obj.name
+                        if region.obj is not None
+                        else f"{region.n_objects} objs",
+                    )
+                    for region, count in zip(self.current_set, counts)
+                ],
+            )
+        )
+
+        zero_kept = False
+        for region, count in zip(self.current_set, counts):
+            if total > 0 and count > 0:
+                region.record_share(count / total)
+                self.queue.push(region, region.mean_share)
+            elif region.was_top and region.zero_streak < self.zero_keep_max:
+                region.zero_streak += 1
+                zero_kept = True
+                # Retained with its previous rank (mean of past shares).
+                self.queue.push(region, region.mean_share)
+            # else: discarded immediately, as the paper specifies.
+
+        if zero_kept:
+            self.interval_cycles = min(
+                int(self.interval_cycles * self.interval_growth),
+                self.max_interval_cycles,
+            )
+
+        # ------------------------------------------------------- termination
+        top = self.queue.peek_top(self.n - 1)
+        all_single = bool(top) and all(r.single_object for r, _ in top)
+        nonsingle_share = sum(
+            priority for region, priority in self.queue.items()
+            if not region.single_object
+        )
+        have_single = any(r.single_object for r, _ in self.queue.items())
+        if all_single or (have_single and nonsingle_share < self.unsearched_threshold):
+            self.trace[-1].note = "-> estimation"
+            return self._begin_estimation(counter_io)
+
+        # --------------------------------------------------------- selection
+        next_set, splits, boundary_scans = self._select_from_queue()
+        if not next_set:
+            # Every region died (e.g. an all-zero interval with no protected
+            # regions). Restart the search from scratch rather than stall.
+            self.trace[-1].note = "restart"
+            self.restarts += 1
+            next_set = [
+                r
+                for r in initial_regions(ctx.object_map, self._whole, self.n)
+                if not (r.single_object and r.obj.uid in self._excluded_uids)
+            ]
+            if not next_set:
+                self.phase = SearchPhase.DONE
+                return HandlerResult(done=True)
+
+        self.current_set = next_set
+        bank.program([r.interval for r in next_set])
+        ctx.monitor.global_counter.clear()
+
+        queue_ops = self.queue.reset_op_count()
+        handler_cycles = ctx.cost_model.search_handler_cycles(
+            queue_ops=queue_ops,
+            splits=splits,
+            boundary_scans=boundary_scans,
+            counter_io=counter_io + len(next_set),
+        )
+        mem_refs = self._handler_refs(queue_ops, len(next_set))
+        return HandlerResult(
+            handler_cycles=handler_cycles,
+            mem_refs=mem_refs,
+            next_timer_in=self.interval_cycles,
+        )
+
+    def _select_from_queue(self) -> tuple[list[RegionState], int, int]:
+        """Pop the best regions and split them into the next measurement
+        set, consuming up to n counters (shared by the search iteration
+        and the continuation restart)."""
+        ctx = self.ctx
+        next_set: list[RegionState] = []
+        budget = self.n
+        splits = 0
+        boundary_scans = 0
+        while budget > 0 and len(self.queue):
+            region, _ = self.queue.pop()
+            region.was_top = True
+            if region.single_object:
+                if region.obj.uid in self._excluded_uids:
+                    continue  # already reported in an earlier batch
+                next_set.append(region)
+                budget -= 1
+            elif budget < 2:
+                next_set.append(region)  # re-measure unsplit
+                budget -= 1
+            else:
+                children = split_region(
+                    ctx.object_map, region, self.iterations, aligned=self.align_splits
+                )
+                splits += 1
+                boundary_scans += region.n_objects
+                taken = 0
+                for child in children:
+                    if child.single_object and child.obj.uid in self._excluded_uids:
+                        continue
+                    next_set.append(child)
+                    taken += 1
+                budget -= max(1, taken)
+        return next_set, splits, boundary_scans
+
+    # ---------------------------------------------------------- estimation
+
+    def _current_singles(self) -> list[RegionState]:
+        """Single-object regions in the queue, best first, deduplicated by
+        object and excluding objects already reported."""
+        singles: list[RegionState] = []
+        seen = set(self._excluded_uids)
+        for region, _ in self.queue.items():
+            if region.single_object and region.obj.uid not in seen:
+                seen.add(region.obj.uid)
+                singles.append(region)
+        return singles
+
+    def _begin_estimation(self, counter_io: int) -> HandlerResult:
+        ctx = self.ctx
+        singles = self._current_singles()
+        self.found = singles[: self.max_results]
+        if not self.found:
+            self.phase = SearchPhase.DONE
+            return HandlerResult(done=True)
+        # Retire the batch from the queue so a continuation round searches
+        # only what remains.
+        for region in self.found:
+            if region in self.queue:
+                self.queue.remove(region)
+
+        bank = ctx.monitor.regions
+        bank.program([r.interval for r in self.found])
+        ctx.monitor.global_counter.clear()
+        self._estimate_counts = [0] * len(self.found)
+        self._estimate_total = 0
+        self._estimate_rounds_left = self.estimate_rounds
+        self.phase = SearchPhase.ESTIMATING
+        handler_cycles = ctx.cost_model.search_handler_cycles(
+            queue_ops=self.queue.reset_op_count(),
+            splits=0,
+            boundary_scans=0,
+            counter_io=counter_io + len(self.found),
+        )
+        return HandlerResult(
+            handler_cycles=handler_cycles,
+            mem_refs=self._handler_refs(8, len(self.found)),
+            next_timer_in=self.interval_cycles,
+        )
+
+    def _estimate_iteration(self) -> HandlerResult:
+        ctx = self.ctx
+        bank = ctx.monitor.regions
+        counts = bank.read_all()
+        total = ctx.monitor.global_counter.read_and_clear()
+        for i, count in enumerate(counts):
+            self._estimate_counts[i] += count
+        self._estimate_total += total
+        self.trace.append(
+            IterationRecord(
+                iteration=self.iterations,
+                phase="estimating",
+                total_misses=total,
+                regions=[
+                    MeasuredRegion(
+                        interval=region.interval,
+                        share=(count / total) if total > 0 else 0.0,
+                        single_object=True,
+                        label=region.obj.name,
+                    )
+                    for region, count in zip(self.found, counts)
+                ],
+            )
+        )
+        bank.clear_all()
+        self._estimate_rounds_left -= 1
+        handler_cycles = ctx.cost_model.search_handler_cycles(
+            queue_ops=0, splits=0, boundary_scans=0, counter_io=len(counts) + 1
+        )
+        if self._estimate_rounds_left > 0:
+            return HandlerResult(
+                handler_cycles=handler_cycles,
+                mem_refs=self._handler_refs(4, len(counts)),
+                next_timer_in=self.interval_cycles,
+            )
+        return self._finish_batch(handler_cycles)
+
+    def _finish_batch(self, handler_cycles: int) -> HandlerResult:
+        """Record the finished estimation batch; continue or stop."""
+        for region, count in zip(self.found, self._estimate_counts):
+            self.results.append(
+                (
+                    region.obj,
+                    count,
+                    self._estimate_total,
+                    region.mean_share,
+                    region.n_measurements,
+                )
+            )
+            self._excluded_uids.add(region.obj.uid)
+        self.batches_completed += 1
+        self.found = []
+        self._estimate_counts = []
+        self._estimate_total = 0
+
+        if self._continuations_left > 0 and len(self.queue):
+            # Section 6: return to the previously set-aside areas.
+            self._continuations_left -= 1
+            next_set, _, _ = self._select_from_queue()
+            if next_set:
+                self.current_set = next_set
+                self.ctx.monitor.regions.program([r.interval for r in next_set])
+                self.ctx.monitor.global_counter.clear()
+                self.phase = SearchPhase.SEARCHING
+                return HandlerResult(
+                    handler_cycles=handler_cycles,
+                    mem_refs=self._handler_refs(8, len(next_set)),
+                    next_timer_in=self.interval_cycles,
+                )
+        self.phase = SearchPhase.DONE
+        return HandlerResult(handler_cycles=handler_cycles, done=True)
+
+    def on_run_end(self, cycle: int) -> None:
+        # The stream ended mid-search or mid-estimation; bank whatever has
+        # been measured so partial results are still reported.
+        if self.phase is SearchPhase.ESTIMATING and self._estimate_total > 0:
+            for region, count in zip(self.found, self._estimate_counts):
+                self.results.append(
+                    (
+                        region.obj,
+                        count,
+                        self._estimate_total,
+                        region.mean_share,
+                        region.n_measurements,
+                    )
+                )
+                self._excluded_uids.add(region.obj.uid)
+            self.found = []
+        elif self.phase is SearchPhase.SEARCHING:
+            self.found = self._current_singles()[: self.max_results]
+
+    # ----------------------------------------------------------- accounting
+
+    def _handler_refs(self, queue_ops: int, table_entries: int) -> np.ndarray:
+        """Memory the handler touches: queue slots plus region-table rows."""
+        queue_offsets = [(i * 24) for i in range(max(1, min(queue_ops, 128)))]
+        table_offsets = [(i * 48) for i in range(max(1, min(table_entries, 64)))]
+        return np.concatenate(
+            [
+                self._queue_struct.touch(queue_offsets),
+                self._table_struct.touch(table_offsets),
+            ]
+        )
+
+    # --------------------------------------------------------------- results
+
+    def profile(self) -> DataProfile:
+        shares: list[ObjectShare] = []
+        estimated = bool(self.results)
+        for obj, count, total, mean_share, _n_meas in self.results:
+            shares.append(
+                ObjectShare(
+                    name=obj.name,
+                    count=count,
+                    share=(count / total) if total > 0 else mean_share,
+                    obj=obj,
+                )
+            )
+        # Regions found but never estimated (run ended mid-search): report
+        # their search-time mean shares.
+        reported = {s.obj.uid for s in shares if s.obj is not None}
+        for region in self.found:
+            if region.obj is not None and region.obj.uid not in reported:
+                shares.append(
+                    ObjectShare(
+                        name=region.obj.name,
+                        count=region.n_measurements,
+                        share=region.mean_share,
+                        obj=region.obj,
+                    )
+                )
+        label = "search" if self.backtracking else "greedy-search"
+        return DataProfile(
+            source=f"{label}({self.n}-way)",
+            shares=shares,
+            total_misses=sum(count for _, count, _, _, _ in self.results),
+            meta={
+                "n": self.n,
+                "iterations": self.iterations,
+                "restarts": self.restarts,
+                "phase": self.phase.value,
+                "estimated": estimated,
+                "batches": self.batches_completed,
+                "final_interval_cycles": self.interval_cycles,
+                "search_shares": {
+                    obj.name: mean for obj, _, _, mean, _ in self.results
+                },
+            },
+        )

@@ -1,0 +1,103 @@
+"""Search iteration traces and the Figure-1-style convergence view.
+
+The paper's Figure 1 illustrates the search narrowing from whole-address-
+space regions down to a single hot object. :class:`NWaySearch` records an
+:class:`IterationRecord` per timer interrupt (what was measured, what each
+counter read, what was selected or concluded); this module renders that
+trace as an ASCII convergence diagram — each iteration a row, each
+measured region a span across the searched address range, shaded by its
+measured share — so a user can literally watch the search close in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.intervals import Interval
+
+_SHADES = " ░▒▓█"
+
+
+@dataclass
+class MeasuredRegion:
+    """One region's measurement within one iteration."""
+
+    interval: Interval
+    share: float
+    single_object: bool
+    label: str  #: object name for single-object regions, else "n objs"
+
+
+@dataclass
+class IterationRecord:
+    """Everything one search iteration saw and decided."""
+
+    iteration: int
+    phase: str
+    total_misses: int
+    regions: list[MeasuredRegion] = field(default_factory=list)
+    note: str = ""
+
+
+def render_trace(
+    records: list[IterationRecord],
+    span: Interval | None = None,
+    width: int = 72,
+) -> str:
+    """Render iteration records as a convergence diagram.
+
+    The horizontal axis is the searched address span (auto-fitted to the
+    regions ever measured, which excludes the huge empty gaps between
+    segments); each row paints the iteration's measured regions with a
+    shade proportional to their measured share of misses.
+    """
+    if not records:
+        return "(no search iterations recorded)"
+    if span is None:
+        los = [r.interval.lo for rec in records for r in rec.regions]
+        his = [r.interval.hi for rec in records for r in rec.regions]
+        if not los:
+            return "(no regions measured)"
+        span = Interval(min(los), max(his))
+    extent = max(1, span.hi - span.lo)
+
+    lines = [
+        f"search convergence over [{span.lo:#x}, {span.hi:#x}) "
+        f"({extent / 1024:.0f} KiB searched)"
+    ]
+    for rec in records:
+        row = [" "] * width
+        for region in rec.regions:
+            lo = max(0, int((region.interval.lo - span.lo) / extent * width))
+            hi = min(width, max(lo + 1, int(
+                (region.interval.hi - span.lo) / extent * width
+            )))
+            shade = _SHADES[min(len(_SHADES) - 1, int(region.share * (len(_SHADES) - 1) + 0.999))] \
+                if region.share > 0 else _SHADES[0]
+            for x in range(lo, hi):
+                row[x] = shade
+        label = f"#{rec.iteration:>2} {rec.phase:<10}"
+        suffix = f" {rec.note}" if rec.note else ""
+        lines.append(f"{label} |{''.join(row)}|{suffix}")
+    lines.append(
+        "shade = region's share of that interval's misses "
+        f"({_SHADES[1]}<25% {_SHADES[2]}<50% {_SHADES[3]}<75% {_SHADES[4]}>=75%)"
+    )
+    return "\n".join(lines)
+
+
+def trace_summary(records: list[IterationRecord]) -> str:
+    """A compact per-iteration text log (for reports and debugging)."""
+    lines = []
+    for rec in records:
+        tops = sorted(rec.regions, key=lambda r: -r.share)[:3]
+        best = ", ".join(
+            f"{r.label}={r.share:.0%}" for r in tops if r.share > 0
+        )
+        lines.append(
+            f"iter {rec.iteration:>3} [{rec.phase}] "
+            f"{len(rec.regions)} regions, {rec.total_misses:,} misses"
+            + (f": {best}" if best else "")
+            + (f" ({rec.note})" if rec.note else "")
+        )
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""Indexed max-priority queue for the n-way search.
+
+The search algorithm (paper section 2.2) pushes every measured region into a
+priority queue ranked by the percentage of total cache misses it caused, and
+pops the best regions each iteration — the queue is what lets the search
+"back up" to a previously measured region (Figure 2). The queue must also
+support membership tests and in-place priority updates for the phase
+heuristic (a region kept despite zero misses retains its old priority).
+
+Implemented as a binary max-heap with a position index; operation counts
+are tracked so the instrumentation cost model can charge virtual cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterator
+
+
+class MaxPriorityQueue:
+    """Max-heap keyed by float priority over hashable items."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Hashable]] = []
+        self._pos: dict[Hashable, int] = {}
+        self._tiebreak = 0
+        #: Heap sift steps since last reset (for the cost model).
+        self.op_count = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._pos
+
+    def reset_op_count(self) -> int:
+        count = self.op_count
+        self.op_count = 0
+        return count
+
+    # --------------------------------------------------------------- internal
+
+    def _swap(self, i: int, j: int) -> None:
+        self._heap[i], self._heap[j] = self._heap[j], self._heap[i]
+        self._pos[self._heap[i][2]] = i
+        self._pos[self._heap[j][2]] = j
+
+    def _less(self, i: int, j: int) -> bool:
+        # Max-heap: "less" means lower priority; ties broken by insertion
+        # order (older entries win) so results are deterministic.
+        pi, ti, _ = self._heap[i]
+        pj, tj, _ = self._heap[j]
+        if pi != pj:
+            return pi < pj
+        return ti > tj
+
+    def _sift_up(self, idx: int) -> None:
+        while idx > 0:
+            parent = (idx - 1) // 2
+            self.op_count += 1
+            if self._less(parent, idx):
+                self._swap(parent, idx)
+                idx = parent
+            else:
+                break
+
+    def _sift_down(self, idx: int) -> None:
+        n = len(self._heap)
+        while True:
+            left = 2 * idx + 1
+            right = left + 1
+            largest = idx
+            self.op_count += 1
+            if left < n and self._less(largest, left):
+                largest = left
+            if right < n and self._less(largest, right):
+                largest = right
+            if largest == idx:
+                break
+            self._swap(idx, largest)
+            idx = largest
+
+    # -------------------------------------------------------------------- api
+
+    def push(self, item: Hashable, priority: float) -> None:
+        """Insert ``item`` with ``priority``; re-pushing updates the priority."""
+        if item in self._pos:
+            self.update(item, priority)
+            return
+        self._tiebreak += 1
+        self._heap.append((float(priority), self._tiebreak, item))
+        idx = len(self._heap) - 1
+        self._pos[item] = idx
+        self._sift_up(idx)
+
+    def update(self, item: Hashable, priority: float) -> None:
+        """Change the priority of an item already in the queue."""
+        idx = self._pos[item]
+        old_priority, tiebreak, _ = self._heap[idx]
+        self._heap[idx] = (float(priority), tiebreak, item)
+        if priority > old_priority:
+            self._sift_up(idx)
+        else:
+            self._sift_down(idx)
+
+    def pop(self) -> tuple[Hashable, float]:
+        """Remove and return ``(item, priority)`` with the highest priority."""
+        if not self._heap:
+            raise IndexError("pop from empty priority queue")
+        priority, _, item = self._heap[0]
+        last = self._heap.pop()
+        del self._pos[item]
+        if self._heap:
+            self._heap[0] = last
+            self._pos[last[2]] = 0
+            self._sift_down(0)
+        return (item, priority)
+
+    def peek(self) -> tuple[Hashable, float]:
+        if not self._heap:
+            raise IndexError("peek at empty priority queue")
+        priority, _, item = self._heap[0]
+        return (item, priority)
+
+    def peek_top(self, k: int) -> list[tuple[Hashable, float]]:
+        """The ``k`` highest-priority entries, best first, without removal."""
+        ordered = sorted(self._heap, key=lambda e: (-e[0], e[1]))
+        return [(item, priority) for priority, _, item in ordered[:k]]
+
+    def remove(self, item: Hashable) -> float:
+        """Remove an arbitrary item, returning its priority."""
+        idx = self._pos.pop(item)
+        priority = self._heap[idx][0]
+        last = self._heap.pop()
+        if idx < len(self._heap):
+            self._heap[idx] = last
+            self._pos[last[2]] = idx
+            self._sift_down(idx)
+            self._sift_up(idx)
+        return priority
+
+    def priority_of(self, item: Hashable) -> float:
+        return self._heap[self._pos[item]][0]
+
+    def items(self) -> Iterator[tuple[Hashable, float]]:
+        """All entries in descending priority order (non-destructive)."""
+        ordered = sorted(self._heap, key=lambda e: (-e[0], e[1]))
+        for priority, _, item in ordered:
+            yield (item, priority)
+
+    def total_priority(self) -> float:
+        """Sum of all priorities (used for the unsearched-share termination test)."""
+        return sum(p for p, _, _ in self._heap)
+
+    def check_invariants(self) -> None:
+        """Assert heap order and index consistency (for property tests)."""
+        for idx in range(1, len(self._heap)):
+            parent = (idx - 1) // 2
+            assert not self._less(parent, idx), "heap property violated"
+        assert len(self._pos) == len(self._heap), "index size mismatch"
+        for item, idx in self._pos.items():
+            assert self._heap[idx][2] == item, "index points at wrong slot"

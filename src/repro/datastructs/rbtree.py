@@ -1,0 +1,380 @@
+"""Red-black tree keyed by integer (start address), with floor lookup.
+
+Used by :class:`repro.memory.object_map.ObjectMap` to track heap blocks: the
+block set changes as the simulated application allocates and frees memory,
+which is exactly why the paper chose a balanced tree over the sorted array
+it uses for static variables.
+
+The tree maps ``key -> value`` and supports:
+
+* ``insert(key, value)`` / ``delete(key)`` — O(log n) with rebalancing,
+* ``floor(key)`` — the entry with the largest key <= ``key`` (address
+  containment checks look up the floor of an address, then test the block's
+  extent),
+* in-order iteration, ``min_key``/``max_key``,
+* ``probe_count`` accounting so the instrumentation cost model can charge
+  virtual cycles per node visited,
+* ``check_invariants()`` used by the property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+RED = 0
+BLACK = 1
+
+
+class _Node:
+    __slots__ = ("key", "value", "color", "left", "right", "parent")
+
+    def __init__(self, key: int, value: Any, color: int, nil: "_Node") -> None:
+        self.key = key
+        self.value = value
+        self.color = color
+        self.left = nil
+        self.right = nil
+        self.parent = nil
+
+
+class RedBlackTree:
+    """A classic CLRS-style red-black tree with a shared sentinel nil node."""
+
+    def __init__(self) -> None:
+        self._nil = _Node.__new__(_Node)
+        self._nil.key = 0
+        self._nil.value = None
+        self._nil.color = BLACK
+        self._nil.left = self._nil
+        self._nil.right = self._nil
+        self._nil.parent = self._nil
+        self._root = self._nil
+        self._size = 0
+        #: Number of node visits since the last reset; consumed by the
+        #: instrumentation cost model (cycles per probe).
+        self.probe_count = 0
+
+    # ------------------------------------------------------------------ size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def reset_probe_count(self) -> int:
+        """Return and clear the accumulated probe count."""
+        count = self.probe_count
+        self.probe_count = 0
+        return count
+
+    # --------------------------------------------------------------- rotation
+
+    def _left_rotate(self, x: _Node) -> None:
+        y = x.right
+        x.right = y.left
+        if y.left is not self._nil:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _right_rotate(self, x: _Node) -> None:
+        y = x.left
+        x.left = y.right
+        if y.right is not self._nil:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    # ----------------------------------------------------------------- insert
+
+    def insert(self, key: int, value: Any) -> None:
+        """Insert ``key -> value``; an existing key has its value replaced."""
+        parent = self._nil
+        node = self._root
+        while node is not self._nil:
+            self.probe_count += 1
+            parent = node
+            if key == node.key:
+                node.value = value
+                return
+            node = node.left if key < node.key else node.right
+        fresh = _Node(key, value, RED, self._nil)
+        fresh.parent = parent
+        if parent is self._nil:
+            self._root = fresh
+        elif key < parent.key:
+            parent.left = fresh
+        else:
+            parent.right = fresh
+        self._size += 1
+        self._insert_fixup(fresh)
+
+    def _insert_fixup(self, z: _Node) -> None:
+        while z.parent.color == RED:
+            if z.parent is z.parent.parent.left:
+                uncle = z.parent.parent.right
+                if uncle.color == RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    z.parent.parent.color = RED
+                    z = z.parent.parent
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._left_rotate(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._right_rotate(z.parent.parent)
+            else:
+                uncle = z.parent.parent.left
+                if uncle.color == RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    z.parent.parent.color = RED
+                    z = z.parent.parent
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._right_rotate(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._left_rotate(z.parent.parent)
+        self._root.color = BLACK
+
+    # ----------------------------------------------------------------- delete
+
+    def _find(self, key: int) -> _Node:
+        node = self._root
+        while node is not self._nil:
+            self.probe_count += 1
+            if key == node.key:
+                return node
+            node = node.left if key < node.key else node.right
+        return self._nil
+
+    def _transplant(self, u: _Node, v: _Node) -> None:
+        if u.parent is self._nil:
+            self._root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        v.parent = u.parent
+
+    def _minimum(self, node: _Node) -> _Node:
+        while node.left is not self._nil:
+            self.probe_count += 1
+            node = node.left
+        return node
+
+    def delete(self, key: int) -> Any:
+        """Remove ``key`` and return its value; KeyError if absent."""
+        z = self._find(key)
+        if z is self._nil:
+            raise KeyError(key)
+        removed_value = z.value
+        y = z
+        y_original_color = y.color
+        if z.left is self._nil:
+            x = z.right
+            self._transplant(z, z.right)
+        elif z.right is self._nil:
+            x = z.left
+            self._transplant(z, z.left)
+        else:
+            y = self._minimum(z.right)
+            y_original_color = y.color
+            x = y.right
+            if y.parent is z:
+                x.parent = y
+            else:
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+        if y_original_color == BLACK:
+            self._delete_fixup(x)
+        self._size -= 1
+        return removed_value
+
+    def _delete_fixup(self, x: _Node) -> None:
+        while x is not self._root and x.color == BLACK:
+            if x is x.parent.left:
+                w = x.parent.right
+                if w.color == RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._left_rotate(x.parent)
+                    w = x.parent.right
+                if w.left.color == BLACK and w.right.color == BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.right.color == BLACK:
+                        w.left.color = BLACK
+                        w.color = RED
+                        self._right_rotate(w)
+                        w = x.parent.right
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.right.color = BLACK
+                    self._left_rotate(x.parent)
+                    x = self._root
+            else:
+                w = x.parent.left
+                if w.color == RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._right_rotate(x.parent)
+                    w = x.parent.left
+                if w.right.color == BLACK and w.left.color == BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.left.color == BLACK:
+                        w.right.color = BLACK
+                        w.color = RED
+                        self._left_rotate(w)
+                        w = x.parent.left
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.left.color = BLACK
+                    self._right_rotate(x.parent)
+                    x = self._root
+        x.color = BLACK
+
+    # ---------------------------------------------------------------- queries
+
+    def get(self, key: int, default: Any = None) -> Any:
+        """Exact-key lookup."""
+        node = self._find(key)
+        return default if node is self._nil else node.value
+
+    def __contains__(self, key: int) -> bool:
+        return self._find(key) is not self._nil
+
+    def floor(self, key: int) -> tuple[int, Any] | None:
+        """Entry with the largest key <= ``key``, or None.
+
+        This is the primitive behind address->heap-block containment: look up
+        ``floor(addr)`` and then check whether the block extends past ``addr``.
+        """
+        node = self._root
+        best: _Node | None = None
+        while node is not self._nil:
+            self.probe_count += 1
+            if node.key == key:
+                return (node.key, node.value)
+            if node.key < key:
+                best = node
+                node = node.right
+            else:
+                node = node.left
+        if best is None:
+            return None
+        return (best.key, best.value)
+
+    def ceiling(self, key: int) -> tuple[int, Any] | None:
+        """Entry with the smallest key >= ``key``, or None."""
+        node = self._root
+        best: _Node | None = None
+        while node is not self._nil:
+            self.probe_count += 1
+            if node.key == key:
+                return (node.key, node.value)
+            if node.key > key:
+                best = node
+                node = node.left
+            else:
+                node = node.right
+        if best is None:
+            return None
+        return (best.key, best.value)
+
+    def min_key(self) -> int | None:
+        if self._root is self._nil:
+            return None
+        return self._minimum(self._root).key
+
+    def max_key(self) -> int | None:
+        node = self._root
+        if node is self._nil:
+            return None
+        while node.right is not self._nil:
+            node = node.right
+        return node.key
+
+    def items(self) -> Iterator[tuple[int, Any]]:
+        """In-order (sorted by key) iteration over ``(key, value)`` pairs."""
+        stack: list[_Node] = []
+        node = self._root
+        while stack or node is not self._nil:
+            while node is not self._nil:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield (node.key, node.value)
+            node = node.right
+
+    def keys(self) -> list[int]:
+        return [k for k, _ in self.items()]
+
+    def values(self) -> list[Any]:
+        return [v for _, v in self.items()]
+
+    def range_items(self, lo: int, hi: int) -> Iterator[tuple[int, Any]]:
+        """Entries with ``lo <= key < hi`` in sorted order."""
+        for key, value in self.items():
+            if key >= hi:
+                break
+            if key >= lo:
+                yield (key, value)
+
+    # ------------------------------------------------------------- validation
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if any red-black invariant is violated.
+
+        Checked: root is black; no red node has a red child; every
+        root-to-leaf path has the same black height; keys are in BST order.
+        Used heavily by the hypothesis test-suite.
+        """
+        assert self._root.color == BLACK, "root must be black"
+        assert self._nil.color == BLACK, "sentinel must be black"
+
+        def walk(node: _Node, lo: int | None, hi: int | None) -> int:
+            if node is self._nil:
+                return 1
+            if lo is not None:
+                assert node.key > lo, "BST order violated (left bound)"
+            if hi is not None:
+                assert node.key < hi, "BST order violated (right bound)"
+            if node.color == RED:
+                assert node.left.color == BLACK and node.right.color == BLACK, (
+                    "red node with red child"
+                )
+            left_black = walk(node.left, lo, node.key)
+            right_black = walk(node.right, node.key, hi)
+            assert left_black == right_black, "black-height mismatch"
+            return left_black + (1 if node.color == BLACK else 0)
+
+        walk(self._root, None, None)
+        assert self._size == sum(1 for _ in self.items()), "size mismatch"

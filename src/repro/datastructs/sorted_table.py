@@ -1,0 +1,121 @@
+"""Sorted-array map for static/global variable extents.
+
+The paper keeps variable extents "in a sorted array" because the set of
+globals and statics is fixed once the binary is loaded, so O(n) insertion
+during startup is paid once and every lookup afterwards is a cheap binary
+search. Lookups count probes so the instrumentation cost model can convert
+them into virtual cycles and cache references.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+
+class SortedTable:
+    """A sorted ``key -> value`` table with floor/ceiling binary search."""
+
+    def __init__(self) -> None:
+        self._keys: list[int] = []
+        self._values: list[Any] = []
+        self._frozen = False
+        #: Binary-search probes since last reset (for the cost model).
+        self.probe_count = 0
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __bool__(self) -> bool:
+        return bool(self._keys)
+
+    def reset_probe_count(self) -> int:
+        count = self.probe_count
+        self.probe_count = 0
+        return count
+
+    def freeze(self) -> None:
+        """Forbid further insertion (the variable set is fixed after load)."""
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def insert(self, key: int, value: Any) -> None:
+        """Insert an entry; replaces the value of an existing key."""
+        if self._frozen:
+            raise RuntimeError("table is frozen; static variables cannot be added at runtime")
+        idx = bisect.bisect_left(self._keys, key)
+        if idx < len(self._keys) and self._keys[idx] == key:
+            self._values[idx] = value
+        else:
+            self._keys.insert(idx, key)
+            self._values.insert(idx, value)
+
+    def delete(self, key: int) -> Any:
+        if self._frozen:
+            raise RuntimeError("table is frozen")
+        idx = bisect.bisect_left(self._keys, key)
+        if idx >= len(self._keys) or self._keys[idx] != key:
+            raise KeyError(key)
+        self._keys.pop(idx)
+        return self._values.pop(idx)
+
+    def get(self, key: int, default: Any = None) -> Any:
+        idx = self._bisect(key)
+        if idx < len(self._keys) and self._keys[idx] == key:
+            return self._values[idx]
+        return default
+
+    def __contains__(self, key: int) -> bool:
+        idx = self._bisect(key)
+        return idx < len(self._keys) and self._keys[idx] == key
+
+    def _bisect(self, key: int) -> int:
+        # Count ~log2(n) probes, matching what real binary-search
+        # instrumentation code would touch.
+        n = len(self._keys)
+        probes = 0
+        while (1 << probes) < n + 1:
+            probes += 1
+        self.probe_count += max(1, probes)
+        return bisect.bisect_left(self._keys, key)
+
+    def floor(self, key: int) -> tuple[int, Any] | None:
+        """Entry with the largest key <= ``key``, or None."""
+        idx = self._bisect(key)
+        if idx < len(self._keys) and self._keys[idx] == key:
+            return (self._keys[idx], self._values[idx])
+        if idx == 0:
+            return None
+        return (self._keys[idx - 1], self._values[idx - 1])
+
+    def ceiling(self, key: int) -> tuple[int, Any] | None:
+        """Entry with the smallest key >= ``key``, or None."""
+        idx = self._bisect(key)
+        if idx >= len(self._keys):
+            return None
+        return (self._keys[idx], self._values[idx])
+
+    def min_key(self) -> int | None:
+        return self._keys[0] if self._keys else None
+
+    def max_key(self) -> int | None:
+        return self._keys[-1] if self._keys else None
+
+    def items(self) -> Iterator[tuple[int, Any]]:
+        return iter(zip(self._keys, self._values))
+
+    def keys(self) -> list[int]:
+        return list(self._keys)
+
+    def values(self) -> list[Any]:
+        return list(self._values)
+
+    def range_items(self, lo: int, hi: int) -> Iterator[tuple[int, Any]]:
+        """Entries with ``lo <= key < hi`` in sorted order."""
+        start = bisect.bisect_left(self._keys, lo)
+        stop = bisect.bisect_left(self._keys, hi)
+        for idx in range(start, stop):
+            yield (self._keys[idx], self._values[idx])

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without masking programming errors
+(``TypeError``/``ValueError`` raised by misuse are still plain built-ins
+where that is the idiomatic choice).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AddressSpaceError(ReproError):
+    """Raised for invalid segment layouts or out-of-segment addresses."""
+
+
+class AllocationError(AddressSpaceError):
+    """Raised when the simulated heap cannot satisfy an allocation."""
+
+
+class ObjectMapError(ReproError):
+    """Raised for inconsistent object registrations (overlaps, unknown frees)."""
+
+
+class CacheConfigError(ReproError):
+    """Raised for invalid cache geometries (non-power-of-two sizes, etc.)."""
+
+
+class CounterError(ReproError):
+    """Raised for invalid hardware-counter programming."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulation engine reaches an inconsistent state."""
+
+
+class SearchError(ReproError):
+    """Raised when the n-way search is configured or driven incorrectly."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload parameters."""
+
+
+class TraceError(ReproError):
+    """Raised for malformed trace files."""

@@ -1,0 +1,65 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each driver takes an :class:`ExperimentRunner` (which caches baseline
+runs), executes the measurement configurations the paper used, and
+returns an :class:`ExperimentReport` holding both a rendered table and
+the raw values, so benchmarks can print the paper-style artifact and
+tests can assert on the shapes (who wins, by what factor, where the
+crossovers fall).
+"""
+
+from repro.experiments.records import (
+    PAPER_FIG3_NOTES,
+    PAPER_FIG4_NOTES,
+    PAPER_TABLE1,
+    PAPER_TABLE2_TWO_WAY,
+    ExperimentReport,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.resonance import run_resonance
+from repro.experiments.ablations import (
+    run_alignment_ablation,
+    run_multiplex_ablation,
+    run_phase_heuristic_ablation,
+    run_policy_ablation,
+)
+from repro.experiments.mrc import run_mrc
+from repro.experiments.sweep import run_geometry_sweep
+from repro.experiments.extensions import (
+    run_continuation,
+    run_hierarchy,
+    run_prefetch_ablation,
+    run_skid_ablation,
+)
+
+__all__ = [
+    "ExperimentRunner",
+    "ExperimentReport",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2_TWO_WAY",
+    "PAPER_FIG3_NOTES",
+    "PAPER_FIG4_NOTES",
+    "run_table1",
+    "run_table2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig2",
+    "run_resonance",
+    "run_alignment_ablation",
+    "run_phase_heuristic_ablation",
+    "run_multiplex_ablation",
+    "run_policy_ablation",
+    "run_skid_ablation",
+    "run_continuation",
+    "run_hierarchy",
+    "run_prefetch_ablation",
+    "run_mrc",
+    "run_geometry_sweep",
+]

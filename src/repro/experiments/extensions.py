@@ -1,0 +1,209 @@
+"""Extension experiments: features beyond the published evaluation.
+
+* **skid** — sampling accuracy as the reported miss address lags the
+  triggering event (the imprecise-counter reality section 2.1 warns
+  about; the paper assumes a precise Itanium-style register = skid 0).
+* **continuation** — the section 6 proposal: re-search set-aside regions
+  after reporting a batch, lifting the n-1 result cap.
+* **hierarchy** — the techniques driven by L2 misses behind a filtering
+  L1, the configuration a real last-level-cache HPM would present.
+* **prefetch** — a next-line prefetcher removes many sequential misses;
+  do the rankings survive?
+"""
+
+from __future__ import annotations
+
+from repro.cache import CacheConfig
+from repro.core.report import max_share_error
+from repro.core.sampling import PeriodSchedule, SamplingProfiler
+from repro.core.search import NWaySearch
+from repro.experiments.records import ExperimentReport
+from repro.experiments.runner import ExperimentRunner
+from repro.sim.engine import Simulator
+from repro.util.format import Table, render_table
+from repro.util.units import fmt_pct
+
+
+def run_skid_ablation(
+    runner: ExperimentRunner,
+    app: str = "su2cor",
+    skids: tuple[int, ...] = (0, 1, 4, 16),
+) -> ExperimentReport:
+    """Sampling accuracy vs interrupt skid."""
+    actual = runner.baseline(app).actual
+    period = runner.scaled_sampling_period(app)
+    table = Table(
+        ["skid (misses)", "top object", "top share est %", "max share error %"],
+        title=f"Extension: sampling skid on {app}",
+    )
+    values: dict = {"actual": actual.as_dict(), "period": period}
+    for skid in skids:
+        tool = SamplingProfiler(
+            period=period,
+            schedule=PeriodSchedule.PRIME,
+            seed=runner.config.seed,
+            skid=skid,
+        )
+        run = runner.simulator.run(runner.make(app), tool=tool)
+        err = max_share_error(actual, run.measured)
+        top = run.measured.names()[0] if len(run.measured) else "-"
+        table.add_row([skid, top, fmt_pct(run.measured.share_of(top)), fmt_pct(err)])
+        values[f"skid_{skid}"] = {
+            "top": top,
+            "max_error": err,
+            "measured": run.measured.as_dict(),
+        }
+    notes = [
+        "expected: attribution degrades gracefully — consecutive misses "
+        "usually stay within one large object, so small skids barely move "
+        "the shares; the top object survives even large skids",
+    ]
+    return ExperimentReport(
+        experiment="ext-skid", table=render_table(table), values=values, notes=notes
+    )
+
+
+def run_continuation(
+    runner: ExperimentRunner,
+    app: str = "su2cor",
+    n: int = 4,
+    rounds: int = 3,
+) -> ExperimentReport:
+    """Search continuation: objects reported with and without re-search."""
+    base = runner.baseline(app)
+    interval = max(10_000, base.stats.app_cycles // 70)
+    plain = runner.with_search(app, n=n, interval_cycles=interval)
+    cont = runner.with_search(
+        app, n=n, interval_cycles=interval, continuation_rounds=rounds,
+        estimate_rounds=4,
+    )
+    actual = base.actual
+    table = Table(
+        ["variant", "objects found", "batches", "top-5 coverage"],
+        title=f"Extension: {n}-way search continuation on {app}",
+    )
+    values: dict = {"actual": actual.as_dict()}
+    top5 = [s.name for s in actual.top(5)]
+    for label, run in (("single batch (paper)", plain), (f"+{rounds} rounds", cont)):
+        found = run.measured.names()
+        coverage = sum(1 for nm in top5 if nm in found) / len(top5)
+        table.add_row(
+            [label, len(found), run.measured.meta["batches"], f"{coverage:.2f}"]
+        )
+        values[label] = {"found": found, "coverage": coverage}
+    notes = [
+        f"a {n}-way search reports at most {n - 1} objects per batch; "
+        "continuation (paper section 6) lifts the cap by retiring each "
+        "batch and re-searching the remaining queue",
+    ]
+    return ExperimentReport(
+        experiment="ext-continuation",
+        table=render_table(table),
+        values=values,
+        notes=notes,
+    )
+
+
+def run_hierarchy(
+    runner: ExperimentRunner,
+    app: str = "mgrid",
+) -> ExperimentReport:
+    """Profiling behind an L1 filter: do L2-miss rankings match?"""
+    single = runner.baseline(app)
+    cfg = runner.config.cache
+    l1 = CacheConfig(size=cfg.size // 16, line_size=cfg.line_size, assoc=2)
+    hier_sim = Simulator(
+        cache_config=cfg, l1_config=l1, seed=runner.config.seed
+    )
+    hier_base = hier_sim.run(runner.make(app))
+    period = max(16, hier_base.stats.app_misses // runner.config.target_samples)
+    sampled = hier_sim.run(
+        runner.make(app),
+        tool=SamplingProfiler(
+            period=period, schedule=PeriodSchedule.PRIME, seed=runner.config.seed
+        ),
+    )
+    table = Table(
+        ["object", "single-level actual %", "L2 actual %", "L2 sampled %"],
+        title=f"Extension: profiling through an L1+L2 hierarchy ({app})",
+    )
+    values: dict = {
+        "single_misses": single.stats.app_misses,
+        "l2_misses": hier_base.stats.app_misses,
+    }
+    for share in single.actual.top(5):
+        table.add_row(
+            [
+                share.name,
+                fmt_pct(share.share),
+                fmt_pct(hier_base.actual.share_of(share.name)),
+                fmt_pct(sampled.measured.share_of(share.name)),
+            ]
+        )
+    values["single_actual"] = single.actual.as_dict()
+    values["l2_actual"] = hier_base.actual.as_dict()
+    values["l2_sampled"] = sampled.measured.as_dict()
+    notes = [
+        "the L1 filters hits, not (streaming) misses, so per-object L2 "
+        "shares track the single-level shares and sampling on L2 misses "
+        "finds the same bottlenecks a single-level monitor would",
+    ]
+    return ExperimentReport(
+        experiment="ext-hierarchy",
+        table=render_table(table),
+        values=values,
+        notes=notes,
+    )
+
+
+def run_prefetch_ablation(
+    runner: ExperimentRunner,
+    app: str = "tomcatv",
+) -> ExperimentReport:
+    """Rankings with a next-line prefetcher absorbing sequential misses."""
+    plain = runner.baseline(app)
+    pf_sim = Simulator(
+        cache_config=runner.config.cache,
+        prefetch_next_line=True,
+        seed=runner.config.seed,
+    )
+    pf_base = pf_sim.run(runner.make(app))
+    period = max(16, pf_base.stats.app_misses // runner.config.target_samples)
+    sampled = pf_sim.run(
+        runner.make(app),
+        tool=SamplingProfiler(
+            period=period, schedule=PeriodSchedule.PRIME, seed=runner.config.seed
+        ),
+    )
+    table = Table(
+        ["object", "no-prefetch actual %", "prefetch actual %", "prefetch sampled %"],
+        title=f"Extension: next-line prefetch ({app})",
+    )
+    for share in plain.actual.top(5):
+        table.add_row(
+            [
+                share.name,
+                fmt_pct(share.share),
+                fmt_pct(pf_base.actual.share_of(share.name)),
+                fmt_pct(sampled.measured.share_of(share.name)),
+            ]
+        )
+    values = {
+        "misses_without": plain.stats.app_misses,
+        "misses_with": pf_base.stats.app_misses,
+        "plain_actual": plain.actual.as_dict(),
+        "prefetch_actual": pf_base.actual.as_dict(),
+        "prefetch_sampled": sampled.measured.as_dict(),
+    }
+    notes = [
+        f"prefetch removed {1 - pf_base.stats.app_misses / plain.stats.app_misses:.0%} "
+        "of misses; expected: per-object shares (and therefore rankings) "
+        "change little, since next-line prefetch thins every streaming "
+        "array about equally",
+    ]
+    return ExperimentReport(
+        experiment="ext-prefetch",
+        table=render_table(table),
+        values=values,
+        notes=notes,
+    )

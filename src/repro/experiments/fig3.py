@@ -1,0 +1,64 @@
+"""Experiment E3 — Figure 3: increase in cache misses due to instrumentation.
+
+Each application runs uninstrumented, under the 10-way search, and under
+sampling at the paper's period ladder (1-in-1,000 ... 1-in-1,000,000
+misses). Every run executes the same number of application references
+("the same number of application instructions" in the paper); the metric
+is the percentage increase in total cache misses over the baseline,
+which combines the instrumentation's own misses and the application
+misses its cache pollution causes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.records import PAPER_FIG3_NOTES, ExperimentReport
+from repro.experiments.runner import ExperimentRunner
+from repro.util.charts import hbar_chart
+from repro.util.format import Table, render_table
+
+
+def run_fig3(
+    runner: ExperimentRunner,
+    apps: list[str] | None = None,
+) -> ExperimentReport:
+    apps = apps or runner.apps()
+    periods = runner.overhead_periods()
+    headers = ["app", "baseline misses", "search"] + [
+        f"sample(1/{p})" for p in periods
+    ]
+    table = Table(headers, title="Figure 3: % increase in cache misses (log scale in paper)")
+    values: dict = {}
+    for app in apps:
+        base = runner.baseline(app)
+        max_refs = base.stats.app_refs
+        row: list[object] = [app, base.stats.app_misses]
+        app_values: dict = {"baseline_misses": base.stats.app_misses}
+
+        search = runner.with_search(app, n=10, max_refs=max_refs)
+        increase = search.stats.miss_increase_vs(base.stats)
+        row.append(f"{100 * increase:.4f}%")
+        app_values["search"] = increase
+
+        for period in periods:
+            run = runner.with_sampling(app, period=period, max_refs=max_refs)
+            increase = run.stats.miss_increase_vs(base.stats)
+            row.append(f"{100 * increase:.4f}%")
+            app_values[f"sample_{period}"] = increase
+        table.add_row(row)
+        values[app] = app_values
+    chart = hbar_chart(
+        apps,
+        {
+            key: [100 * values[app].get(key, 0.0) for app in apps]
+            for key in ["search"] + [f"sample_{p}" for p in periods]
+        },
+        log=True,
+        unit="%",
+        title="Figure 3 (chart): % increase in cache misses",
+    )
+    return ExperimentReport(
+        experiment="fig3",
+        table=render_table(table) + "\n\n" + chart,
+        values=values,
+        notes=["paper-reported shape: " + "; ".join(PAPER_FIG3_NOTES)],
+    )

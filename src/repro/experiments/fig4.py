@@ -1,0 +1,95 @@
+"""Experiment E4 — Figure 4 and section 3.3: instrumentation cost.
+
+The same configuration matrix as Figure 3, but the metric is slowdown:
+instrumentation cycles (handler execution + the 8,800-cycle interrupt
+delivery) over application cycles, for the same number of application
+references. Also reports the section 3.3 diagnostics: mean cycles per
+interrupt and interrupts per billion cycles.
+
+Scaling note: our runs are ~10^8 virtual cycles, not the paper's tens of
+billions, so the search's *fixed* number of iterations amortises over far
+less work and its percentage slowdown is inflated relative to the paper;
+the per-interrupt cost and interrupt-rate columns are the
+scale-independent quantities to compare (the paper's own framing in
+section 3.3).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.records import PAPER_FIG4_NOTES, ExperimentReport
+from repro.experiments.runner import ExperimentRunner
+from repro.util.charts import hbar_chart
+from repro.util.format import Table, render_table
+
+
+def run_fig4(
+    runner: ExperimentRunner,
+    apps: list[str] | None = None,
+) -> ExperimentReport:
+    apps = apps or runner.apps()
+    periods = runner.overhead_periods()
+    headers = ["app", "metric", "search"] + [f"sample(1/{p})" for p in periods]
+    table = Table(headers, title="Figure 4: % slowdown due to instrumentation")
+    values: dict = {}
+    for app in apps:
+        base = runner.baseline(app)
+        max_refs = base.stats.app_refs
+        runs = {"search": runner.with_search(app, n=10, max_refs=max_refs)}
+        for period in periods:
+            runs[f"sample_{period}"] = runner.with_sampling(
+                app, period=period, max_refs=max_refs
+            )
+
+        slow_row: list[object] = [app, "slowdown %"]
+        cyc_row: list[object] = ["", "cycles/interrupt"]
+        rate_row: list[object] = ["", "interrupts/Gcycle"]
+        extrap_row: list[object] = ["", "slowdown @ paper scale"]
+        app_values: dict = {}
+        for key, run in runs.items():
+            stats = run.stats
+            slow_row.append(f"{100 * stats.slowdown:.4f}%")
+            cyc_row.append(f"{stats.interrupts.mean_cycles():,.0f}")
+            rate_row.append(f"{stats.interrupts_per_gcycle():,.1f}")
+            # What the same tool would cost on a paper-length (tens of
+            # Gcycles) run: sampling interrupt count scales with run
+            # length, so its %% slowdown is scale-free; the search runs a
+            # *fixed* number of iterations regardless of run length, so
+            # its cost amortises toward zero.
+            if key == "search":
+                extrap = stats.interrupts.total_cycles / 25e9
+            else:
+                extrap = stats.slowdown
+            extrap_row.append(f"{100 * extrap:.4f}%")
+            app_values[key] = {
+                "slowdown": stats.slowdown,
+                "slowdown_paper_scale": (
+                    stats.interrupts.total_cycles / 25e9
+                    if key == "search"
+                    else stats.slowdown
+                ),
+                "cycles_per_interrupt": stats.interrupts.mean_cycles(),
+                "interrupts_per_gcycle": stats.interrupts_per_gcycle(),
+                "n_interrupts": len(stats.interrupts),
+            }
+        table.add_row(slow_row)
+        table.add_row(cyc_row)
+        table.add_row(rate_row)
+        table.add_row(extrap_row)
+        table.add_separator()
+        values[app] = app_values
+    chart = hbar_chart(
+        apps,
+        {
+            key: [100 * values[app][key]["slowdown"] for app in apps]
+            for key in ["search"] + [f"sample_{p}" for p in periods]
+        },
+        log=True,
+        unit="%",
+        title="Figure 4 (chart): % slowdown",
+    )
+    return ExperimentReport(
+        experiment="fig4",
+        table=render_table(table) + "\n\n" + chart,
+        values=values,
+        notes=["paper-reported shape: " + "; ".join(PAPER_FIG4_NOTES)],
+    )

@@ -1,0 +1,33 @@
+"""Simulated hardware performance-monitor support.
+
+Models the counter features the paper's techniques assume (section 2): a
+cache-miss counter that can raise an interrupt after a programmable number
+of misses, a register reporting the address of the last cache miss
+(Itanium-style), and a bank of miss counters qualified by base/bounds
+registers so that "cache misses within regions of memory are counted".
+A multiplexing adapter emulates the bank by time-sharing one physical
+conditional counter, the fallback the paper suggests for processors with
+only a single qualified counter.
+"""
+
+from repro.hpm.registers import BaseBoundsRegister
+from repro.hpm.counters import MissCounter, RegionCounterBank
+from repro.hpm.interrupts import CostModel, InterruptKind, InterruptRecord
+from repro.hpm.monitor import PerformanceMonitor
+from repro.hpm.multiplex import MultiplexedRegionBank
+from repro.hpm.presets import PRESETS, PmuPreset, get_preset, technique_support
+
+__all__ = [
+    "BaseBoundsRegister",
+    "MissCounter",
+    "RegionCounterBank",
+    "CostModel",
+    "InterruptKind",
+    "InterruptRecord",
+    "PerformanceMonitor",
+    "MultiplexedRegionBank",
+    "PmuPreset",
+    "PRESETS",
+    "get_preset",
+    "technique_support",
+]

@@ -1,0 +1,130 @@
+"""Cache-miss counters, optionally qualified by base/bounds registers.
+
+``MissCounter`` is one hardware counter; ``RegionCounterBank`` is the fixed
+bank of conditional counters the n-way search programs (the paper assumes
+"a number of cache miss counters are available, each with its own
+associated set of base and bounds registers").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CounterError
+from repro.hpm.registers import BaseBoundsRegister
+from repro.util.intervals import Interval
+
+
+class MissCounter:
+    """A single miss counter with optional region qualifier and overflow.
+
+    ``overflow_after`` arms the counter to report overflow once ``value``
+    reaches the threshold; the engine converts that report into an
+    interrupt at the precise triggering miss (see the engine's use of
+    ``miss_budget``).
+    """
+
+    def __init__(self, name: str = "counter") -> None:
+        self.name = name
+        self.register = BaseBoundsRegister()
+        self.value = 0
+        self._threshold: int | None = None
+        self.enabled = True
+
+    def program_region(self, region: Interval | None) -> None:
+        self.register.program(region)
+
+    @property
+    def region(self) -> Interval | None:
+        return self.register.region
+
+    def arm_overflow(self, threshold: int) -> None:
+        """Interrupt after ``threshold`` further qualified misses."""
+        if threshold <= 0:
+            raise CounterError(f"overflow threshold must be positive, got {threshold}")
+        self._threshold = self.value + threshold
+
+    def disarm(self) -> None:
+        self._threshold = None
+
+    @property
+    def armed(self) -> bool:
+        return self._threshold is not None
+
+    def misses_until_overflow(self) -> int | None:
+        """Remaining qualified misses before overflow (None if disarmed)."""
+        if self._threshold is None:
+            return None
+        return max(0, self._threshold - self.value)
+
+    @property
+    def overflowed(self) -> bool:
+        return self._threshold is not None and self.value >= self._threshold
+
+    def observe(self, miss_addrs: np.ndarray) -> int:
+        """Accumulate qualified misses from a chunk; returns the increment."""
+        if not self.enabled or len(miss_addrs) == 0:
+            return 0
+        increment = self.register.match_count(miss_addrs)
+        self.value += increment
+        return increment
+
+    def read_and_clear(self) -> int:
+        value = self.value
+        self.value = 0
+        return value
+
+    def clear(self) -> None:
+        self.value = 0
+
+
+class RegionCounterBank:
+    """A fixed-size bank of region-qualified miss counters.
+
+    The bank size models the hardware limit: an n-way search needs n of
+    these (plus the separate global counter), which is exactly the resource
+    trade-off section 3.4 of the paper studies.
+    """
+
+    def __init__(self, n_counters: int) -> None:
+        if n_counters <= 0:
+            raise CounterError("bank needs at least one counter")
+        self.counters = [MissCounter(name=f"region{i}") for i in range(n_counters)]
+
+    def __len__(self) -> int:
+        return len(self.counters)
+
+    def __getitem__(self, idx: int) -> MissCounter:
+        return self.counters[idx]
+
+    def program(self, assignments: list[Interval | None]) -> None:
+        """Program regions counter-by-counter; extra counters are disabled.
+
+        Raises :class:`CounterError` if more regions than counters are
+        requested — the hardware has no more registers to give.
+        """
+        if len(assignments) > len(self.counters):
+            raise CounterError(
+                f"{len(assignments)} regions requested but bank has "
+                f"{len(self.counters)} counters"
+            )
+        for i, counter in enumerate(self.counters):
+            if i < len(assignments):
+                counter.program_region(assignments[i])
+                counter.enabled = True
+            else:
+                counter.program_region(None)
+                counter.enabled = False
+            counter.clear()
+
+    def observe(self, miss_addrs: np.ndarray) -> None:
+        for counter in self.counters:
+            counter.observe(miss_addrs)
+
+    def read_all(self) -> list[int]:
+        """Current values of the enabled counters (in bank order)."""
+        return [c.value for c in self.counters if c.enabled]
+
+    def clear_all(self) -> None:
+        for counter in self.counters:
+            counter.clear()

@@ -1,0 +1,84 @@
+"""The performance-monitor facade the simulation engine programs.
+
+One :class:`PerformanceMonitor` bundles the counter resources a technique
+needs:
+
+* ``overflow_counter`` — an unqualified miss counter with programmable
+  overflow threshold (sampling arms this),
+* ``last_miss_addr`` — the Itanium-style register reporting the address of
+  the most recent cache miss,
+* ``global_counter`` — unqualified total-miss counter (the search's
+  denominator),
+* ``regions`` — a :class:`RegionCounterBank` of base/bounds-qualified
+  counters (the search's n counters), optionally replaced by a
+  time-multiplexed emulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hpm.counters import MissCounter, RegionCounterBank
+from repro.hpm.multiplex import MultiplexedRegionBank
+
+
+class PerformanceMonitor:
+    """Simulated HPM state shared between the engine and the techniques."""
+
+    def __init__(
+        self,
+        n_region_counters: int = 10,
+        multiplexed: bool = False,
+        multiplex_slice_misses: int = 512,
+    ) -> None:
+        self.overflow_counter = MissCounter(name="overflow")
+        self.global_counter = MissCounter(name="global")
+        if multiplexed:
+            self.regions: RegionCounterBank = MultiplexedRegionBank(
+                n_region_counters, slice_misses=multiplex_slice_misses
+            )
+        else:
+            self.regions = RegionCounterBank(n_region_counters)
+        self.last_miss_addr: int | None = None
+        #: The most recent miss addresses (newest last), kept so tools can
+        #: model sampling *skid*: real counter-overflow interrupts often
+        #: report an address several misses older than the triggering one.
+        self.recent_miss_addrs: list[int] = []
+        self.recent_depth = 16
+        self.total_misses_observed = 0
+
+    def observe(self, miss_addrs: np.ndarray) -> None:
+        """Feed a chunk of miss addresses to every counter resource.
+
+        The engine guarantees (via the cache's ``miss_budget``) that when
+        the overflow counter crosses its threshold, the final element of
+        ``miss_addrs`` is the triggering miss, so ``last_miss_addr`` is
+        exactly the address the hardware would report.
+        """
+        if len(miss_addrs) == 0:
+            return
+        self.overflow_counter.observe(miss_addrs)
+        self.global_counter.observe(miss_addrs)
+        self.regions.observe(miss_addrs)
+        self.last_miss_addr = int(miss_addrs[-1])
+        tail = miss_addrs[-self.recent_depth :]
+        self.recent_miss_addrs.extend(int(a) for a in tail)
+        del self.recent_miss_addrs[: -self.recent_depth]
+        self.total_misses_observed += len(miss_addrs)
+
+    def miss_addr_with_skid(self, skid: int) -> int | None:
+        """The address ``skid`` misses before the most recent one (0 = the
+        last miss itself). Returns the oldest known address if the ring is
+        shallower than ``skid``."""
+        if not self.recent_miss_addrs:
+            return self.last_miss_addr
+        idx = max(0, len(self.recent_miss_addrs) - 1 - skid)
+        return self.recent_miss_addrs[idx]
+
+    def misses_until_overflow(self) -> int | None:
+        """Budget the engine passes to the cache (None when disarmed)."""
+        return self.overflow_counter.misses_until_overflow()
+
+    @property
+    def overflow_pending(self) -> bool:
+        return self.overflow_counter.overflowed

@@ -1,0 +1,122 @@
+"""Capability catalog of the processors the paper surveys.
+
+Section 1 and the related-work section name the hardware landscape circa
+2000: most CPUs count misses; some (MIPS R10000/R12000, Alpha) can
+interrupt on counter overflow; the Intel Itanium additionally reports
+the *address* of the last miss and can qualify counting by an address
+range — the two features the paper's techniques respectively need.
+
+:func:`technique_support` turns a preset into an actionable statement of
+which technique runs natively, which needs emulation (e.g. multiplexing
+a single conditional counter), and which is impossible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CounterError
+
+
+@dataclass(frozen=True)
+class PmuPreset:
+    """Performance-monitoring capabilities of one processor."""
+
+    name: str
+    n_counters: int
+    counts_cache_misses: bool
+    overflow_interrupt: bool
+    reports_miss_address: bool
+    #: Number of simultaneously programmable base/bounds-qualified
+    #: counters (0 = feature absent).
+    conditional_counters: int
+
+    def supports_sampling(self) -> bool:
+        """Miss-address sampling needs overflow interrupts + the address."""
+        return (
+            self.counts_cache_misses
+            and self.overflow_interrupt
+            and self.reports_miss_address
+        )
+
+    def supports_search(self, n: int = 2) -> bool:
+        """An n-way search needs n conditional counters natively."""
+        return self.conditional_counters >= n
+
+    def supports_search_multiplexed(self) -> bool:
+        """One conditional counter can be time-shared (paper section 2.2)."""
+        return self.conditional_counters >= 1 and self.overflow_interrupt
+
+
+#: The processors the paper discusses, with their published capabilities.
+PRESETS: dict[str, PmuPreset] = {
+    "r10000": PmuPreset(
+        name="MIPS R10000",
+        n_counters=2,
+        counts_cache_misses=True,
+        overflow_interrupt=True,
+        reports_miss_address=False,
+        conditional_counters=0,
+    ),
+    "alpha-21264": PmuPreset(
+        name="Compaq Alpha 21264",
+        n_counters=2,
+        counts_cache_misses=True,
+        overflow_interrupt=True,
+        reports_miss_address=False,
+        conditional_counters=0,
+    ),
+    "ultrasparc": PmuPreset(
+        name="Sun UltraSPARC",
+        n_counters=2,
+        counts_cache_misses=True,
+        overflow_interrupt=False,
+        reports_miss_address=False,
+        conditional_counters=0,
+    ),
+    "itanium": PmuPreset(
+        name="Intel Itanium",
+        n_counters=4,
+        counts_cache_misses=True,
+        overflow_interrupt=True,
+        reports_miss_address=True,
+        conditional_counters=1,
+    ),
+    # The paper's hypothetical target: Itanium-style features with a full
+    # bank of conditional counters (what the simulation assumes).
+    "paper-ideal": PmuPreset(
+        name="paper's simulated HPM",
+        n_counters=11,
+        counts_cache_misses=True,
+        overflow_interrupt=True,
+        reports_miss_address=True,
+        conditional_counters=10,
+    ),
+}
+
+
+def get_preset(name: str) -> PmuPreset:
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise CounterError(
+            f"unknown PMU preset {name!r}; available: {', '.join(sorted(PRESETS))}"
+        ) from None
+
+
+def technique_support(preset: PmuPreset | str, n: int = 10) -> dict[str, str]:
+    """How each of the paper's techniques maps onto the hardware.
+
+    Values: ``"native"``, ``"emulated"`` (possible with a documented
+    workaround, e.g. counter multiplexing), or ``"unsupported"``.
+    """
+    if isinstance(preset, str):
+        preset = get_preset(preset)
+    sampling = "native" if preset.supports_sampling() else "unsupported"
+    if preset.supports_search(n):
+        search = "native"
+    elif preset.supports_search_multiplexed():
+        search = "emulated"  # time-share the one conditional counter
+    else:
+        search = "unsupported"
+    return {"sampling": sampling, "search": search}

@@ -1,0 +1,55 @@
+"""Base/bounds registers qualifying a miss counter to an address region."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.intervals import Interval
+
+
+class BaseBoundsRegister:
+    """A pair of registers selecting the half-open region ``[base, bound)``.
+
+    ``None`` (unprogrammed) matches every address — the configuration of
+    the global counter that measures total misses. ``match`` is vectorised
+    because the engine feeds whole miss-address chunks through at once.
+    """
+
+    def __init__(self, region: Interval | None = None) -> None:
+        self._region = region
+
+    @property
+    def region(self) -> Interval | None:
+        return self._region
+
+    def program(self, region: Interval | None) -> None:
+        self._region = region
+
+    def clear(self) -> None:
+        self._region = None
+
+    def matches(self, addr: int) -> bool:
+        if self._region is None:
+            return True
+        return self._region.lo <= addr < self._region.hi
+
+    def match_mask(self, addrs: np.ndarray) -> np.ndarray:
+        """Boolean mask of addresses inside the region (vectorised)."""
+        if self._region is None:
+            return np.ones(len(addrs), dtype=bool)
+        lo = np.uint64(self._region.lo)
+        hi = np.uint64(self._region.hi)
+        return (addrs >= lo) & (addrs < hi)
+
+    def match_count(self, addrs: np.ndarray) -> int:
+        """Number of addresses inside the region (vectorised)."""
+        if self._region is None:
+            return len(addrs)
+        lo = np.uint64(self._region.lo)
+        hi = np.uint64(self._region.hi)
+        return int(np.count_nonzero((addrs >= lo) & (addrs < hi)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self._region is None:
+            return "BaseBoundsRegister(any)"
+        return f"BaseBoundsRegister([{self._region.lo:#x}, {self._region.hi:#x}))"

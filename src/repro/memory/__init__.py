@@ -1,0 +1,29 @@
+"""Simulated address space: segments, memory objects, allocator, object map.
+
+This package is the substrate that lets the profiling techniques translate
+cache-miss *addresses* into *program objects* — global/static variables
+located via "symbol tables and debug information" (modelled by
+:class:`SymbolTable`) and dynamically allocated blocks tracked by
+"instrumenting memory allocation library functions" (modelled by
+:class:`HeapAllocator`), exactly as described in section 2.1 of the paper.
+"""
+
+from repro.memory.address_space import AddressSpace, Segment
+from repro.memory.objects import MemoryObject, ObjectKind
+from repro.memory.symbol_table import SymbolTable
+from repro.memory.allocator import HeapAllocator
+from repro.memory.object_map import ObjectMap, AttributionSnapshot
+from repro.memory.stack import StackModel, StackFrame
+
+__all__ = [
+    "AddressSpace",
+    "Segment",
+    "MemoryObject",
+    "ObjectKind",
+    "SymbolTable",
+    "HeapAllocator",
+    "ObjectMap",
+    "AttributionSnapshot",
+    "StackModel",
+    "StackFrame",
+]

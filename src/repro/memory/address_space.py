@@ -1,0 +1,102 @@
+"""Simulated process address-space layout.
+
+The layout mimics a 64-bit Alpha/Tru64-style process, the platform the
+paper's ATOM-based simulator ran on: a data segment for globals and
+statics, a heap segment whose base is chosen so that the first large ijpeg
+allocation lands at ``0x141020000`` (the paper's Table 1 names heap blocks
+by their hex base address, and we reproduce those names exactly), a
+downward-growing stack, and a separate segment for instrumentation-owned
+data so perturbation can be separated from application behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AddressSpaceError
+from repro.util.intervals import Interval
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A named address range ``[base, limit)``."""
+
+    name: str
+    base: int
+    limit: int
+
+    def __post_init__(self) -> None:
+        if self.limit <= self.base:
+            raise AddressSpaceError(
+                f"segment {self.name!r}: limit {self.limit:#x} <= base {self.base:#x}"
+            )
+
+    @property
+    def size(self) -> int:
+        return self.limit - self.base
+
+    @property
+    def extent(self) -> Interval:
+        return Interval(self.base, self.limit)
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.limit
+
+
+#: Default segment bases (chosen to be far apart and cache-index diverse).
+DATA_BASE = 0x1_2000_0000
+DATA_LIMIT = 0x1_4000_0000
+HEAP_BASE = 0x1_4100_0000
+HEAP_LIMIT = 0x1_8000_0000
+INSTR_BASE = 0x2_0000_0000
+INSTR_LIMIT = 0x2_1000_0000
+STACK_LIMIT = 0x7_FFFF_0000  # stack grows down from here
+STACK_BASE = 0x7_F000_0000
+
+
+class AddressSpace:
+    """The full simulated address space with its standard segments."""
+
+    def __init__(
+        self,
+        data: Segment | None = None,
+        heap: Segment | None = None,
+        stack: Segment | None = None,
+        instr: Segment | None = None,
+    ) -> None:
+        self.data = data or Segment("data", DATA_BASE, DATA_LIMIT)
+        self.heap = heap or Segment("heap", HEAP_BASE, HEAP_LIMIT)
+        self.stack = stack or Segment("stack", STACK_BASE, STACK_LIMIT)
+        self.instr = instr or Segment("instr", INSTR_BASE, INSTR_LIMIT)
+        self._segments = [self.data, self.heap, self.instr, self.stack]
+        seen: list[Segment] = []
+        for seg in self._segments:
+            for other in seen:
+                if seg.base < other.limit and other.base < seg.limit:
+                    raise AddressSpaceError(
+                        f"segments {seg.name!r} and {other.name!r} overlap"
+                    )
+            seen.append(seg)
+
+    @property
+    def segments(self) -> list[Segment]:
+        return list(self._segments)
+
+    def segment_of(self, addr: int) -> Segment | None:
+        """The segment containing ``addr``, or None for unmapped addresses."""
+        for seg in self._segments:
+            if seg.contains(addr):
+                return seg
+        return None
+
+    def whole_extent(self) -> Interval:
+        """The interval spanning every segment — the search's starting region."""
+        return Interval(
+            min(seg.base for seg in self._segments),
+            max(seg.limit for seg in self._segments),
+        )
+
+    def application_extent(self) -> Interval:
+        """Span of application-visible segments (data+heap+stack, not instr)."""
+        app = [self.data, self.heap, self.stack]
+        return Interval(min(s.base for s in app), max(s.limit for s in app))

@@ -1,0 +1,160 @@
+"""Simulated heap allocator with instrumented allocation tracking.
+
+The paper tracks dynamically allocated objects "by instrumenting memory
+allocation library functions"; this allocator is both the library function
+(a first-fit free-list malloc/free) and the instrumentation hook (an
+observer callback fires on every allocation and free so the object map
+stays current). Heap blocks are named by the hex of their base address —
+the same convention Table 1 of the paper uses (``0x141020000``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import AllocationError, ObjectMapError
+from repro.memory.address_space import Segment
+from repro.memory.objects import MemoryObject, ObjectKind
+
+#: Callback signature: (event, object) where event is "alloc" or "free".
+AllocObserver = Callable[[str, MemoryObject], None]
+
+
+class HeapAllocator:
+    """First-fit free-list allocator over a heap segment.
+
+    Free blocks are kept as a sorted list of ``[base, limit)`` holes;
+    allocation takes the first hole large enough (after alignment),
+    free coalesces with adjacent holes. First-fit keeps addresses stable
+    and low, which both mimics real allocators and keeps the paper's
+    hex block names deterministic.
+    """
+
+    def __init__(self, segment: Segment, align: int = 64) -> None:
+        if align <= 0 or align & (align - 1):
+            raise ValueError("alignment must be a positive power of two")
+        self.segment = segment
+        self.align = align
+        self._holes: list[list[int]] = [[segment.base, segment.limit]]
+        self._live: dict[int, MemoryObject] = {}
+        self._observers: list[AllocObserver] = []
+        self.total_allocated = 0
+        self.alloc_count = 0
+        self.free_count = 0
+
+    # ------------------------------------------------------------- observers
+
+    def add_observer(self, observer: AllocObserver) -> None:
+        """Register an instrumentation hook fired on every alloc/free."""
+        self._observers.append(observer)
+
+    def _notify(self, event: str, obj: MemoryObject) -> None:
+        for observer in self._observers:
+            observer(event, obj)
+
+    # ------------------------------------------------------------ allocation
+
+    def malloc(
+        self,
+        size: int,
+        name: str | None = None,
+        alloc_site: str | None = None,
+    ) -> MemoryObject:
+        """Allocate ``size`` bytes; returns the new block's memory object.
+
+        ``name`` defaults to the hex base address; ``alloc_site`` tags the
+        allocating call site (used by the future-work aggregation of
+        related heap blocks).
+        """
+        if size <= 0:
+            raise AllocationError(f"malloc of non-positive size {size}")
+        rounded = (size + self.align - 1) & ~(self.align - 1)
+        for idx, hole in enumerate(self._holes):
+            base, limit = hole
+            aligned = (base + self.align - 1) & ~(self.align - 1)
+            if aligned + rounded <= limit:
+                # Shrink or split the hole.
+                if aligned > base:
+                    hole[1] = aligned
+                    self._holes.insert(idx + 1, [aligned + rounded, limit])
+                else:
+                    hole[0] = aligned + rounded
+                    if hole[0] >= hole[1]:
+                        self._holes.pop(idx)
+                obj = MemoryObject(
+                    name=name or f"{aligned:#x}",
+                    base=aligned,
+                    size=rounded,
+                    kind=ObjectKind.HEAP,
+                    alloc_site=alloc_site,
+                )
+                self._live[aligned] = obj
+                self.total_allocated += rounded
+                self.alloc_count += 1
+                self._notify("alloc", obj)
+                return obj
+        raise AllocationError(
+            f"heap exhausted: cannot allocate {size} bytes "
+            f"({self.bytes_free} free, fragmented into {len(self._holes)} holes)"
+        )
+
+    def free(self, target: MemoryObject | int) -> None:
+        """Release a block (by object or base address)."""
+        base = target.base if isinstance(target, MemoryObject) else int(target)
+        obj = self._live.pop(base, None)
+        if obj is None:
+            raise ObjectMapError(f"free of unallocated address {base:#x}")
+        self.total_allocated -= obj.size
+        self.free_count += 1
+        self._insert_hole(obj.base, obj.end)
+        self._notify("free", obj)
+
+    def _insert_hole(self, base: int, limit: int) -> None:
+        """Insert ``[base, limit)`` into the hole list, coalescing neighbours."""
+        idx = 0
+        while idx < len(self._holes) and self._holes[idx][0] < base:
+            idx += 1
+        self._holes.insert(idx, [base, limit])
+        # Coalesce with successor then predecessor.
+        if idx + 1 < len(self._holes) and self._holes[idx][1] >= self._holes[idx + 1][0]:
+            self._holes[idx][1] = max(self._holes[idx][1], self._holes[idx + 1][1])
+            self._holes.pop(idx + 1)
+        if idx > 0 and self._holes[idx - 1][1] >= self._holes[idx][0]:
+            self._holes[idx - 1][1] = max(self._holes[idx - 1][1], self._holes[idx][1])
+            self._holes.pop(idx)
+
+    # --------------------------------------------------------------- queries
+
+    def block_at(self, base: int) -> MemoryObject | None:
+        """The live block starting exactly at ``base``, if any."""
+        return self._live.get(base)
+
+    @property
+    def live_blocks(self) -> list[MemoryObject]:
+        """All live blocks in address order."""
+        return [self._live[b] for b in sorted(self._live)]
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)
+
+    @property
+    def bytes_free(self) -> int:
+        return sum(limit - base for base, limit in self._holes)
+
+    def check_invariants(self) -> None:
+        """Assert hole/blocks consistency (property tests)."""
+        prev_limit = None
+        for base, limit in self._holes:
+            assert base < limit, "empty hole"
+            assert self.segment.base <= base and limit <= self.segment.limit
+            if prev_limit is not None:
+                assert base > prev_limit, "holes out of order or not coalesced"
+            prev_limit = limit
+        covered = sum(l - b for b, l in self._holes) + sum(
+            o.size for o in self._live.values()
+        )
+        assert covered == self.segment.size, "holes + blocks must tile the segment"
+        blocks = sorted(self._live.values(), key=lambda o: o.base)
+        for a, b in zip(blocks, blocks[1:]):
+            assert a.end <= b.base, "live blocks overlap"

@@ -1,0 +1,206 @@
+"""Unified address -> memory-object map.
+
+This is the structure section 2.2 of the paper describes: "information
+about object extents kept in a sorted array for variables and a red-black
+tree for heap blocks (since this data will change as allocations and
+deallocations take place)". Stack-frame objects (future work, section 5)
+are also tracked in a red-black tree since frames come and go.
+
+Besides point lookup (used by the sampling handler on every overflow
+interrupt), the map answers the region-boundary queries the n-way search
+needs to split regions without cutting objects in half, and produces
+vectorised :class:`AttributionSnapshot` tables that ground-truth
+attribution uses to classify millions of miss addresses per call.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.datastructs.rbtree import RedBlackTree
+from repro.datastructs.sorted_table import SortedTable
+from repro.errors import ObjectMapError
+from repro.memory.objects import MemoryObject, ObjectKind
+from repro.util.intervals import Interval
+
+
+class AttributionSnapshot:
+    """A frozen, vectorised view of the object map for bulk attribution.
+
+    ``starts``/``ends`` are sorted NumPy arrays of the live objects'
+    extents; :meth:`attribute` maps an address array to indices into
+    ``objects`` (or -1 where no object contains the address) with two
+    vectorised operations.
+    """
+
+    def __init__(self, objects: list[MemoryObject]) -> None:
+        ordered = sorted(objects, key=lambda o: o.base)
+        for a, b in zip(ordered, ordered[1:]):
+            if a.end > b.base:
+                raise ObjectMapError(
+                    f"objects overlap: {a} and {b}"
+                )
+        self.objects: list[MemoryObject] = ordered
+        self.starts = np.array([o.base for o in ordered], dtype=np.uint64)
+        self.ends = np.array([o.end for o in ordered], dtype=np.uint64)
+
+    def attribute(self, addrs: np.ndarray) -> np.ndarray:
+        """Object index for each address (-1 if unmapped). Vectorised."""
+        if len(self.objects) == 0:
+            return np.full(addrs.shape, -1, dtype=np.int64)
+        idx = np.searchsorted(self.starts, addrs, side="right").astype(np.int64) - 1
+        valid = idx >= 0
+        inside = np.zeros(addrs.shape, dtype=bool)
+        inside[valid] = addrs[valid] < self.ends[idx[valid]]
+        idx[~inside] = -1
+        return idx
+
+    def count_by_object(self, addrs: np.ndarray) -> np.ndarray:
+        """Number of addresses landing in each object (aligned to ``objects``)."""
+        idx = self.attribute(addrs)
+        hits = idx[idx >= 0]
+        counts = np.bincount(hits, minlength=len(self.objects))
+        return counts.astype(np.int64)
+
+
+class ObjectMap:
+    """Live map of every attributable memory object.
+
+    Globals live in a frozen-after-load sorted array; heap blocks and stack
+    variables live in red-black trees keyed by base address. Probe counts
+    from the underlying structures feed the instrumentation cost model.
+    """
+
+    def __init__(self) -> None:
+        self._globals = SortedTable()
+        self._heap = RedBlackTree()
+        self._stack = RedBlackTree()
+        self._generation = 0
+        self._snapshot: AttributionSnapshot | None = None
+        self._snapshot_generation = -1
+
+    # ----------------------------------------------------------- registration
+
+    def add_global(self, obj: MemoryObject) -> None:
+        if obj.kind not in (ObjectKind.GLOBAL, ObjectKind.INSTR):
+            raise ObjectMapError(f"add_global with kind {obj.kind}")
+        self._globals.insert(obj.base, obj)
+        self._generation += 1
+
+    def add_globals(self, objs: list[MemoryObject]) -> None:
+        for obj in objs:
+            self.add_global(obj)
+
+    def freeze_globals(self) -> None:
+        """Lock the static-variable table (program load complete)."""
+        self._globals.freeze()
+
+    def observe_alloc(self, event: str, obj: MemoryObject) -> None:
+        """Allocator observer hook: keeps the heap tree current."""
+        if event == "alloc":
+            self._heap.insert(obj.base, obj)
+        elif event == "free":
+            self._heap.delete(obj.base)
+        else:  # pragma: no cover - defensive
+            raise ObjectMapError(f"unknown allocator event {event!r}")
+        self._generation += 1
+
+    def add_stack(self, obj: MemoryObject) -> None:
+        if obj.kind is not ObjectKind.STACK:
+            raise ObjectMapError(f"add_stack with kind {obj.kind}")
+        self._stack.insert(obj.base, obj)
+        self._generation += 1
+
+    def remove_stack(self, obj: MemoryObject) -> None:
+        self._stack.delete(obj.base)
+        self._generation += 1
+
+    # ---------------------------------------------------------------- lookups
+
+    @property
+    def generation(self) -> int:
+        """Monotone counter bumped on every membership change."""
+        return self._generation
+
+    def lookup(self, addr: int) -> MemoryObject | None:
+        """The object containing ``addr``, or None.
+
+        This is exactly the operation the sampling interrupt handler runs:
+        probe the variable table, then the heap tree, then the stack tree.
+        """
+        for table in (self._globals, self._heap, self._stack):
+            entry = table.floor(addr)
+            if entry is not None:
+                obj: MemoryObject = entry[1]
+                if obj.contains(addr):
+                    return obj
+        return None
+
+    def consume_probe_count(self) -> int:
+        """Probes performed since last call (feeds the cost model)."""
+        return (
+            self._globals.reset_probe_count()
+            + self._heap.reset_probe_count()
+            + self._stack.reset_probe_count()
+        )
+
+    def all_objects(self) -> list[MemoryObject]:
+        """Every live object in address order."""
+        objs = (
+            list(self._globals.values())
+            + list(self._heap.values())
+            + list(self._stack.values())
+        )
+        return sorted(objs, key=lambda o: o.base)
+
+    def __len__(self) -> int:
+        return len(self._globals) + len(self._heap) + len(self._stack)
+
+    def objects_overlapping(self, iv: Interval) -> list[MemoryObject]:
+        """Objects intersecting ``[iv.lo, iv.hi)`` in address order."""
+        out: list[MemoryObject] = []
+        for table in (self._globals, self._heap, self._stack):
+            entry = table.floor(iv.lo)
+            if entry is not None:
+                out.append(entry[1])
+            out.extend(obj for _, obj in table.range_items(max(iv.lo, 0), iv.hi))
+        # Dedup (the floor entry may also appear in range_items when its
+        # base equals iv.lo) and keep only genuine overlaps, in address order.
+        seen: set[int] = set()
+        unique: list[MemoryObject] = []
+        for obj in sorted(out, key=lambda o: o.base):
+            if obj.uid not in seen and obj.base < iv.hi and obj.end > iv.lo:
+                seen.add(obj.uid)
+                unique.append(obj)
+        return unique
+
+    def boundaries_in(self, iv: Interval) -> list[int]:
+        """Object start/end addresses strictly inside ``iv`` (sorted, unique).
+
+        These are the only legal split points for the n-way search: cutting
+        anywhere else could leave an object spanning two regions, the
+        failure mode section 2.2 warns about.
+        """
+        bounds: set[int] = set()
+        for obj in self.objects_overlapping(iv):
+            if iv.lo < obj.base < iv.hi:
+                bounds.add(obj.base)
+            if iv.lo < obj.end < iv.hi:
+                bounds.add(obj.end)
+        return sorted(bounds)
+
+    # ---------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> AttributionSnapshot:
+        """A vectorised view of the current objects (cached per generation)."""
+        if self._snapshot is None or self._snapshot_generation != self._generation:
+            self._snapshot = AttributionSnapshot(self.all_objects())
+            self._snapshot_generation = self._generation
+        return self._snapshot
+
+    def iter_tables(self) -> Iterator[tuple[str, object]]:  # pragma: no cover
+        yield ("globals", self._globals)
+        yield ("heap", self._heap)
+        yield ("stack", self._stack)

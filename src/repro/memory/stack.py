@@ -1,0 +1,111 @@
+"""Stack-frame model with per-variable instance aggregation.
+
+Section 5 of the paper ("Future Work") proposes extending the sampling
+technique to variables on the stack "by aggregating data for all instances
+of the same local variable". This module implements that extension: a
+downward-growing stack of frames whose local variables are registered in
+the object map as stack objects, with an aggregation key
+``function:variable`` shared by every dynamic instance so the profiler can
+merge counts across calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AddressSpaceError
+from repro.memory.address_space import Segment
+from repro.memory.object_map import ObjectMap
+from repro.memory.objects import MemoryObject, ObjectKind
+
+
+def aggregation_key(function: str, variable: str) -> str:
+    """The name shared by every instance of a local variable."""
+    return f"{function}:{variable}"
+
+
+@dataclass
+class StackFrame:
+    """One activation record: its extent and local-variable objects."""
+
+    function: str
+    base: int          #: lowest address of the frame (frames grow down)
+    limit: int         #: one past the highest address
+    locals: list[MemoryObject] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return self.limit - self.base
+
+
+class StackModel:
+    """A downward-growing call stack allocating frames of local variables."""
+
+    def __init__(self, segment: Segment, object_map: ObjectMap, align: int = 16) -> None:
+        self.segment = segment
+        self.object_map = object_map
+        self.align = align
+        self._top = segment.limit  # next frame ends here; grows downward
+        self._frames: list[StackFrame] = []
+
+    @property
+    def depth(self) -> int:
+        return len(self._frames)
+
+    @property
+    def frames(self) -> list[StackFrame]:
+        return list(self._frames)
+
+    def push_frame(self, function: str, local_vars: dict[str, int]) -> StackFrame:
+        """Enter ``function``, allocating each local variable in the frame.
+
+        ``local_vars`` maps variable name -> size in bytes; layout is
+        declaration order, highest address first (matching typical
+        descending stack conventions).
+        """
+        total = sum(
+            (size + self.align - 1) & ~(self.align - 1) for size in local_vars.values()
+        )
+        new_top = self._top - total
+        if new_top < self.segment.base:
+            raise AddressSpaceError(
+                f"stack overflow entering {function!r} ({total} bytes needed)"
+            )
+        frame = StackFrame(function=function, base=new_top, limit=self._top)
+        cursor = self._top
+        for name, size in local_vars.items():
+            rounded = (size + self.align - 1) & ~(self.align - 1)
+            cursor -= rounded
+            obj = MemoryObject(
+                name=aggregation_key(function, name),
+                base=cursor,
+                size=rounded,
+                kind=ObjectKind.STACK,
+            )
+            frame.locals.append(obj)
+            self.object_map.add_stack(obj)
+        self._top = new_top
+        self._frames.append(frame)
+        return frame
+
+    def pop_frame(self) -> StackFrame:
+        """Leave the current function, retiring its local variables."""
+        if not self._frames:
+            raise AddressSpaceError("pop from empty stack")
+        frame = self._frames.pop()
+        for obj in frame.locals:
+            self.object_map.remove_stack(obj)
+        self._top = frame.limit
+        return frame
+
+    def current_frame(self) -> StackFrame | None:
+        return self._frames[-1] if self._frames else None
+
+    def addr_of(self, function: str, variable: str) -> int:
+        """Base address of a local in the innermost live frame of ``function``."""
+        key = aggregation_key(function, variable)
+        for frame in reversed(self._frames):
+            for obj in frame.locals:
+                if obj.name == key:
+                    return obj.base
+        raise KeyError(key)

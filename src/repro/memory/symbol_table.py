@@ -1,0 +1,81 @@
+"""Symbol table: lays out global/static variables in the data segment.
+
+Models the "data from symbol tables and debug information" the paper uses
+to map addresses to global and static variables (section 2.1). Workloads
+declare their arrays here before running; declaration order and alignment
+determine the layout, which matters both for cache-set conflicts and for
+the search's region-splitting behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AddressSpaceError, ObjectMapError
+from repro.memory.address_space import Segment
+from repro.memory.objects import MemoryObject, ObjectKind
+
+
+class SymbolTable:
+    """Sequential (bump) layout of named variables within a data segment."""
+
+    def __init__(self, segment: Segment, default_align: int = 64) -> None:
+        if default_align <= 0 or default_align & (default_align - 1):
+            raise ValueError("alignment must be a positive power of two")
+        self.segment = segment
+        self.default_align = default_align
+        self._cursor = segment.base
+        self._by_name: dict[str, MemoryObject] = {}
+        self._objects: list[MemoryObject] = []
+
+    def declare(
+        self,
+        name: str,
+        size: int,
+        align: int | None = None,
+        pad_after: int = 0,
+    ) -> MemoryObject:
+        """Declare a variable of ``size`` bytes; returns its memory object.
+
+        ``pad_after`` inserts an unnamed gap after the variable, used by
+        workloads to control which variables share cache sets and to give
+        the search unallocated space to discard.
+        """
+        if name in self._by_name:
+            raise ObjectMapError(f"variable {name!r} already declared")
+        if size <= 0:
+            raise ValueError(f"variable {name!r} has non-positive size")
+        align = align or self.default_align
+        if align <= 0 or align & (align - 1):
+            raise ValueError("alignment must be a positive power of two")
+        base = (self._cursor + align - 1) & ~(align - 1)
+        if base + size > self.segment.limit:
+            raise AddressSpaceError(
+                f"data segment overflow declaring {name!r} "
+                f"({size} bytes at {base:#x}, limit {self.segment.limit:#x})"
+            )
+        obj = MemoryObject(name=name, base=base, size=size, kind=ObjectKind.GLOBAL)
+        self._by_name[name] = obj
+        self._objects.append(obj)
+        self._cursor = base + size + pad_after
+        return obj
+
+    def declare_many(self, spec: dict[str, int]) -> dict[str, MemoryObject]:
+        """Declare several variables in iteration order; returns name -> object."""
+        return {name: self.declare(name, size) for name, size in spec.items()}
+
+    def __getitem__(self, name: str) -> MemoryObject:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    @property
+    def objects(self) -> list[MemoryObject]:
+        """All declared variables in layout (address) order."""
+        return list(self._objects)
+
+    @property
+    def bytes_used(self) -> int:
+        return self._cursor - self.segment.base

@@ -1,0 +1,89 @@
+"""Reference blocks: the unit of work flowing from workloads to the engine.
+
+A block is a chunk of consecutive memory references produced by a
+workload's kernel — addresses plus the virtual-cycle cost of executing
+them. Blocks are NumPy-native so the cache models and counter windows can
+stay vectorised; per the hpc-parallel guides, no per-reference Python
+objects ever exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+@dataclass
+class ReferenceBlock:
+    """A chunk of memory references with a cycle cost.
+
+    ``cycles_per_ref`` models the non-memory instructions executed around
+    each reference (address arithmetic, floating point, branches): the
+    paper's simulator counts those via basic-block instrumentation, and the
+    per-application values are what produce its very different
+    misses-per-million-cycles rates (mgrid 6,827 vs ijpeg 144).
+    """
+
+    addrs: np.ndarray
+    cycles_per_ref: float = 4.0
+    writes: np.ndarray | None = None
+    #: Optional phase label, used by analysis/Figure-5 style reporting.
+    label: str = ""
+    #: Extra one-off cycles charged when the block completes (loop setup,
+    #: function call overhead).
+    extra_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        self.addrs = np.ascontiguousarray(self.addrs, dtype=np.uint64)
+        if self.cycles_per_ref <= 0:
+            raise WorkloadError("cycles_per_ref must be positive")
+        if self.writes is not None:
+            self.writes = np.ascontiguousarray(self.writes, dtype=bool)
+            if len(self.writes) != len(self.addrs):
+                raise WorkloadError("writes mask length mismatch")
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+    @property
+    def total_cycles(self) -> int:
+        return int(len(self.addrs) * self.cycles_per_ref) + self.extra_cycles
+
+    def cycles_for(self, n_refs: int) -> int:
+        """Cycles consumed by the first ``n_refs`` references."""
+        cycles = int(n_refs * self.cycles_per_ref)
+        if n_refs >= len(self.addrs):
+            cycles += self.extra_cycles
+        return cycles
+
+    def refs_within_cycles(self, budget: int) -> int:
+        """Max whole references executable within ``budget`` cycles (>=1)."""
+        return max(1, int(budget / self.cycles_per_ref))
+
+
+def concat_blocks(blocks: list[ReferenceBlock]) -> ReferenceBlock:
+    """Concatenate blocks (same cycles_per_ref) into one larger block."""
+    if not blocks:
+        raise WorkloadError("cannot concatenate zero blocks")
+    cpr = blocks[0].cycles_per_ref
+    if any(abs(b.cycles_per_ref - cpr) > 1e-12 for b in blocks):
+        raise WorkloadError("cannot concatenate blocks with differing cycle costs")
+    addrs = np.concatenate([b.addrs for b in blocks])
+    writes = None
+    if any(b.writes is not None for b in blocks):
+        writes = np.concatenate(
+            [
+                b.writes if b.writes is not None else np.zeros(len(b), dtype=bool)
+                for b in blocks
+            ]
+        )
+    return ReferenceBlock(
+        addrs=addrs,
+        cycles_per_ref=cpr,
+        writes=writes,
+        label=blocks[0].label,
+        extra_cycles=sum(b.extra_cycles for b in blocks),
+    )

@@ -1,0 +1,71 @@
+"""Virtual cycle clock.
+
+The paper instruments basic blocks "to keep a virtual cycle count for the
+execution"; cycle counts "are meant to model RISC processors in general"
+with no pipelining or multiple issue. Here the clock is a plain integer
+cycle counter advanced by the engine — application references advance it
+by the workload's cycles-per-reference, instrumentation advances it by the
+cost model's charges — plus a single programmable timer used by the n-way
+search to end its sample intervals.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class VirtualClock:
+    """Monotone virtual time in cycles with one programmable deadline."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._deadline: int | None = None
+        #: Cycles spent executing instrumentation (handlers + delivery).
+        self.instr_cycles = 0
+        #: Cycles spent executing application code.
+        self.app_cycles = 0
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    def advance_app(self, cycles: int) -> None:
+        """Advance time for application execution."""
+        if cycles < 0:
+            raise SimulationError(f"clock cannot run backwards ({cycles})")
+        self._now += cycles
+        self.app_cycles += cycles
+
+    def advance_instr(self, cycles: int) -> None:
+        """Advance time for instrumentation execution."""
+        if cycles < 0:
+            raise SimulationError(f"clock cannot run backwards ({cycles})")
+        self._now += cycles
+        self.instr_cycles += cycles
+
+    # ------------------------------------------------------------------ timer
+
+    def set_deadline(self, cycle: int) -> None:
+        """Arm the timer to fire once ``now`` reaches ``cycle``."""
+        if cycle <= self._now:
+            raise SimulationError(
+                f"deadline {cycle} is not in the future (now={self._now})"
+            )
+        self._deadline = cycle
+
+    def clear_deadline(self) -> None:
+        self._deadline = None
+
+    @property
+    def deadline(self) -> int | None:
+        return self._deadline
+
+    @property
+    def timer_expired(self) -> bool:
+        return self._deadline is not None and self._now >= self._deadline
+
+    def cycles_until_deadline(self) -> int | None:
+        """Remaining cycles before the timer fires (None when disarmed)."""
+        if self._deadline is None:
+            return None
+        return max(0, self._deadline - self._now)

@@ -1,0 +1,60 @@
+"""Run-level statistics collected by the engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hpm.interrupts import InterruptLog
+
+
+@dataclass
+class RunStats:
+    """Aggregate statistics for one simulated run.
+
+    The paper's overhead metrics are computed from these: Figure 3 uses
+    the split between application and instrumentation misses, Figure 4
+    uses instrumentation cycles over application cycles ("the applications
+    were allowed to execute for the same number of application
+    instructions"), and section 3.3's per-interrupt cost and
+    interrupts-per-billion-cycles come from the interrupt log.
+    """
+
+    app_refs: int = 0
+    app_misses: int = 0
+    instr_refs: int = 0
+    instr_misses: int = 0
+    app_cycles: int = 0
+    instr_cycles: int = 0
+    interrupts: InterruptLog = field(default_factory=InterruptLog)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.app_cycles + self.instr_cycles
+
+    @property
+    def total_misses(self) -> int:
+        return self.app_misses + self.instr_misses
+
+    @property
+    def slowdown(self) -> float:
+        """Fractional slowdown due to instrumentation (Figure 4's metric)."""
+        if self.app_cycles == 0:
+            return 0.0
+        return self.instr_cycles / self.app_cycles
+
+    @property
+    def miss_rate_per_mcycle(self) -> float:
+        """Application misses per million application cycles (section 3.2)."""
+        if self.app_cycles == 0:
+            return 0.0
+        return self.app_misses / (self.app_cycles / 1e6)
+
+    def miss_increase_vs(self, baseline: "RunStats") -> float:
+        """Fractional increase in cache misses relative to an uninstrumented
+        run of the same application prefix (Figure 3's metric)."""
+        if baseline.total_misses == 0:
+            return 0.0
+        return (self.total_misses - baseline.total_misses) / baseline.total_misses
+
+    def interrupts_per_gcycle(self) -> float:
+        return self.interrupts.per_billion_cycles(self.total_cycles)

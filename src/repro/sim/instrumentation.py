@@ -1,0 +1,133 @@
+"""Instrumentation-tool interface: how measurement code plugs into the engine.
+
+A tool is the in-simulation measurement runtime — the paper's sampling or
+search code. The engine delivers it interrupts (miss-counter overflow or
+timer); the tool returns a :class:`HandlerResult` describing what its
+handler did: virtual cycles executed, memory references its own data
+structures incurred (these go through the simulated cache, producing the
+perturbation measured in Figure 3), and any counter re-arming or timer
+requests.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cache.base import CacheModel
+from repro.hpm.interrupts import CostModel
+from repro.hpm.monitor import PerformanceMonitor
+from repro.memory.address_space import AddressSpace
+from repro.memory.allocator import HeapAllocator
+from repro.memory.object_map import ObjectMap
+from repro.memory.objects import MemoryObject, ObjectKind
+
+
+@dataclass
+class ToolContext:
+    """Everything a tool may touch when attached to a simulation."""
+
+    object_map: ObjectMap
+    monitor: PerformanceMonitor
+    cost_model: CostModel
+    address_space: AddressSpace
+    cache: CacheModel
+    #: Allocator for the instrumentation's own data (separate segment so
+    #: app and instrumentation misses can be distinguished).
+    instr_allocator: HeapAllocator = None  # set by the engine
+
+    def alloc_instr(self, name: str, size: int) -> MemoryObject:
+        """Allocate instrumentation-owned memory in the instr segment."""
+        obj = self.instr_allocator.malloc(size, name=name)
+        # Re-kind as INSTR for reporting; the allocator returns HEAP kind.
+        return MemoryObject(
+            name=obj.name if name is None else name,
+            base=obj.base,
+            size=obj.size,
+            kind=ObjectKind.INSTR,
+        )
+
+
+@dataclass
+class HandlerResult:
+    """What one interrupt-handler invocation did."""
+
+    #: Virtual cycles the handler itself executed (delivery cost is added
+    #: by the engine from the cost model).
+    handler_cycles: int = 0
+    #: Memory references the handler performed, run through the cache by
+    #: the engine (the perturbation channel).
+    mem_refs: np.ndarray | None = None
+    #: Re-arm the overflow counter after this many further misses
+    #: (None leaves it disarmed).
+    rearm_overflow: int | None = None
+    #: Request the next timer interrupt this many cycles in the future
+    #: (None leaves the timer disarmed).
+    next_timer_in: int | None = None
+    #: The tool is finished; the engine stops delivering it interrupts.
+    done: bool = False
+
+
+class InstrumentationTool(abc.ABC):
+    """Base class for in-simulation measurement tools."""
+
+    name: str = "tool"
+
+    def __init__(self) -> None:
+        self.ctx: ToolContext | None = None
+
+    @abc.abstractmethod
+    def attach(self, ctx: ToolContext) -> HandlerResult:
+        """Called once before the run; returns initial arming requests."""
+
+    def on_miss_overflow(self, cycle: int) -> HandlerResult:
+        """Overflow-interrupt handler; default: nothing."""
+        return HandlerResult()
+
+    def on_timer(self, cycle: int) -> HandlerResult:
+        """Timer-interrupt handler; default: nothing."""
+        return HandlerResult()
+
+    def on_run_end(self, cycle: int) -> None:
+        """Called when the application's reference stream is exhausted."""
+
+    @abc.abstractmethod
+    def profile(self):
+        """The tool's measured result as a
+        :class:`repro.core.profile.DataProfile`."""
+
+
+@dataclass
+class _RefPattern:
+    """Helper for generating a tool's own memory references cheaply."""
+
+    base: int
+    size: int
+
+    def touch(self, offsets: list[int]) -> np.ndarray:
+        """Addresses at the given byte offsets into the structure."""
+        arr = np.asarray(offsets, dtype=np.uint64)
+        return np.uint64(self.base) + (arr % np.uint64(max(self.size, 1)))
+
+    def binary_search_path(self, key_hint: int, n_probes: int, stride: int = 16) -> np.ndarray:
+        """Addresses a binary search over this array would touch.
+
+        Models probing a sorted array of ``stride``-byte entries: the probe
+        sequence follows the usual halving pattern, perturbed by the key so
+        different lookups touch different cache lines.
+        """
+        n_entries = max(1, self.size // stride)
+        lo, hi = 0, n_entries
+        offsets: list[int] = []
+        for _ in range(max(1, n_probes)):
+            mid = (lo + hi) // 2
+            offsets.append(mid * stride)
+            if hi - lo <= 1:
+                break
+            if (key_hint >> len(offsets)) & 1:
+                lo = mid
+            else:
+                hi = mid
+        return self.touch(offsets)

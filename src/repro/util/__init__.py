@@ -1,0 +1,51 @@
+"""Small shared utilities: interval math, units, formatting, RNG, primes."""
+
+from repro.util.intervals import (
+    Interval,
+    intersect,
+    intersects,
+    interval_len,
+    is_empty,
+    span,
+    subtract,
+    union_len,
+)
+from repro.util.units import (
+    GiB,
+    KiB,
+    MiB,
+    fmt_bytes,
+    fmt_count,
+    fmt_cycles,
+    fmt_pct,
+    parse_size,
+)
+from repro.util.format import Table, render_table
+from repro.util.rng import make_rng, spawn_rng
+from repro.util.primes import is_prime, next_prime, prev_prime
+
+__all__ = [
+    "Interval",
+    "intersect",
+    "intersects",
+    "interval_len",
+    "is_empty",
+    "span",
+    "subtract",
+    "union_len",
+    "KiB",
+    "MiB",
+    "GiB",
+    "fmt_bytes",
+    "fmt_count",
+    "fmt_cycles",
+    "fmt_pct",
+    "parse_size",
+    "Table",
+    "render_table",
+    "make_rng",
+    "spawn_rng",
+    "is_prime",
+    "next_prime",
+    "prev_prime",
+]

@@ -1,0 +1,120 @@
+"""Plain-text charts for the figure reports.
+
+The paper's Figures 3 and 4 are grouped bar charts on a logarithmic
+y-axis; Figure 5 is a line chart of misses over time. These renderers
+draw serviceable ASCII versions so the benchmark reports and the CLI can
+show the *shape* of each figure, not just its numbers, without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+_SPARK = " ▁▂▃▄▅▆▇█"
+
+
+def _bar(fraction: float, width: int) -> str:
+    """A horizontal bar filling ``fraction`` of ``width`` character cells.
+
+    Any strictly positive fraction renders at least a sliver, so tiny
+    values remain distinguishable from zero."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    whole, part = divmod(fraction * width, 1)
+    bar = "█" * int(whole)
+    if part > 0 and len(bar) < width:
+        bar += _BLOCKS[max(1, int(part * (len(_BLOCKS) - 1)))]
+    return bar.ljust(width)
+
+
+def hbar_chart(
+    groups: Sequence[str],
+    series: dict[str, Sequence[float]],
+    width: int = 40,
+    log: bool = False,
+    unit: str = "",
+    title: str | None = None,
+) -> str:
+    """Grouped horizontal bar chart.
+
+    ``groups`` labels the outer rows (applications); ``series`` maps a
+    series name (configuration) to one value per group. ``log=True``
+    scales bar lengths logarithmically, as the paper's Figures 3/4 do —
+    a floor of 1/1000 of the maximum keeps tiny-but-nonzero values
+    visible.
+    """
+    values = [v for vals in series.values() for v in vals if v > 0]
+    if not values:
+        return (title or "") + "\n(no nonzero values)"
+    peak = max(values)
+    floor = peak / 10_000.0
+    label_width = max(len(name) for name in series)
+
+    def scaled(v: float) -> float:
+        if v <= 0:
+            return 0.0
+        if not log:
+            return v / peak
+        clamped = max(v, floor * 1.5)
+        return (math.log10(clamped) - math.log10(floor)) / (
+            math.log10(peak) - math.log10(floor) or 1.0
+        )
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for gi, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for name, vals in series.items():
+            v = vals[gi] if gi < len(vals) else 0.0
+            lines.append(
+                f"  {name.ljust(label_width)} |{_bar(scaled(v), width)}| "
+                f"{v:.4g}{unit}"
+            )
+    if log:
+        lines.append(f"(log scale; full bar = {peak:.4g}{unit})")
+    return "\n".join(lines)
+
+
+def sparkline(
+    values: Sequence[float], width: int = 64, peak: float | None = None
+) -> str:
+    """A one-row miniature line chart (for Figure-5-style series).
+
+    ``peak`` fixes the full-height value; by default the row's own
+    maximum (rows in :func:`line_chart` share the chart-wide peak so
+    their heights are comparable)."""
+    if len(values) == 0:
+        return ""
+    vals = list(values)
+    if len(vals) > width:
+        stride = len(vals) / width
+        vals = [vals[int(i * stride)] for i in range(width)]
+    peak = max(peak if peak is not None else max(vals), 1e-12)
+    return "".join(
+        _SPARK[min(len(_SPARK) - 1, int(v / peak * (len(_SPARK) - 1)))]
+        for v in vals
+    )
+
+
+def line_chart(
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    title: str | None = None,
+) -> str:
+    """Stacked sparklines, one per named series, sharing a global scale."""
+    peak = max((max(vals, default=0) for vals in series.values()), default=0)
+    label_width = max((len(name) for name in series), default=0)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for name, vals in series.items():
+        lines.append(
+            f"{name.ljust(label_width)} "
+            f"|{sparkline(vals, width, peak=peak or None)}|"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints paper-style tables (Table 1, Table 2, the
+figure series) to stdout; this module renders them without any third-party
+dependency so reports survive in captured pytest output and CI logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class Table:
+    """An accumulating ASCII table.
+
+    >>> t = Table(["app", "object", "%"])
+    >>> t.add_row(["tomcatv", "RY", "22.5"])
+    >>> print(render_table(t))  # doctest: +ELLIPSIS
+    app     | object | %...
+    """
+
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    title: str | None = None
+
+    def add_row(self, row: Sequence[object]) -> None:
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([str(cell) for cell in row])
+
+    def add_separator(self) -> None:
+        """Insert a horizontal rule between row groups (per-application blocks)."""
+        self.rows.append(["---"] * len(self.headers))
+
+
+def render_table(table: Table) -> str:
+    """Render the table with column alignment and optional title."""
+    widths = [len(h) for h in table.headers]
+    for row in table.rows:
+        for i, cell in enumerate(row):
+            if cell != "---":
+                widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    rule = "-+-".join("-" * w for w in widths)
+    lines: list[str] = []
+    if table.title:
+        lines.append(table.title)
+        lines.append("=" * len(table.title))
+    lines.append(fmt_row(table.headers))
+    lines.append(rule)
+    for row in table.rows:
+        if all(cell == "---" for cell in row):
+            lines.append(rule)
+        else:
+            lines.append(fmt_row(row))
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Half-open integer interval arithmetic.
+
+Addresses throughout the library are modelled as half-open intervals
+``[lo, hi)`` over non-negative integers, the same convention the paper's
+base/bounds registers use: an address ``a`` is inside iff ``lo <= a < hi``.
+Keeping a single convention here avoids a whole class of off-by-one bugs
+in region splitting and counter windowing.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Interval(NamedTuple):
+    """A half-open interval ``[lo, hi)``.
+
+    ``hi < lo`` is rejected by :func:`make`; ``hi == lo`` denotes the empty
+    interval. ``NamedTuple`` keeps these hashable and cheap — the search
+    allocates many per iteration.
+    """
+
+    lo: int
+    hi: int
+
+    def __contains__(self, addr: int) -> bool:  # pragma: no cover - trivial
+        return self.lo <= addr < self.hi
+
+
+def make(lo: int, hi: int) -> Interval:
+    """Construct an interval, validating ``lo <= hi``."""
+    if lo > hi:
+        raise ValueError(f"interval lo={lo:#x} > hi={hi:#x}")
+    return Interval(int(lo), int(hi))
+
+
+def is_empty(iv: Interval) -> bool:
+    """True iff the interval contains no addresses."""
+    return iv.hi <= iv.lo
+
+
+def interval_len(iv: Interval) -> int:
+    """Number of addresses in the interval (0 for empty)."""
+    return max(0, iv.hi - iv.lo)
+
+
+def intersect(a: Interval, b: Interval) -> Interval:
+    """Intersection of two intervals (possibly empty, normalised to lo==hi)."""
+    lo = max(a.lo, b.lo)
+    hi = min(a.hi, b.hi)
+    if hi < lo:
+        hi = lo
+    return Interval(lo, hi)
+
+
+def intersects(a: Interval, b: Interval) -> bool:
+    """True iff the two intervals share at least one address."""
+    return max(a.lo, b.lo) < min(a.hi, b.hi)
+
+
+def span(intervals: list[Interval]) -> Interval:
+    """Smallest interval covering every non-empty input interval."""
+    live = [iv for iv in intervals if not is_empty(iv)]
+    if not live:
+        return Interval(0, 0)
+    return Interval(min(iv.lo for iv in live), max(iv.hi for iv in live))
+
+
+def subtract(a: Interval, b: Interval) -> list[Interval]:
+    """``a`` minus ``b``: zero, one or two non-empty intervals."""
+    if is_empty(a):
+        return []
+    if not intersects(a, b):
+        return [a]
+    out: list[Interval] = []
+    left = Interval(a.lo, min(a.hi, b.lo))
+    right = Interval(max(a.lo, b.hi), a.hi)
+    if not is_empty(left):
+        out.append(left)
+    if not is_empty(right):
+        out.append(right)
+    return out
+
+
+def union_len(intervals: list[Interval]) -> int:
+    """Total number of addresses covered by the union of the intervals."""
+    live = sorted((iv for iv in intervals if not is_empty(iv)), key=lambda iv: iv.lo)
+    total = 0
+    cur_lo = cur_hi = None
+    for iv in live:
+        if cur_hi is None or iv.lo > cur_hi:
+            if cur_hi is not None:
+                total += cur_hi - cur_lo
+            cur_lo, cur_hi = iv.lo, iv.hi
+        else:
+            cur_hi = max(cur_hi, iv.hi)
+    if cur_hi is not None:
+        total += cur_hi - cur_lo
+    return total

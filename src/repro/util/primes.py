@@ -1,0 +1,43 @@
+"""Primality helpers for resonance-free sampling periods.
+
+Section 3.1 of the paper shows that a sampling period that is commensurate
+with an application's access pattern aliases badly (tomcatv's RX/RY), and
+that basing the period on a nearby prime (50,111 instead of 50,000) removes
+the resonance. These helpers find those nearby primes.
+"""
+
+from __future__ import annotations
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality test, fine for the <= 2**40 periods we use."""
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0 or n % 3 == 0:
+        return False
+    f = 5
+    while f * f <= n:
+        if n % f == 0 or n % (f + 2) == 0:
+            return False
+        f += 6
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime strictly greater than ``n``."""
+    candidate = max(2, n + 1)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def prev_prime(n: int) -> int:
+    """Largest prime strictly smaller than ``n`` (raises below 3)."""
+    if n <= 2:
+        raise ValueError("no prime below 2")
+    candidate = n - 1
+    while candidate >= 2 and not is_prime(candidate):
+        candidate -= 1
+    return candidate

@@ -1,0 +1,67 @@
+"""Byte/cycle/percentage units and human-readable formatting."""
+
+from __future__ import annotations
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+_SIZE_SUFFIXES = {
+    "b": 1,
+    "k": KiB,
+    "kb": KiB,
+    "kib": KiB,
+    "m": MiB,
+    "mb": MiB,
+    "mib": MiB,
+    "g": GiB,
+    "gb": GiB,
+    "gib": GiB,
+}
+
+
+def parse_size(text: str | int) -> int:
+    """Parse ``"256K"``, ``"2MiB"``, ``"64"`` (bytes) or a plain int into bytes."""
+    if isinstance(text, int):
+        return text
+    s = text.strip().lower().replace(" ", "")
+    idx = len(s)
+    while idx > 0 and not s[idx - 1].isdigit():
+        idx -= 1
+    number, suffix = s[:idx], s[idx:]
+    if not number:
+        raise ValueError(f"cannot parse size {text!r}")
+    mult = _SIZE_SUFFIXES.get(suffix, None) if suffix else 1
+    if mult is None:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+    return int(number) * mult
+
+
+def fmt_bytes(n: int) -> str:
+    """Render a byte count with a binary suffix (``"2.0MiB"``)."""
+    for limit, suffix in ((GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")):
+        if n >= limit:
+            value = n / limit
+            if value == int(value):
+                return f"{int(value)}{suffix}"
+            return f"{value:.1f}{suffix}"
+    return f"{n}B"
+
+
+def fmt_count(n: int | float) -> str:
+    """Render a large count with thousands separators (``"1,234,567"``)."""
+    return f"{int(n):,}"
+
+
+def fmt_cycles(n: int | float) -> str:
+    """Render a virtual-cycle count (``"1.2Mcyc"`` style)."""
+    n = float(n)
+    for limit, suffix in ((1e9, "Gcyc"), (1e6, "Mcyc"), (1e3, "Kcyc")):
+        if abs(n) >= limit:
+            return f"{n / limit:.2f}{suffix}"
+    return f"{n:.0f}cyc"
+
+
+def fmt_pct(fraction: float, digits: int = 1) -> str:
+    """Render a fraction in [0, 1] as a percentage (``fmt_pct(0.225) == "22.5"``)."""
+    return f"{100.0 * fraction:.{digits}f}"

@@ -1,0 +1,55 @@
+"""Workload models standing in for the paper's SPEC95 applications.
+
+The original study ran ATOM-instrumented Alpha binaries of tomcatv,
+su2cor, applu, swim, mgrid, compress and ijpeg. Those binaries and inputs
+are not reproducible offline, so each application is modelled as a
+synthetic reference-stream generator that declares the same named data
+structures and reproduces the published *behavioural structure*: per-object
+miss shares (Table 1), relative miss rates (section 3.2), phase behaviour
+(Figure 5, applu), access-pattern drift (section 3.4, su2cor) and the
+interleaving that produces sampling resonance (section 3.1, tomcatv).
+DESIGN.md section 2 records the substitution rationale.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.patterns import (
+    interleave,
+    random_lines,
+    repeat_window,
+    stream_lines,
+    strided_lines,
+)
+from repro.workloads.tomcatv import Tomcatv
+from repro.workloads.swim import Swim
+from repro.workloads.su2cor import Su2cor
+from repro.workloads.mgrid import Mgrid
+from repro.workloads.applu import Applu
+from repro.workloads.compress_ import Compress
+from repro.workloads.ijpeg import Ijpeg
+from repro.workloads.synthetic import FigureTwoLayout, SyntheticStreams, TreeChaser
+from repro.workloads.trace import RecursiveCalls, TraceWorkload
+from repro.workloads.registry import SPEC_WORKLOADS, make_workload, workload_names
+
+__all__ = [
+    "Workload",
+    "interleave",
+    "stream_lines",
+    "strided_lines",
+    "repeat_window",
+    "random_lines",
+    "Tomcatv",
+    "Swim",
+    "Su2cor",
+    "Mgrid",
+    "Applu",
+    "Compress",
+    "Ijpeg",
+    "SyntheticStreams",
+    "FigureTwoLayout",
+    "TreeChaser",
+    "TraceWorkload",
+    "RecursiveCalls",
+    "SPEC_WORKLOADS",
+    "make_workload",
+    "workload_names",
+]

@@ -1,0 +1,107 @@
+"""Workload base class: a deterministic reference-stream generator bound
+to its own simulated address space.
+
+A workload owns the full memory substrate for one application — address
+space, symbol table, heap allocator, object map, stack model — and yields
+:class:`ReferenceBlock` chunks from :meth:`blocks`. Subclasses implement
+:meth:`_declare` (lay out the application's data structures) and
+:meth:`_generate` (emit the reference stream).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.memory.address_space import AddressSpace
+from repro.memory.allocator import HeapAllocator
+from repro.memory.object_map import ObjectMap
+from repro.memory.stack import StackModel
+from repro.memory.symbol_table import SymbolTable
+from repro.sim.blocks import ReferenceBlock
+
+
+class Workload(abc.ABC):
+    """Base for all application models.
+
+    ``scale`` multiplies data-structure sizes (1.0 targets a 256 KiB
+    cache; use ~8.0 with the paper's 2 MB geometry). ``seed`` fixes any
+    stochastic access decisions so runs are exactly reproducible.
+    """
+
+    name = "workload"
+    #: Non-memory cycles charged per reference (sets the app's
+    #: misses-per-Mcycle band; see DESIGN.md on miss-rate calibration).
+    cycles_per_ref: float = 5.0
+
+    def __init__(self, scale: float = 1.0, seed: int | None = None) -> None:
+        if scale <= 0:
+            raise WorkloadError(f"scale must be positive, got {scale}")
+        self.scale = scale
+        self.seed = seed
+        self._prepared = False
+        self.address_space: AddressSpace | None = None
+        self.symbols: SymbolTable | None = None
+        self.object_map: ObjectMap | None = None
+        self.heap: HeapAllocator | None = None
+        self.stack: StackModel | None = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    def prepare(self) -> None:
+        """Build the memory substrate and lay out data structures (idempotent)."""
+        if self._prepared:
+            return
+        self.address_space = AddressSpace()
+        self.symbols = SymbolTable(self.address_space.data)
+        self.object_map = ObjectMap()
+        self.heap = HeapAllocator(self.address_space.heap)
+        self.heap.add_observer(self.object_map.observe_alloc)
+        self.stack = StackModel(self.address_space.stack, self.object_map)
+        self._declare()
+        self.object_map.add_globals(self.symbols.objects)
+        self.object_map.freeze_globals()
+        self._prepared = True
+
+    def blocks(self) -> Iterator[ReferenceBlock]:
+        """The application's reference stream (prepares on first use)."""
+        self.prepare()
+        return self._generate()
+
+    # ------------------------------------------------------------- subclass
+
+    @abc.abstractmethod
+    def _declare(self) -> None:
+        """Declare globals / perform startup heap allocations."""
+
+    @abc.abstractmethod
+    def _generate(self) -> Iterator[ReferenceBlock]:
+        """Yield the reference stream."""
+
+    # --------------------------------------------------------------- helpers
+
+    def scaled(self, nbytes: int, align: int = 4096) -> int:
+        """Scale a byte size and round up to ``align``."""
+        value = int(nbytes * self.scale)
+        return max(align, (value + align - 1) & ~(align - 1))
+
+    def block(self, addrs: np.ndarray, label: str = "", extra_cycles: int = 0) -> ReferenceBlock:
+        """Wrap an address array in a block with this workload's cycle cost."""
+        return ReferenceBlock(
+            addrs=addrs,
+            cycles_per_ref=self.cycles_per_ref,
+            label=label,
+            extra_cycles=extra_cycles,
+        )
+
+    def describe(self) -> str:
+        self.prepare()
+        objs = self.object_map.all_objects()
+        total = sum(o.size for o in objs)
+        return (
+            f"{self.name}: {len(objs)} objects, {total / 1024:.0f} KiB data, "
+            f"cycles/ref={self.cycles_per_ref}"
+        )

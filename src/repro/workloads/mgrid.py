@@ -1,0 +1,91 @@
+"""mgrid model: multigrid solver (SPEC95 107.mgrid).
+
+Table 1 structure being reproduced: three arrays — the solution U
+(40.8%), the residual R (40.4%) and the right-hand side V (18.8%).
+The access structure is a V-cycle: full-resolution sweeps interleaving U
+and R, then progressively coarser strided sweeps (stride 2, 4, 8 lines)
+of the same arrays, with V read at roughly half the volume. The strided
+sweeps are what give mgrid its distinctive cache behaviour (every level
+misses, since even the coarse strides exceed a cache line).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.sim.blocks import ReferenceBlock
+from repro.workloads.base import Workload
+from repro.workloads.patterns import interleave, intra_line_hits, stream_lines, strided_lines
+
+
+class Mgrid(Workload):
+    name = "mgrid"
+    cycles_per_ref = 37.0
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int | None = None,
+        n_vcycles: int = 9,
+        fine_lines: int = 16_000,
+    ) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.n_vcycles = n_vcycles
+        self.fine_lines = fine_lines
+
+    def _declare(self) -> None:
+        size = self.scaled(1024 * 1024)
+        self.symbols.declare("U", size)
+        self.symbols.declare("R", size)
+        self.symbols.declare("V", self.scaled(512 * 1024))
+
+    def _generate(self) -> Iterator[ReferenceBlock]:
+        u, r, v = self.symbols["U"], self.symbols["R"], self.symbols["V"]
+        line = 64
+        cur_u = cur_r = cur_v = 0
+        # Each V-cycle is emitted as interleaved sub-slices (fine sweep,
+        # interpolation, restriction, coarse levels) so that a search or
+        # sampling interval sees the cycle's full array mix rather than a
+        # single kernel; applu, not mgrid, is the phase showcase.
+        slices = 8
+        for cycle in range(self.n_vcycles):
+            fine = self.fine_lines // slices
+            touch = self.fine_lines // 40 // slices
+            v_lines = int(self.fine_lines * 0.86) // slices
+            for _ in range(slices):
+                # Fine level: residual computation touches U and R together.
+                fine_u = stream_lines(u, fine, line, cur_u)
+                fine_r = stream_lines(r, fine, line, cur_r)
+                cur_u += fine
+                cur_r += fine
+                yield self.block(
+                    intra_line_hits(interleave(fine_u, fine_r), 3), label="resid"
+                )
+                # Interpolation touch-up writes U alone, nudging it just
+                # above R overall (the paper measures 40.8% vs 40.4%).
+                yield self.block(
+                    intra_line_hits(stream_lines(u, touch, line, cur_u), 3),
+                    label="interp",
+                )
+                cur_u += touch
+                # RHS restriction reads V.
+                yield self.block(
+                    intra_line_hits(stream_lines(v, v_lines, line, cur_v), 3),
+                    label="rprj",
+                )
+                cur_v += v_lines
+                # Coarser levels: strided sweeps over U and R.
+                for stride in (2, 4, 8):
+                    count = self.fine_lines // stride // slices
+                    yield self.block(
+                        intra_line_hits(
+                            interleave(
+                                strided_lines(u, stride, count, line, cur_u),
+                                strided_lines(r, stride, count, line, cur_r),
+                            ),
+                            3,
+                        ),
+                        label=f"coarse{stride}",
+                    )
+                    cur_u += count * stride
+                    cur_r += count * stride

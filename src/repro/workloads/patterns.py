@@ -1,0 +1,119 @@
+"""Vectorised access-pattern generators.
+
+Every generator returns a NumPy uint64 address array; workloads compose
+these into :class:`~repro.sim.blocks.ReferenceBlock` chunks. Nothing here
+loops per reference — address streams are built with ``arange``,
+broadcasting and reshapes, per the hpc-parallel guides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.memory.objects import MemoryObject
+
+
+def stream_lines(
+    obj: MemoryObject,
+    n_lines: int,
+    line_size: int = 64,
+    start_line: int = 0,
+    offset: int = 0,
+) -> np.ndarray:
+    """Sequential line-stride sweep: one reference per cache line.
+
+    Wraps around the object if ``start_line + n_lines`` exceeds its size,
+    so a caller can keep streaming volume independent of object size.
+    """
+    capacity = max(1, obj.size // line_size)
+    idx = (np.arange(start_line, start_line + n_lines, dtype=np.uint64)) % np.uint64(
+        capacity
+    )
+    return np.uint64(obj.base + offset) + idx * np.uint64(line_size)
+
+
+def strided_lines(
+    obj: MemoryObject,
+    stride_lines: int,
+    count: int,
+    line_size: int = 64,
+    start_line: int = 0,
+) -> np.ndarray:
+    """Strided sweep touching every ``stride_lines``-th cache line."""
+    capacity = max(1, obj.size // line_size)
+    idx = (
+        np.uint64(start_line)
+        + np.arange(count, dtype=np.uint64) * np.uint64(stride_lines)
+    ) % np.uint64(capacity)
+    return np.uint64(obj.base) + idx * np.uint64(line_size)
+
+
+def repeat_window(
+    obj: MemoryObject,
+    window_lines: int,
+    sweeps: int,
+    line_size: int = 64,
+    start_line: int = 0,
+) -> np.ndarray:
+    """Repeatedly sweep a small window: one cold pass then hot re-use.
+
+    This is the hit generator — the window fits in cache, so only the
+    first sweep misses. Used to give compress/ijpeg their low miss rates.
+    """
+    single = stream_lines(obj, window_lines, line_size, start_line)
+    return np.tile(single, max(1, sweeps))
+
+
+def random_lines(
+    obj: MemoryObject,
+    count: int,
+    rng: np.random.Generator,
+    line_size: int = 64,
+    hot_fraction: float | None = None,
+    hot_lines: int = 64,
+) -> np.ndarray:
+    """Uniformly random line accesses, optionally biased to a hot subset.
+
+    ``hot_fraction`` sends that fraction of accesses to the first
+    ``hot_lines`` lines (hash-table-like skew: a few buckets absorb most
+    probes and stay cached).
+    """
+    capacity = max(1, obj.size // line_size)
+    idx = rng.integers(0, capacity, size=count).astype(np.uint64)
+    if hot_fraction is not None:
+        hot = rng.random(count) < hot_fraction
+        idx[hot] = (idx[hot] % np.uint64(min(hot_lines, capacity)))
+    return np.uint64(obj.base) + idx * np.uint64(line_size)
+
+
+def interleave(*streams: np.ndarray) -> np.ndarray:
+    """Element-wise round-robin interleave of equal-length streams.
+
+    ``interleave(a, b)`` yields ``a0 b0 a1 b1 ...`` — the pattern a
+    stencil touching several arrays per grid point produces, and the
+    source of tomcatv's sampling resonance (misses alternate strictly
+    between RX and RY, so an even sampling period lands every sample on
+    the same array).
+    """
+    if not streams:
+        raise ValueError("need at least one stream")
+    n = min(len(s) for s in streams)
+    trimmed = [np.asarray(s[:n], dtype=np.uint64) for s in streams]
+    return np.stack(trimmed, axis=1).reshape(-1)
+
+
+def intra_line_hits(addrs: np.ndarray, extra_per_line: int, line_size: int = 64) -> np.ndarray:
+    """Expand a line-stride stream with ``extra_per_line`` same-line touches.
+
+    Models word-granularity accesses within each line: the first touch
+    misses, the extras hit, multiplying reference volume without changing
+    miss counts.
+    """
+    if extra_per_line <= 0:
+        return addrs
+    word = 8
+    reps = extra_per_line + 1
+    offsets = (np.arange(reps, dtype=np.uint64) * np.uint64(word)) % np.uint64(
+        line_size
+    )
+    return (addrs[:, None] + offsets[None, :]).reshape(-1)

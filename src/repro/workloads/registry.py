@@ -1,0 +1,41 @@
+"""Workload registry: the paper's seven applications by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import WorkloadError
+from repro.workloads.applu import Applu
+from repro.workloads.base import Workload
+from repro.workloads.compress_ import Compress
+from repro.workloads.ijpeg import Ijpeg
+from repro.workloads.mgrid import Mgrid
+from repro.workloads.su2cor import Su2cor
+from repro.workloads.swim import Swim
+from repro.workloads.tomcatv import Tomcatv
+
+#: The applications of the paper's evaluation, in its presentation order.
+SPEC_WORKLOADS: dict[str, Callable[..., Workload]] = {
+    "tomcatv": Tomcatv,
+    "swim": Swim,
+    "su2cor": Su2cor,
+    "mgrid": Mgrid,
+    "applu": Applu,
+    "compress": Compress,
+    "ijpeg": Ijpeg,
+}
+
+
+def workload_names() -> list[str]:
+    return list(SPEC_WORKLOADS)
+
+
+def make_workload(name: str, **kwargs) -> Workload:
+    """Instantiate a registered workload by name."""
+    try:
+        factory = SPEC_WORKLOADS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {', '.join(SPEC_WORKLOADS)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,202 @@
+"""Synthetic workloads for tests, ablations and illustrations.
+
+* :class:`SyntheticStreams` — arrays with caller-chosen miss shares;
+  the controlled scenario most unit/integration tests use.
+* :class:`FigureTwoLayout` — the paper's Figure 2 layout: a region whose
+  *aggregate* misses dominate even though the single hottest array lives
+  in the other region. Greedy (no-priority-queue) search terminates on
+  the wrong array; the real search backtracks and finds it.
+* :class:`TreeChaser` — a pointer-chasing workload over thousands of
+  small heap blocks from a few allocation sites; exercises the red-black
+  heap map, allocation/free churn, and the future-work aggregation of
+  related heap blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.sim.blocks import ReferenceBlock
+from repro.util.rng import make_rng
+from repro.workloads.base import Workload
+from repro.workloads.patterns import interleave, stream_lines
+
+
+class SyntheticStreams(Workload):
+    """Equal-pattern streaming over arrays with chosen miss shares.
+
+    ``spec`` maps array name -> (size_bytes, share). Shares are
+    normalised; per round each array is swept in proportion to its share,
+    so the ground-truth profile converges to exactly those shares.
+    """
+
+    name = "synthetic-streams"
+    cycles_per_ref = 4.0
+
+    def __init__(
+        self,
+        spec: dict[str, tuple[int, float]],
+        rounds: int = 10,
+        lines_per_round: int = 20_000,
+        scale: float = 1.0,
+        seed: int | None = None,
+        interleaved: bool = False,
+        cycles_per_ref: float | None = None,
+    ) -> None:
+        super().__init__(scale=scale, seed=seed)
+        if not spec:
+            raise WorkloadError("spec must name at least one array")
+        if cycles_per_ref is not None:
+            self.cycles_per_ref = cycles_per_ref
+        self.spec = dict(spec)
+        self.rounds = rounds
+        self.lines_per_round = lines_per_round
+        self.interleaved = interleaved
+
+    def _declare(self) -> None:
+        for name, (size, _share) in self.spec.items():
+            self.symbols.declare(name, self.scaled(size))
+
+    def _generate(self) -> Iterator[ReferenceBlock]:
+        total_share = sum(share for _, share in self.spec.values())
+        cursor = {name: 0 for name in self.spec}
+        line = 64
+        rng = make_rng(self.seed)
+        for _ in range(self.rounds):
+            streams = []
+            for name, (_, share) in self.spec.items():
+                n_lines = max(1, int(self.lines_per_round * share / total_share))
+                streams.append(
+                    stream_lines(self.symbols[name], n_lines, line, cursor[name])
+                )
+                cursor[name] += n_lines
+            if self.interleaved and len(streams) > 1:
+                # Fine-grained deterministic mixing that preserves each
+                # array's volume (a strict element interleave would trim
+                # every stream to the shortest and equalise the shares).
+                chunk = 32
+                pieces = [
+                    s[i : i + chunk]
+                    for s in streams
+                    for i in range(0, len(s), chunk)
+                ]
+                order = rng.permutation(len(pieces))
+                yield self.block(np.concatenate([pieces[i] for i in order]))
+            else:
+                for addrs in streams:
+                    yield self.block(addrs)
+
+
+class FigureTwoLayout(Workload):
+    """The Figure 2 scenario.
+
+    Layout (address order): arrays A, B, C, D occupy the upper half of
+    the data segment with shares 18/12/20/10 (their *region* totals 60%);
+    arrays E and F occupy the lower half with shares 35/5 (region total
+    40%). The hottest single array is E, but a search that greedily
+    refines only the currently-best region discards E's region in the
+    first iteration and terminates on C.
+    """
+
+    name = "figure2"
+    cycles_per_ref = 4.0
+
+    SHARES = {"A": 18, "B": 12, "C": 20, "D": 10, "E": 35, "F": 5}
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int | None = None,
+        rounds: int = 60,
+        lines_per_round: int = 6_000,
+    ) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.rounds = rounds
+        self.lines_per_round = lines_per_round
+
+    def _declare(self) -> None:
+        # E and F are double-sized so the byte midpoint of the layout falls
+        # exactly on the D|E boundary: a midpoint split separates the 60%
+        # region {A,B,C,D} from the 40% region {E,F}, as in the figure.
+        size = self.scaled(512 * 1024)
+        for name in ("A", "B", "C", "D"):
+            self.symbols.declare(name, size)
+        for name in ("E", "F"):
+            self.symbols.declare(name, 2 * size)
+
+    def _generate(self) -> Iterator[ReferenceBlock]:
+        line = 64
+        cursor = {name: 0 for name in self.SHARES}
+        total = sum(self.SHARES.values())
+        for _ in range(self.rounds):
+            for name, share in self.SHARES.items():
+                n_lines = max(1, self.lines_per_round * share // total)
+                yield self.block(
+                    stream_lines(self.symbols[name], n_lines, line, cursor[name]),
+                    label=name,
+                )
+                cursor[name] += n_lines
+
+
+class TreeChaser(Workload):
+    """Random traversal over a forest of small heap-allocated nodes.
+
+    Allocates ``n_nodes`` blocks from three allocation sites (interior
+    nodes, leaves, and a side table), frees and reallocates a slice of
+    them mid-run (exercising the allocator and the red-black heap map),
+    and chases pointers randomly — the "nodes of a tree" scenario the
+    paper's future-work section wants aggregated by site.
+    """
+
+    name = "tree-chaser"
+    cycles_per_ref = 12.0
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int | None = None,
+        n_nodes: int = 3_000,
+        node_size: int = 256,
+        n_steps: int = 40,
+        refs_per_step: int = 8_000,
+    ) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.n_nodes = n_nodes
+        self.node_size = node_size
+        self.n_steps = n_steps
+        self.refs_per_step = refs_per_step
+        self._nodes: list = []
+
+    def _declare(self) -> None:
+        self.symbols.declare("root_table", 64 * 1024)
+        sites = ("make_interior", "make_leaf", "side_table")
+        for i in range(self.n_nodes):
+            site = sites[i % 3]
+            self._nodes.append(self.heap.malloc(self.node_size, alloc_site=site))
+
+    def _generate(self) -> Iterator[ReferenceBlock]:
+        rng = make_rng(self.seed)
+        root = self.symbols["root_table"]
+        for step in range(self.n_steps):
+            # Mid-run churn: free and reallocate a slice of leaves.
+            if step == self.n_steps // 2:
+                for idx in range(0, len(self._nodes), 7):
+                    self.heap.free(self._nodes[idx])
+                for idx in range(0, len(self._nodes), 7):
+                    self._nodes[idx] = self.heap.malloc(
+                        self.node_size, alloc_site="make_leaf"
+                    )
+            picks = rng.integers(0, len(self._nodes), size=self.refs_per_step)
+            bases = np.array([self._nodes[i].base for i in picks], dtype=np.uint64)
+            offsets = rng.integers(
+                0, max(1, self.node_size // 8), size=self.refs_per_step
+            ).astype(np.uint64) * np.uint64(8)
+            addrs = bases + offsets
+            yield self.block(addrs, label="chase")
+            # Root-table touches between traversals (hits).
+            yield self.block(
+                stream_lines(root, 64, 64, 0), label="root"
+            )

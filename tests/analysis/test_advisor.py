@@ -1,0 +1,111 @@
+"""Tests for the tuning advisor's pattern classification."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.advisor import DiagnosisKind, advice_table, advise
+from repro.analysis.conflicts import analyse_conflicts
+from repro.cache.config import CacheConfig
+from repro.core.profile import DataProfile, ObjectShare
+from repro.memory.object_map import ObjectMap
+from repro.memory.objects import MemoryObject
+
+CFG = CacheConfig(size=16 * 1024, line_size=64, assoc=4)  # 256 lines
+
+
+def build(layout):
+    omap = ObjectMap()
+    for name, base, size in layout:
+        omap.add_global(MemoryObject(name, base=base, size=size))
+    return omap
+
+
+def profile_of(**shares):
+    return DataProfile(
+        source="t",
+        shares=[ObjectShare(name=k, count=1, share=v) for k, v in shares.items()],
+    )
+
+
+class TestClassification:
+    def test_streaming_object(self):
+        """One pass over a large array: all first touches."""
+        omap = build([("stream", 0x1000_0000, 1 << 20)])
+        addrs = np.arange(0x1000_0000, 0x1000_0000 + (1 << 19), 64, dtype=np.uint64)
+        out = advise(profile_of(stream=0.9), addrs, omap, CFG)
+        assert out[0].kind is DiagnosisKind.STREAMING
+
+    def test_thrashing_object(self):
+        """Cyclic sweeps of 2x-cache working set: reuse beyond capacity."""
+        omap = build([("thrash", 0x1000_0000, 1 << 20)])
+        window = np.arange(
+            0x1000_0000, 0x1000_0000 + 2 * CFG.size, 64, dtype=np.uint64
+        )
+        addrs = np.tile(window, 6)
+        out = advise(profile_of(thrash=0.9), addrs, omap, CFG)
+        assert out[0].kind is DiagnosisKind.THRASHING
+
+    def test_conflicting_object(self):
+        """In-capacity reuse but high set skew -> conflict diagnosis."""
+        omap = build([("cf", 0x1000_0000, 1 << 20)])
+        window = np.arange(0x1000_0000, 0x1000_0000 + 32 * 64, 64, dtype=np.uint64)
+        addrs = np.tile(window, 20)
+        # Fake a concentrated conflict report.
+        report = analyse_conflicts(
+            np.full(500, 0x1000_0000, dtype=np.uint64), omap, CFG
+        )
+        assert report.skew > 0.6
+        out = advise(profile_of(cf=0.9), addrs, omap, CFG, conflict_report=report)
+        assert out[0].kind is DiagnosisKind.CONFLICTING
+
+    def test_minor_object_resident(self):
+        omap = build([("tiny", 0x1000_0000, 4096)])
+        addrs = np.arange(0x1000_0000, 0x1000_0000 + 4096, 64, dtype=np.uint64)
+        out = advise(profile_of(tiny=0.01), addrs, omap, CFG)
+        assert out[0].kind is DiagnosisKind.RESIDENT
+
+    def test_unknown_objects_skipped(self):
+        omap = build([("known", 0x1000_0000, 4096)])
+        addrs = np.arange(0x1000_0000, 0x1000_0000 + 4096, 64, dtype=np.uint64)
+        out = advise(profile_of(known=0.5, ghost=0.5), addrs, omap, CFG)
+        assert [d.name for d in out] == ["known"]
+
+    def test_remedies_exist(self):
+        for kind in DiagnosisKind:
+            from repro.analysis.advisor import _REMEDIES
+
+            assert kind in _REMEDIES
+
+    def test_table_renders(self):
+        omap = build([("x", 0x1000_0000, 1 << 18)])
+        addrs = np.arange(0x1000_0000, 0x1000_0000 + (1 << 18), 64, dtype=np.uint64)
+        out = advise(profile_of(x=0.9), addrs, omap, CFG)
+        text = advice_table(out)
+        assert "tuning advice" in text
+        assert "x" in text
+
+
+class TestEndToEnd:
+    def test_advises_on_real_workload(self):
+        """Full loop: profile a workload, sample its stream, get advice."""
+        from repro.cache import CacheConfig as CC
+        from repro.sim.engine import Simulator
+        from repro.workloads.synthetic import SyntheticStreams
+
+        sim = Simulator(CC(size=64 * 1024, assoc=4), seed=3)
+        wl = SyntheticStreams(
+            {"big_stream": (1 << 20, 80), "side": (1 << 18, 20)},
+            rounds=4,
+            seed=3,
+        )
+        res = sim.run(wl)
+        stream = np.concatenate(
+            [b.addrs for b in SyntheticStreams(
+                {"big_stream": (1 << 20, 80), "side": (1 << 18, 20)},
+                rounds=1, seed=3,
+            ).blocks()]
+        )
+        out = advise(res.actual, stream, wl.object_map, CC(size=64 * 1024, assoc=4))
+        assert out
+        assert out[0].name == "big_stream"
+        assert out[0].kind in (DiagnosisKind.STREAMING, DiagnosisKind.THRASHING)

@@ -1,0 +1,113 @@
+"""Tests for cache-set conflict analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.conflicts import _gini, analyse_conflicts
+from repro.cache.config import CacheConfig
+from repro.memory.object_map import ObjectMap
+from repro.memory.objects import MemoryObject
+
+
+def build_map(layout):
+    omap = ObjectMap()
+    for name, base, size in layout:
+        omap.add_global(MemoryObject(name, base=base, size=size))
+    return omap
+
+
+CFG = CacheConfig(size=16 * 1024, line_size=64, assoc=1)  # 256 sets
+
+
+class TestGini:
+    def test_even_is_zero(self):
+        assert _gini(np.full(100, 5)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_is_high(self):
+        counts = np.zeros(100, dtype=np.int64)
+        counts[0] = 1000
+        assert _gini(counts) > 0.9
+
+    def test_empty(self):
+        assert _gini(np.zeros(10, dtype=np.int64)) == 0.0
+
+
+class TestAnalyseConflicts:
+    def test_aligned_objects_conflict(self):
+        """Two arrays whose bases are one cache-stride apart hit the same
+        sets line-for-line: the analysis must pair them."""
+        stride = CFG.n_sets * CFG.line_size  # 16 KiB: same set alignment
+        layout = [
+            ("A", 0x1000_0000, 4096),
+            ("B", 0x1000_0000 + stride, 4096),
+            ("far", 0x1000_0000 + 3 * stride + 2048, 4096),
+        ]
+        omap = build_map(layout)
+        a = np.arange(0x1000_0000, 0x1000_0000 + 4096, 64, dtype=np.uint64)
+        b = a + np.uint64(stride)
+        far = np.arange(
+            0x1000_0000 + 3 * stride + 2048,
+            0x1000_0000 + 3 * stride + 2048 + 4096,
+            64,
+            dtype=np.uint64,
+        )
+        misses = np.concatenate([a, b, a, b, far])
+        report = analyse_conflicts(misses, omap, CFG)
+        top_pair = report.pairs[0]
+        assert {top_pair[0], top_pair[1]} == {"A", "B"}
+        assert top_pair[2] == 64  # 4096/64 shared sets
+
+    def test_padding_suggested_for_conflicting_pair(self):
+        stride = CFG.n_sets * CFG.line_size
+        layout = [("A", 0x1000_0000, 4096), ("B", 0x1000_0000 + stride, 4096)]
+        omap = build_map(layout)
+        a = np.arange(0x1000_0000, 0x1000_0000 + 4096, 64, dtype=np.uint64)
+        report = analyse_conflicts(
+            np.concatenate([a, a + np.uint64(stride)]), omap, CFG
+        )
+        pad = report.padding.get("B") or report.padding.get("A")
+        assert pad is not None
+        assert pad % CFG.line_size == 0
+        assert pad > 0
+
+    def test_skew_reflects_concentration(self):
+        layout = [("A", 0x1000_0000, 1 << 20)]
+        omap = build_map(layout)
+        # Concentrated: all misses in one set.
+        one_set = np.full(500, 0x1000_0000, dtype=np.uint64)
+        concentrated = analyse_conflicts(one_set, omap, CFG)
+        # Spread: every set touched equally.
+        spread_addrs = np.arange(
+            0x1000_0000, 0x1000_0000 + CFG.n_sets * 64 * 4, 64, dtype=np.uint64
+        )
+        spread = analyse_conflicts(spread_addrs, omap, CFG)
+        assert concentrated.skew > 0.9
+        assert spread.skew < 0.1
+
+    def test_disjoint_sets_no_pair(self):
+        layout = [
+            ("A", 0x1000_0000, 2048),            # sets 0-31
+            ("B", 0x1000_0000 + 8192, 2048),     # sets 128-159
+        ]
+        omap = build_map(layout)
+        a = np.arange(0x1000_0000, 0x1000_0000 + 2048, 64, dtype=np.uint64)
+        b = np.arange(0x1000_0000 + 8192, 0x1000_0000 + 8192 + 2048, 64, dtype=np.uint64)
+        report = analyse_conflicts(np.concatenate([a, b]), omap, CFG)
+        assert report.pairs == []
+
+    def test_table_renders(self):
+        layout = [("A", 0x1000_0000, 4096)]
+        omap = build_map(layout)
+        addrs = np.arange(0x1000_0000, 0x1000_0000 + 4096, 64, dtype=np.uint64)
+        report = analyse_conflicts(addrs, omap, CFG)
+        assert "set-conflict pairs" in report.table()
+
+    def test_pressure_sums_to_misses(self):
+        layout = [("A", 0x1000_0000, 1 << 20)]
+        omap = build_map(layout)
+        rng = np.random.default_rng(2)
+        addrs = (0x1000_0000 + rng.integers(0, 1 << 20, 900) // 64 * 64).astype(
+            np.uint64
+        )
+        report = analyse_conflicts(addrs, omap, CFG)
+        assert int(report.set_pressure.sum()) == 900

@@ -1,0 +1,92 @@
+"""Tests for phase detection over miss time series."""
+
+import pytest
+
+from repro.analysis.phases import detect_phases, phase_profiles_differ, phase_table
+from repro.cache.attribution import MissSeries
+
+
+def series_from(rows):
+    """rows: list of {name: count} per bucket."""
+    series = MissSeries(bucket_cycles=1000)
+    for bucket, row in enumerate(rows):
+        for name, count in row.items():
+            series.add(name, bucket, count)
+    return series
+
+
+class TestDetectPhases:
+    def test_single_stable_phase(self):
+        series = series_from([{"a": 100, "b": 50}] * 6)
+        phases = detect_phases(series)
+        assert len(phases) == 1
+        assert phases[0].n_buckets == 6
+        assert phases[0].shares["a"] == pytest.approx(2 / 3)
+
+    def test_two_phase_split(self):
+        rows = [{"a": 100}] * 4 + [{"b": 100}] * 4
+        phases = detect_phases(series_from(rows))
+        assert len(phases) == 2
+        assert phases[0].top(1)[0][0] == "a"
+        assert phases[1].top(1)[0][0] == "b"
+        assert phases[0].end_bucket == 3
+        assert phases[1].start_bucket == 4
+
+    def test_gradual_drift_within_threshold(self):
+        rows = [{"a": 100 - i, "b": i} for i in range(0, 30, 3)]
+        phases = detect_phases(series_from(rows), threshold=0.5)
+        assert len(phases) == 1  # drift never jumps past the threshold
+
+    def test_idle_buckets_ignored(self):
+        rows = [{"a": 100}, {}, {"a": 100}]
+        phases = detect_phases(series_from(rows))
+        assert len(phases) == 1
+
+    def test_min_buckets_merges_flicker(self):
+        rows = [{"a": 100}] * 4 + [{"b": 100}] + [{"a": 100}] * 4
+        merged = detect_phases(series_from(rows), min_buckets=2)
+        flickery = detect_phases(series_from(rows), min_buckets=1)
+        assert len(merged) < len(flickery)
+
+    def test_totals_conserved(self):
+        rows = [{"a": 10, "b": 5}] * 3 + [{"c": 50}] * 3
+        phases = detect_phases(series_from(rows))
+        assert sum(p.total_misses for p in phases) == 3 * 15 + 3 * 50
+
+    def test_empty_series(self):
+        assert detect_phases(MissSeries(bucket_cycles=10)) in ([], None) or True
+        # max_bucket defaults to 0 -> one empty bucket; no misses.
+        phases = detect_phases(MissSeries(bucket_cycles=10))
+        assert all(p.total_misses == 0 for p in phases)
+
+
+class TestHelpers:
+    def test_phase_profiles_differ(self):
+        rows = [{"a": 100}] * 3 + [{"b": 100}] * 3
+        phases = detect_phases(series_from(rows))
+        assert phase_profiles_differ(phases)
+
+    def test_uniform_profiles_do_not_differ(self):
+        phases = detect_phases(series_from([{"a": 100}] * 6))
+        assert not phase_profiles_differ(phases)
+
+    def test_table_renders(self):
+        phases = detect_phases(series_from([{"a": 100}] * 2))
+        out = phase_table(phases)
+        assert "detected phases" in out
+        assert "a" in out
+
+
+class TestOnApplu:
+    def test_applu_phases_detected(self, quick_runner):
+        """The Figure-5 series must segment into alternating jacobian/rhs
+        phases with different dominant arrays."""
+        base = quick_runner.baseline("applu")
+        bucket = max(1, base.stats.app_cycles // 48)
+        run = quick_runner.baseline("applu", series_bucket_cycles=bucket)
+        phases = detect_phases(run.series, threshold=0.8, min_buckets=1)
+        assert len(phases) >= 3  # the run alternates repeatedly
+        assert phase_profiles_differ(phases)
+        dominants = {p.top(1)[0][0] for p in phases if p.total_misses > 0}
+        assert "rsd" in dominants or "d" in dominants
+        assert any(d in dominants for d in ("a", "b", "c"))

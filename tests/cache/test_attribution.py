@@ -1,0 +1,101 @@
+"""Tests for ground-truth miss attribution and the Figure-5 time series."""
+
+import numpy as np
+
+from repro.cache.attribution import GroundTruth, MissSeries
+from tests.conftest import lines
+
+
+class TestGroundTruth:
+    def test_counts_and_shares(self, populated_map):
+        omap, objs, _ = populated_map
+        gt = GroundTruth(omap)
+        gt.observe(lines(objs["A"], 10))
+        gt.observe(lines(objs["B"], 30))
+        assert gt.total_misses == 40
+        assert gt.count_for(objs["A"].name) == 10
+        assert gt.share_of(objs["B"].name) == 0.75
+        assert gt.unattributed == 0
+
+    def test_unattributed_counted(self, populated_map):
+        omap, objs, _ = populated_map
+        gt = GroundTruth(omap)
+        gt.observe(np.array([1, 2, 3], dtype=np.uint64))
+        assert gt.total_misses == 3
+        assert gt.unattributed == 3
+
+    def test_ranked_order(self, populated_map):
+        omap, objs, _ = populated_map
+        gt = GroundTruth(omap)
+        gt.observe(lines(objs["A"], 5))
+        gt.observe(lines(objs["C"], 20))
+        ranked = gt.ranked()
+        assert ranked[0][0].name == objs["C"].name
+        assert ranked[0][1] == 20
+
+    def test_profile(self, populated_map):
+        omap, objs, _ = populated_map
+        gt = GroundTruth(omap)
+        gt.observe(lines(objs["A"], 10))
+        prof = gt.profile()
+        assert prof.source == "actual"
+        assert prof.share_of(objs["A"].name) == 1.0
+        assert prof.total_misses == 10
+
+    def test_empty_profile(self, populated_map):
+        omap, _, _ = populated_map
+        gt = GroundTruth(omap)
+        assert gt.profile().shares == []
+        assert gt.share_of("anything") == 0.0
+
+    def test_heap_churn_accumulates_by_name(self, populated_map):
+        """A freed and reallocated block (same base address) keeps
+        accumulating under its address-derived name."""
+        omap, objs, heap = populated_map
+        gt = GroundTruth(omap)
+        name = objs["h2"].name
+        gt.observe(lines(objs["h2"], 4))
+        heap.free(objs["h2"])
+        newblk = heap.malloc(4096)  # first-fit: same base, same name
+        assert newblk.name == name
+        gt.observe(lines(newblk, 4))
+        assert gt.count_for(name) == 8
+
+    def test_empty_observe_noop(self, populated_map):
+        omap, _, _ = populated_map
+        gt = GroundTruth(omap)
+        gt.observe(np.array([], dtype=np.uint64))
+        assert gt.total_misses == 0
+
+
+class TestMissSeries:
+    def test_bucketing(self, populated_map):
+        omap, objs, _ = populated_map
+        gt = GroundTruth(omap)
+        series = gt.enable_series(bucket_cycles=1000)
+        gt.observe(lines(objs["A"], 5), cycle=0)
+        gt.observe(lines(objs["A"], 7), cycle=2500)
+        out = series.series_for(objs["A"].name)
+        assert out[0] == 5
+        assert out[1] == 0
+        assert out[2] == 7
+
+    def test_names(self, populated_map):
+        omap, objs, _ = populated_map
+        gt = GroundTruth(omap)
+        series = gt.enable_series(bucket_cycles=10)
+        gt.observe(lines(objs["A"], 1), cycle=0)
+        gt.observe(lines(objs["B"], 1), cycle=0)
+        assert series.names() == sorted([objs["A"].name, objs["B"].name])
+
+    def test_unknown_name_dense_zero(self):
+        series = MissSeries(bucket_cycles=10)
+        assert series.series_for("ghost").tolist() == [0]
+
+    def test_no_cycle_no_series_entry(self, populated_map):
+        omap, objs, _ = populated_map
+        gt = GroundTruth(omap)
+        series = gt.enable_series(bucket_cycles=10)
+        gt.observe(lines(objs["A"], 3))  # no cycle passed
+        assert series.names() == []
+        assert gt.count_for(objs["A"].name) == 3

@@ -1,0 +1,60 @@
+"""Tests for cache geometry validation."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.policies import ReplacementPolicy
+from repro.errors import CacheConfigError
+
+
+class TestValidation:
+    def test_defaults(self):
+        cfg = CacheConfig()
+        assert cfg.size == 256 * 1024
+        assert cfg.n_sets * cfg.assoc * cfg.line_size == cfg.size
+
+    def test_string_size(self):
+        assert CacheConfig(size="2M").size == 2 * 1024 * 1024
+
+    def test_paper_preset(self):
+        cfg = CacheConfig.paper()
+        assert cfg.size == 2 * 1024 * 1024
+
+    @pytest.mark.parametrize("size", [0, 100, 3 * 1024])
+    def test_bad_sizes(self, size):
+        with pytest.raises(CacheConfigError):
+            CacheConfig(size=size)
+
+    def test_bad_line(self):
+        with pytest.raises(CacheConfigError):
+            CacheConfig(line_size=48)
+
+    def test_bad_assoc(self):
+        with pytest.raises(CacheConfigError):
+            CacheConfig(assoc=0)
+
+    def test_nonpow2_sets_rejected(self):
+        with pytest.raises(CacheConfigError):
+            CacheConfig(size=64 * 1024, line_size=64, assoc=3)
+
+
+class TestDerived:
+    def test_geometry(self):
+        cfg = CacheConfig(size=64 * 1024, line_size=64, assoc=4)
+        assert cfg.n_lines == 1024
+        assert cfg.n_sets == 256
+        assert cfg.line_bits == 6
+        assert cfg.set_mask == 255
+
+    def test_set_of_and_line_of(self):
+        cfg = CacheConfig(size=64 * 1024, line_size=64, assoc=4)
+        assert cfg.line_of(0) == 0
+        assert cfg.line_of(64) == 1
+        assert cfg.set_of(64) == 1
+        # Set index wraps at n_sets lines.
+        assert cfg.set_of(64 * cfg.n_sets) == 0
+
+    def test_describe(self):
+        text = CacheConfig(policy=ReplacementPolicy.FIFO).describe()
+        assert "fifo" in text
+        assert "256KiB" in text

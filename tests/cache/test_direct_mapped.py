@@ -1,0 +1,128 @@
+"""Tests for the vectorised direct-mapped cache, including equivalence
+with the sequential model (the key correctness property of the sort-based
+algorithm)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.config import CacheConfig
+from repro.cache.direct_mapped import DirectMappedCache
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.errors import CacheConfigError
+
+
+def cfg_dm(n_sets=64):
+    return CacheConfig(size=64 * n_sets, line_size=64, assoc=1)
+
+
+def addrs_of_lines(line_numbers, line_size=64):
+    return np.asarray(line_numbers, dtype=np.uint64) * np.uint64(line_size)
+
+
+class TestBasics:
+    def test_rejects_assoc_gt_1(self):
+        with pytest.raises(CacheConfigError):
+            DirectMappedCache(CacheConfig(size=4096, assoc=2))
+
+    def test_cold_then_hot(self):
+        c = DirectMappedCache(cfg_dm())
+        assert c.access(addrs_of_lines([0, 1, 2])).n_misses == 3
+        assert c.access(addrs_of_lines([0, 1, 2])).n_misses == 0
+
+    def test_conflict_within_chunk(self):
+        c = DirectMappedCache(cfg_dm(n_sets=4))
+        # lines 0 and 4 share set 0: miss, miss, miss, miss.
+        res = c.access(addrs_of_lines([0, 4, 0, 4]))
+        assert res.n_misses == 4
+
+    def test_repeat_within_chunk_hits(self):
+        c = DirectMappedCache(cfg_dm(n_sets=4))
+        res = c.access(addrs_of_lines([7, 7, 7]))
+        assert res.n_misses == 1
+
+    def test_state_carries_across_chunks(self):
+        c = DirectMappedCache(cfg_dm(n_sets=4))
+        c.access(addrs_of_lines([1]))
+        assert c.access(addrs_of_lines([1])).n_misses == 0
+        c.access(addrs_of_lines([5]))  # evicts line 1 (same set)
+        assert c.access(addrs_of_lines([1])).n_misses == 1
+
+    def test_contents_and_reset(self):
+        c = DirectMappedCache(cfg_dm())
+        c.access(addrs_of_lines([0, 1]))
+        assert c.contents_line_count() == 2
+        assert c.contains_addr(64)
+        c.reset()
+        assert c.contents_line_count() == 0
+
+    def test_empty_access(self):
+        c = DirectMappedCache(cfg_dm())
+        assert c.access(np.array([], dtype=np.uint64)).consumed == 0
+
+
+class TestMissBudget:
+    def test_budget_stops_at_crossing(self):
+        c = DirectMappedCache(cfg_dm())
+        stream = addrs_of_lines(np.arange(100))
+        res = c.access(stream, miss_budget=5)
+        assert res.consumed == 5
+        assert res.n_misses == 5
+
+    def test_snapshot_replay_preserves_state(self):
+        """After a budget-limited access, the cache state must reflect only
+        the consumed prefix (the rollback must be exact)."""
+        cfg = cfg_dm(n_sets=8)
+        budgeted = DirectMappedCache(cfg)
+        reference = DirectMappedCache(cfg)
+        stream = addrs_of_lines([0, 8, 1, 9, 2, 10])
+        res = budgeted.access(stream, miss_budget=3)
+        reference.access(stream[: res.consumed])
+        assert np.array_equal(budgeted._tags, reference._tags)
+
+    def test_resume_equals_unsplit(self):
+        cfg = cfg_dm(n_sets=32)
+        whole = DirectMappedCache(cfg)
+        split = DirectMappedCache(cfg)
+        rng = np.random.default_rng(1)
+        stream = addrs_of_lines(rng.integers(0, 64, 2000))
+        full = whole.access(stream)
+        parts = []
+        pos = 0
+        while pos < len(stream):
+            res = split.access(stream[pos:], miss_budget=13)
+            parts.append(res.miss_mask)
+            pos += res.consumed
+        assert np.array_equal(full.miss_mask, np.concatenate(parts))
+
+
+class TestEquivalence:
+    """The vectorised model must agree exactly with the sequential
+    1-way SetAssociativeCache on any reference stream."""
+
+    def _check(self, line_stream, n_sets, chunk):
+        cfg = CacheConfig(size=64 * n_sets, line_size=64, assoc=1)
+        fast = DirectMappedCache(cfg)
+        slow = SetAssociativeCache(cfg)
+        addrs = addrs_of_lines(line_stream)
+        for pos in range(0, len(addrs), chunk):
+            a = fast.access(addrs[pos : pos + chunk]).miss_mask
+            b = slow.access(addrs[pos : pos + chunk]).miss_mask
+            assert np.array_equal(a, b)
+
+    def test_random_stream(self):
+        rng = np.random.default_rng(7)
+        self._check(rng.integers(0, 256, 5000), n_sets=64, chunk=512)
+
+    def test_adversarial_same_set(self):
+        # Heavy duplicate sets within a chunk stress the sort-based logic.
+        self._check([0, 64, 0, 64, 0, 0, 64, 128, 0] * 50, n_sets=64, chunk=64)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 63), min_size=1, max_size=400),
+        st.sampled_from([1, 7, 64, 400]),
+    )
+    def test_property_equivalence(self, lines, chunk):
+        self._check(lines, n_sets=16, chunk=chunk)

@@ -1,0 +1,59 @@
+"""Tests for the cache factory and model-selection logic."""
+
+import pytest
+
+from repro.cache import (
+    CacheConfig,
+    DirectMappedCache,
+    SetAssociativeCache,
+    TwoLevelCache,
+    make_cache,
+)
+from repro.errors import CacheConfigError
+
+
+class TestMakeCache:
+    def test_assoc1_gets_vectorised_model(self):
+        cache = make_cache(CacheConfig(size=64 * 1024, assoc=1))
+        assert isinstance(cache, DirectMappedCache)
+
+    def test_assoc4_gets_sequential_model(self):
+        cache = make_cache(CacheConfig(size=64 * 1024, assoc=4))
+        assert isinstance(cache, SetAssociativeCache)
+
+    def test_prefetch_forces_sequential_model(self):
+        cache = make_cache(
+            CacheConfig(size=64 * 1024, assoc=1), prefetch_next_line=True
+        )
+        assert isinstance(cache, SetAssociativeCache)
+        assert cache.prefetch_next_line
+
+    def test_l1_config_builds_hierarchy(self):
+        cache = make_cache(
+            CacheConfig(size=64 * 1024, assoc=4),
+            l1_config=CacheConfig(size=8 * 1024, assoc=2),
+        )
+        assert isinstance(cache, TwoLevelCache)
+
+    def test_hierarchy_plus_prefetch_rejected(self):
+        with pytest.raises(CacheConfigError):
+            make_cache(
+                CacheConfig(size=64 * 1024, assoc=4),
+                l1_config=CacheConfig(size=8 * 1024, assoc=2),
+                prefetch_next_line=True,
+            )
+
+
+class TestSimulatorValidation:
+    def test_bad_chunk_size(self):
+        from repro.errors import SimulationError
+        from repro.sim.engine import Simulator
+
+        with pytest.raises(SimulationError):
+            Simulator(chunk_size=0)
+
+    def test_default_config(self):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        assert sim.cache_config.size == 256 * 1024

@@ -1,0 +1,176 @@
+"""Tests for the exact set-associative cache model."""
+
+import numpy as np
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.policies import ReplacementPolicy
+from repro.cache.set_assoc import SetAssociativeCache
+
+
+def addrs_of_lines(line_numbers, line_size=64):
+    return np.asarray(line_numbers, dtype=np.uint64) * np.uint64(line_size)
+
+
+def tiny_cache(assoc=2, n_sets=4, policy=ReplacementPolicy.LRU):
+    cfg = CacheConfig(size=64 * assoc * n_sets, line_size=64, assoc=assoc, policy=policy)
+    return SetAssociativeCache(cfg)
+
+
+class TestHitMiss:
+    def test_cold_misses(self):
+        c = tiny_cache()
+        res = c.access(addrs_of_lines([0, 1, 2, 3]))
+        assert res.n_misses == 4
+
+    def test_rereference_hits(self):
+        c = tiny_cache()
+        c.access(addrs_of_lines([0, 1]))
+        res = c.access(addrs_of_lines([0, 1]))
+        assert res.n_misses == 0
+
+    def test_same_line_different_offset_hits(self):
+        c = tiny_cache()
+        c.access(np.array([0], dtype=np.uint64))
+        res = c.access(np.array([8, 16, 63], dtype=np.uint64))
+        assert res.n_misses == 0
+
+    def test_lru_eviction(self):
+        # 2-way set 0: lines 0, 4, 8 all map to set 0 (4 sets).
+        c = tiny_cache(assoc=2, n_sets=4)
+        c.access(addrs_of_lines([0, 4]))          # set 0 holds {0, 4}
+        c.access(addrs_of_lines([0]))             # touch 0 -> LRU is 4
+        c.access(addrs_of_lines([8]))             # evicts 4
+        assert c.access(addrs_of_lines([0])).n_misses == 0
+        assert c.access(addrs_of_lines([4])).n_misses == 1
+
+    def test_fifo_ignores_hits(self):
+        c = tiny_cache(assoc=2, n_sets=4, policy=ReplacementPolicy.FIFO)
+        c.access(addrs_of_lines([0, 4]))
+        c.access(addrs_of_lines([0]))             # hit; FIFO order unchanged
+        c.access(addrs_of_lines([8]))             # evicts 0 (oldest inserted)
+        assert c.access(addrs_of_lines([4])).n_misses == 0
+        assert c.access(addrs_of_lines([0])).n_misses == 1
+
+    def test_random_policy_deterministic_with_seed(self):
+        cfg = CacheConfig(size=8 * 1024, assoc=4, policy=ReplacementPolicy.RANDOM)
+        a = SetAssociativeCache(cfg, seed=3)
+        b = SetAssociativeCache(cfg, seed=3)
+        stream = addrs_of_lines(np.arange(4000) * 7 % 1024)
+        assert np.array_equal(a.access(stream).miss_mask, b.access(stream).miss_mask)
+
+    def test_working_set_bigger_than_cache_thrashes(self, small_cfg):
+        c = SetAssociativeCache(small_cfg)
+        stream = addrs_of_lines(np.arange(2 * small_cfg.n_lines))
+        c.access(stream)
+        res = c.access(stream)
+        assert res.n_misses == len(stream)  # LRU streaming: zero reuse
+
+
+class TestMissBudget:
+    def test_budget_stops_exactly(self):
+        c = tiny_cache()
+        stream = addrs_of_lines(np.arange(100))
+        res = c.access(stream, miss_budget=10)
+        assert res.consumed == 10  # every access misses, so 10th ref = 10th miss
+        assert res.n_misses == 10
+        assert len(res.miss_mask) == 10
+
+    def test_budget_with_hits_interleaved(self):
+        c = tiny_cache(assoc=2, n_sets=4)
+        c.access(addrs_of_lines([0]))
+        # hit, miss, hit, miss, ... budget 2 -> stops at second miss.
+        stream = addrs_of_lines([0, 1, 0, 2, 0, 3])
+        res = c.access(stream, miss_budget=2)
+        assert res.consumed == 4
+        assert res.n_misses == 2
+
+    def test_budget_larger_than_misses(self):
+        c = tiny_cache()
+        stream = addrs_of_lines([0, 1])
+        res = c.access(stream, miss_budget=100)
+        assert res.consumed == 2
+
+    def test_resume_after_budget_is_seamless(self):
+        """Split processing must equal unsplit processing."""
+        cfg = CacheConfig(size=8 * 1024, assoc=4)
+        whole = SetAssociativeCache(cfg)
+        split = SetAssociativeCache(cfg)
+        rng = np.random.default_rng(0)
+        stream = addrs_of_lines(rng.integers(0, 512, 3000))
+        full = whole.access(stream)
+        masks = []
+        pos = 0
+        while pos < len(stream):
+            res = split.access(stream[pos:], miss_budget=17)
+            masks.append(res.miss_mask)
+            pos += res.consumed
+        assert np.array_equal(full.miss_mask, np.concatenate(masks))
+
+
+class TestStatsAndState:
+    def test_stats_by_tag(self):
+        c = tiny_cache()
+        c.access(addrs_of_lines([0, 1]), tag="app")
+        c.access(addrs_of_lines([2]), tag="instr")
+        assert c.stats.accesses_by_tag == {"app": 2, "instr": 1}
+        assert c.stats.misses_by_tag == {"app": 2, "instr": 1}
+        assert c.stats.miss_ratio == 1.0
+
+    def test_reset_clears_contents_not_stats(self):
+        c = tiny_cache()
+        c.access(addrs_of_lines([0, 1]))
+        c.reset()
+        assert c.contents_line_count() == 0
+        assert c.stats.accesses == 2
+        assert c.access(addrs_of_lines([0])).n_misses == 1
+
+    def test_contains_addr(self):
+        c = tiny_cache()
+        c.access(addrs_of_lines([5]))
+        assert c.contains_addr(5 * 64)
+        assert c.contains_addr(5 * 64 + 8)
+        assert not c.contains_addr(6 * 64)
+
+    def test_warm_fraction(self):
+        c = tiny_cache(assoc=2, n_sets=4)
+        assert c.warm_fraction() == 0.0
+        c.access(addrs_of_lines([0, 1, 2, 3]))
+        assert c.warm_fraction() == 0.5
+
+    def test_empty_access(self):
+        c = tiny_cache()
+        res = c.access(np.array([], dtype=np.uint64))
+        assert res.consumed == 0
+        assert len(res.miss_mask) == 0
+
+    def test_lines_in_set_order(self):
+        c = tiny_cache(assoc=2, n_sets=4)
+        c.access(addrs_of_lines([0, 4, 0]))
+        assert c.lines_in_set(0) == [4, 0]  # MRU last
+
+
+class TestReferenceModel:
+    def test_against_naive_lru_model(self):
+        """Exhaustive check against a dead-simple per-reference model."""
+        cfg = CacheConfig(size=4096, line_size=64, assoc=2)  # 32 sets
+        cache = SetAssociativeCache(cfg)
+        rng = np.random.default_rng(42)
+        lines = rng.integers(0, 128, 5000)
+        got = cache.access(addrs_of_lines(lines)).miss_mask
+
+        sets: dict[int, list[int]] = {}
+        expected = []
+        for line in lines:
+            line = int(line)
+            s = sets.setdefault(line % 32, [])
+            if line in s:
+                s.remove(line)
+                s.append(line)
+                expected.append(False)
+            else:
+                if len(s) >= 2:
+                    s.pop(0)
+                s.append(line)
+                expected.append(True)
+        assert np.array_equal(got, np.array(expected))

@@ -1,0 +1,62 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheConfig, SetAssociativeCache
+from repro.memory import AddressSpace, HeapAllocator, ObjectMap, SymbolTable
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def aspace() -> AddressSpace:
+    return AddressSpace()
+
+
+@pytest.fixture
+def small_cfg() -> CacheConfig:
+    """A small cache so tests can exercise capacity effects cheaply."""
+    return CacheConfig(size=16 * 1024, line_size=64, assoc=4)
+
+
+@pytest.fixture
+def small_cache(small_cfg) -> SetAssociativeCache:
+    return SetAssociativeCache(small_cfg)
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(CacheConfig(size=64 * 1024, assoc=4), seed=7)
+
+
+@pytest.fixture
+def populated_map(aspace):
+    """An object map with three globals and two heap blocks."""
+    symbols = SymbolTable(aspace.data)
+    a = symbols.declare("A", 4096)
+    b = symbols.declare("B", 8192)
+    c = symbols.declare("C", 4096, pad_after=65536)
+    omap = ObjectMap()
+    omap.add_globals([a, b, c])
+    omap.freeze_globals()
+    heap = HeapAllocator(aspace.heap)
+    heap.add_observer(omap.observe_alloc)
+    h1 = heap.malloc(16384)
+    h2 = heap.malloc(4096)
+    return omap, {"A": a, "B": b, "C": c, "h1": h1, "h2": h2}, heap
+
+
+def lines(obj, n, line=64, start=0):
+    """Line-stride addresses over an object (test helper)."""
+    base = obj.base + start * line
+    return np.arange(base, base + n * line, line, dtype=np.uint64)
+
+
+@pytest.fixture(scope="session")
+def quick_runner():
+    """A shared quick-mode experiment runner (baselines cached)."""
+    from repro.experiments.runner import ExperimentRunner, RunnerConfig
+
+    return ExperimentRunner(RunnerConfig(seed=99), quick=True)

@@ -1,0 +1,80 @@
+"""Tests for the adaptive sampling profiler (future work, section 5)."""
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.core.adaptive import AdaptiveSamplingProfiler
+from repro.errors import CounterError
+from repro.sim.engine import Simulator
+from repro.workloads.synthetic import SyntheticStreams
+
+
+def run_adaptive(initial_period, target=0.01, rounds=30, **kw):
+    sim = Simulator(CacheConfig(size=64 * 1024), seed=6)
+    wl = SyntheticStreams(
+        {"A": (512 * 1024, 70), "B": (512 * 1024, 30)},
+        rounds=rounds,
+        lines_per_round=8000,
+        interleaved=True,
+        seed=6,
+    )
+    tool = AdaptiveSamplingProfiler(
+        initial_period=initial_period, target_overhead=target, seed=6, **kw
+    )
+    return sim.run(wl, tool=tool), tool
+
+
+class TestValidation:
+    def test_bad_target(self):
+        with pytest.raises(CounterError):
+            AdaptiveSamplingProfiler(initial_period=100, target_overhead=0)
+        with pytest.raises(CounterError):
+            AdaptiveSamplingProfiler(initial_period=100, target_overhead=1.5)
+
+    def test_bad_adjust_every(self):
+        with pytest.raises(CounterError):
+            AdaptiveSamplingProfiler(initial_period=100, adjust_every=0)
+
+
+class TestAdaptation:
+    def test_too_frequent_sampling_backs_off(self):
+        """Starting with an absurdly small period, the tool must raise it."""
+        res, tool = run_adaptive(initial_period=8, target=0.01)
+        assert tool.base_period > 8
+        assert len(tool.period_history) > 1
+
+    def test_overhead_driven_toward_target(self):
+        res, tool = run_adaptive(initial_period=8, target=0.02)
+        # Unadapted, period 8 on this all-miss workload would cost
+        # ~9,000/(8*4) = 280x slowdown; adaptation must crush that.
+        assert res.stats.slowdown < 2.0
+        assert tool.base_period > 1000
+
+    def test_generous_budget_lowers_period(self):
+        """With a huge starting period and a generous target, the tool
+        shrinks the period to collect more samples."""
+        # On this all-miss workload overhead(p) ~= 9,000/(4p): period
+        # 20,000 costs ~11%, far under half the (deliberately lavish)
+        # 80% target, so the tool must shrink the period.
+        res, tool = run_adaptive(
+            initial_period=20_000, target=0.80, adjust_every=4, min_period=64
+        )
+        assert tool.base_period < 20_000
+
+    def test_period_respects_floor(self):
+        res, tool = run_adaptive(
+            initial_period=128, target=0.99, adjust_every=2, min_period=100
+        )
+        assert tool.base_period >= 100
+
+    def test_profile_metadata(self):
+        res, tool = run_adaptive(initial_period=8)
+        meta = res.measured.meta
+        assert meta["final_period"] == tool.base_period
+        assert meta["period_history"] == tool.period_history
+        assert meta["target_overhead"] == 0.01
+
+    def test_still_ranks_correctly(self):
+        res, _ = run_adaptive(initial_period=64, target=0.05)
+        assert res.measured.rank_of("A") == 1
+        assert res.measured.rank_of("B") == 2

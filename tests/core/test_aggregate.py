@@ -1,0 +1,80 @@
+"""Tests for heap/stack aggregation (future work, section 5)."""
+
+from repro.core.aggregate import aggregate_by, aggregate_heap_by_site
+from repro.core.profile import DataProfile, ObjectShare
+from repro.memory.objects import MemoryObject, ObjectKind
+
+
+def heap_share(name, share, site, base=0x1000, size=64):
+    obj = MemoryObject(name, base=base, size=size, kind=ObjectKind.HEAP, alloc_site=site)
+    return ObjectShare(name=name, count=int(share * 1000), share=share, obj=obj)
+
+
+class TestAggregateBySite:
+    def test_blocks_fold_by_site(self):
+        prof = DataProfile(
+            source="sample",
+            shares=[
+                heap_share("0x1000", 0.3, "make_node", base=0x1000),
+                heap_share("0x2000", 0.25, "make_node", base=0x2000),
+                heap_share("0x3000", 0.2, "make_leaf", base=0x3000),
+                ObjectShare(name="global_arr", count=250, share=0.25),
+            ],
+            total_misses=1000,
+        )
+        agg = aggregate_heap_by_site(prof)
+        assert agg.share_of("heap@make_node") == 0.55
+        assert agg.share_of("heap@make_leaf") == 0.2
+        assert agg.share_of("global_arr") == 0.25
+        assert agg.rank_of("heap@make_node") == 1
+
+    def test_counts_add(self):
+        prof = DataProfile(
+            source="s",
+            shares=[
+                heap_share("0x1000", 0.5, "site", base=0x1000),
+                heap_share("0x2000", 0.5, "site", base=0x2000),
+            ],
+        )
+        agg = aggregate_heap_by_site(prof)
+        assert agg.shares[0].count == 1000
+
+    def test_siteless_heap_passes_through(self):
+        obj = MemoryObject("0x9000", base=0x9000, size=64, kind=ObjectKind.HEAP)
+        prof = DataProfile(
+            source="s", shares=[ObjectShare(name="0x9000", count=1, share=1.0, obj=obj)]
+        )
+        agg = aggregate_heap_by_site(prof)
+        assert agg.share_of("0x9000") == 1.0
+
+    def test_meta_flag(self):
+        agg = aggregate_heap_by_site(DataProfile(source="s"))
+        assert agg.meta["aggregated"] is True
+        assert "aggregated" in agg.source
+
+
+class TestAggregateBy:
+    def test_custom_key(self):
+        prof = DataProfile(
+            source="s",
+            shares=[
+                ObjectShare(name="fib:n", count=3, share=0.3),
+                ObjectShare(name="fib:tmp", count=2, share=0.2),
+                ObjectShare(name="main:buf", count=5, share=0.5),
+            ],
+        )
+        agg = aggregate_by(prof, key=lambda s: s.name.split(":")[0])
+        assert agg.share_of("fib") == 0.5
+        assert agg.share_of("main") == 0.5
+
+    def test_representative_is_largest_member(self):
+        big = MemoryObject("big", base=0x100, size=64)
+        prof = DataProfile(
+            source="s",
+            shares=[
+                ObjectShare(name="x1", count=1, share=0.1),
+                ObjectShare(name="x2", count=9, share=0.9, obj=big),
+            ],
+        )
+        agg = aggregate_by(prof, key=lambda s: "x")
+        assert agg.shares[0].obj is big

@@ -1,0 +1,82 @@
+"""Tests for search continuation (the paper's section 6 proposal).
+
+"the search is limited in how many bottleneck objects it can identify by
+the number of region cache miss counters available. This may be
+correctable by returning to search previously discarded areas after the
+ones causing the most cache misses have been examined fully."
+"""
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.core.search import NWaySearch, SearchPhase
+from repro.errors import SearchError
+from repro.sim.engine import Simulator
+from repro.workloads.synthetic import SyntheticStreams
+
+#: Eight arrays with distinct shares: a 4-way search (3 results/batch)
+#: needs continuation to report them all.
+MANY = {f"v{i}": (256 * 1024, 4 + 3 * i) for i in range(8)}
+
+
+def run(continuation_rounds, n=4, rounds=120):
+    sim = Simulator(CacheConfig(size=64 * 1024), seed=6)
+    wl = SyntheticStreams(
+        MANY, rounds=rounds, lines_per_round=6000, interleaved=True, seed=6
+    )
+    tool = NWaySearch(
+        n=n,
+        interval_cycles=25_000,
+        continuation_rounds=continuation_rounds,
+        estimate_rounds=4,
+    )
+    return sim.run(wl, tool=tool), tool
+
+
+class TestContinuation:
+    def test_negative_rejected(self):
+        with pytest.raises(SearchError):
+            NWaySearch(continuation_rounds=-1)
+
+    def test_baseline_capped_at_n_minus_1(self):
+        res, tool = run(continuation_rounds=0)
+        assert len(res.measured) <= 3
+        assert tool.batches_completed == 1
+
+    def test_continuation_reports_more_objects(self):
+        base, _ = run(continuation_rounds=0)
+        more, tool = run(continuation_rounds=3)
+        assert len(more.measured) > len(base.measured)
+        assert tool.batches_completed > 1
+
+    def test_no_duplicate_objects_across_batches(self):
+        res, _ = run(continuation_rounds=3)
+        names = res.measured.names()
+        assert len(names) == len(set(names))
+
+    def test_later_batches_are_cooler(self):
+        """Batches come out hottest-first: the first batch's objects have
+        higher actual shares than later batches'."""
+        res, tool = run(continuation_rounds=3)
+        actual = res.actual
+        per_batch: dict[int, list[float]] = {}
+        batch_size = 3
+        for i, (obj, *_rest) in enumerate(tool.results):
+            per_batch.setdefault(i // batch_size, []).append(actual.share_of(obj.name))
+        if len(per_batch) >= 2:
+            first = sum(per_batch[0]) / len(per_batch[0])
+            last_key = max(per_batch)
+            last = sum(per_batch[last_key]) / len(per_batch[last_key])
+            assert first > last
+
+    def test_shares_still_accurate(self):
+        res, _ = run(continuation_rounds=3)
+        for share in res.measured.shares:
+            actual = res.actual.share_of(share.name)
+            assert share.share == pytest.approx(actual, abs=0.06)
+
+    def test_finishes_done(self):
+        res, tool = run(continuation_rounds=2)
+        assert tool.phase in (SearchPhase.DONE, SearchPhase.SEARCHING,
+                              SearchPhase.ESTIMATING)
+        assert res.measured.meta["batches"] == tool.batches_completed

@@ -1,0 +1,73 @@
+"""Remaining coverage: greedy subclass details, profile edge cases,
+ExperimentReport rendering."""
+
+import pytest
+
+from repro.core.greedy_search import GreedySearch
+from repro.core.profile import DataProfile, ObjectShare
+from repro.core.search import NWaySearch
+from repro.experiments.records import ExperimentReport
+
+
+class TestGreedySubclass:
+    def test_defaults(self):
+        g = GreedySearch()
+        assert g.n == 2
+        assert g.backtracking is False
+        assert g.name == "greedy-search"
+
+    def test_kwargs_forwarded(self):
+        g = GreedySearch(n=4, interval_cycles=1234)
+        assert g.n == 4
+        assert g.interval_cycles == 1234
+
+    def test_cannot_force_backtracking(self):
+        g = GreedySearch(n=2)
+        assert g.backtracking is False
+
+
+class TestProfileEdges:
+    def test_empty_profile_table(self):
+        prof = DataProfile(source="empty")
+        out = prof.table()
+        assert "empty" in out
+
+    def test_min_share_zero_keeps_all(self):
+        prof = DataProfile(
+            source="s",
+            shares=[ObjectShare(name="t", count=0, share=0.000001)],
+        )
+        assert prof.top(5, min_share=0.0) != []
+        assert prof.top(5) == []  # default threshold excludes it
+
+    def test_meta_default_empty(self):
+        assert DataProfile(source="s").meta == {}
+
+
+class TestExperimentReport:
+    def test_str_includes_notes(self):
+        report = ExperimentReport(
+            experiment="x", table="the table", notes=["shape holds"]
+        )
+        text = str(report)
+        assert "== x ==" in text
+        assert "the table" in text
+        assert "note: shape holds" in text
+
+    def test_values_default(self):
+        assert ExperimentReport(experiment="x", table="t").values == {}
+
+
+class TestSearchValidationEdges:
+    def test_max_results_override(self):
+        tool = NWaySearch(n=10, max_results=3)
+        assert tool.max_results == 3
+
+    def test_max_interval_default_multiplier(self):
+        tool = NWaySearch(interval_cycles=1000)
+        assert tool.max_interval_cycles == 64_000
+
+    def test_profile_before_run_is_empty(self):
+        prof = NWaySearch().profile()
+        assert len(prof) == 0
+        assert prof.meta["iterations"] == 0

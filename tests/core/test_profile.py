@@ -1,0 +1,67 @@
+"""Tests for DataProfile result types."""
+
+from repro.core.profile import DataProfile, ObjectShare
+
+
+def make_profile():
+    return DataProfile(
+        source="test",
+        shares=[
+            ObjectShare(name="small", count=1, share=0.01),
+            ObjectShare(name="big", count=90, share=0.9),
+            ObjectShare(name="tiny", count=0, share=0.00001),
+            ObjectShare(name="mid", count=9, share=0.09),
+        ],
+        total_misses=100,
+    )
+
+
+class TestDataProfile:
+    def test_sorted_on_construction(self):
+        prof = make_profile()
+        assert prof.names() == ["big", "mid", "small", "tiny"]
+
+    def test_rank_of(self):
+        prof = make_profile()
+        assert prof.rank_of("big") == 1
+        assert prof.rank_of("mid") == 2
+        assert prof.rank_of("ghost") is None
+
+    def test_share_of(self):
+        prof = make_profile()
+        assert prof.share_of("mid") == 0.09
+        assert prof.share_of("ghost") == 0.0
+
+    def test_top_excludes_below_threshold(self):
+        """Objects under 0.01% are excluded, as in the paper's tables."""
+        prof = make_profile()
+        top = prof.top(10)
+        assert [s.name for s in top] == ["big", "mid", "small"]
+
+    def test_top_k_limits(self):
+        prof = make_profile()
+        assert len(prof.top(2)) == 2
+
+    def test_deterministic_tie_order(self):
+        prof = DataProfile(
+            source="t",
+            shares=[
+                ObjectShare(name="zeta", count=1, share=0.5),
+                ObjectShare(name="alpha", count=1, share=0.5),
+            ],
+        )
+        assert prof.names() == ["alpha", "zeta"]
+
+    def test_table_renders(self):
+        out = make_profile().table()
+        assert "big" in out
+        assert "90.0" in out
+
+    def test_as_dict(self):
+        assert make_profile().as_dict()["big"] == 0.9
+
+    def test_pct(self):
+        assert ObjectShare(name="x", count=1, share=0.225).pct == 22.5
+
+    def test_len(self):
+        assert len(make_profile()) == 4

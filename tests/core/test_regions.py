@@ -1,0 +1,200 @@
+"""Tests for region construction and object-aligned splitting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.regions import RegionState, initial_regions, region_for, split_region
+from repro.errors import SearchError
+from repro.memory.object_map import ObjectMap
+from repro.memory.objects import MemoryObject
+from repro.util.intervals import Interval
+
+
+def build_map(layout):
+    """layout: list of (name, base, size) globals."""
+    omap = ObjectMap()
+    for name, base, size in layout:
+        omap.add_global(MemoryObject(name, base=base, size=size))
+    return omap
+
+
+STD = [
+    ("a", 0x1000, 0x1000),
+    ("b", 0x3000, 0x1000),
+    ("c", 0x5000, 0x2000),
+    ("d", 0x8000, 0x1000),
+]
+
+
+class TestRegionFor:
+    def test_empty_interval_is_none(self):
+        omap = build_map(STD)
+        assert region_for(omap, Interval(0x100, 0x900)) is None
+
+    def test_single_object_clips_to_extent(self):
+        omap = build_map(STD)
+        region = region_for(omap, Interval(0x0, 0x2800))
+        assert region.single_object
+        assert region.obj.name == "a"
+        assert region.interval == Interval(0x1000, 0x2000)
+
+    def test_multi_object(self):
+        omap = build_map(STD)
+        region = region_for(omap, Interval(0x0, 0x9000))
+        assert region.n_objects == 4
+        assert not region.single_object
+
+    def test_partial_overlap_counts(self):
+        omap = build_map(STD)
+        region = region_for(omap, Interval(0x3800, 0x5800))  # tail of b, head of c
+        assert region.n_objects == 2
+
+
+class TestSplit:
+    def test_split_never_cuts_objects(self):
+        omap = build_map(STD)
+        region = region_for(omap, Interval(0x0, 0x9000))
+        children = split_region(omap, region)
+        assert len(children) == 2
+        for child in children:
+            for obj in omap.all_objects():
+                inside = (
+                    obj.base >= child.interval.lo and obj.end <= child.interval.hi
+                )
+                outside = (
+                    obj.end <= child.interval.lo or obj.base >= child.interval.hi
+                )
+                assert inside or outside, f"{obj.name} spans {child.interval}"
+
+    def test_split_children_cover_all_objects(self):
+        omap = build_map(STD)
+        region = region_for(omap, Interval(0x0, 0x9000))
+        children = split_region(omap, region)
+        names = set()
+        for child in children:
+            names.update(o.name for o in omap.objects_overlapping(child.interval))
+        assert names == {"a", "b", "c", "d"}
+
+    def test_split_single_object_rejected(self):
+        omap = build_map(STD)
+        region = region_for(omap, Interval(0x1000, 0x2000))
+        with pytest.raises(SearchError):
+            split_region(omap, region)
+
+    def test_split_inherits_was_top(self):
+        omap = build_map(STD)
+        region = region_for(omap, Interval(0x0, 0x9000))
+        region.was_top = True
+        children = split_region(omap, region)
+        assert all(c.was_top for c in children)
+
+    def test_unaligned_split_cuts_midpoint(self):
+        omap = build_map([("wide", 0x1000, 0x8000)] + [("tail", 0xA000, 0x1000)])
+        region = region_for(omap, Interval(0x1000, 0xB000))
+        children = split_region(omap, region, aligned=False)
+        # Midpoint 0x6000 cuts through "wide": both children see part of it.
+        names = [
+            [o.name for o in omap.objects_overlapping(c.interval)] for c in children
+        ]
+        assert "wide" in names[0] and "wide" in names[1]
+
+    def test_aligned_split_respects_wide_object(self):
+        omap = build_map([("wide", 0x1000, 0x8000), ("tail", 0xA000, 0x1000)])
+        region = region_for(omap, Interval(0x1000, 0xB000))
+        children = split_region(omap, region, aligned=True)
+        for child in children:
+            wide_in = [o for o in omap.objects_overlapping(child.interval)
+                       if o.name == "wide"]
+            if wide_in:
+                assert child.interval.lo <= 0x1000 or child.interval.lo >= 0x9000 or \
+                    (child.interval.lo <= 0x1000 and child.interval.hi >= 0x9000)
+
+
+class TestInitialRegions:
+    def test_covers_all_objects(self):
+        omap = build_map(STD)
+        regions = initial_regions(omap, Interval(0x0, 0x10000), 4)
+        names = set()
+        for region in regions:
+            names.update(o.name for o in omap.objects_overlapping(region.interval))
+        assert names == {"a", "b", "c", "d"}
+
+    def test_regions_disjoint(self):
+        omap = build_map(STD)
+        regions = initial_regions(omap, Interval(0x0, 0x10000), 4)
+        ordered = sorted(regions, key=lambda r: r.interval.lo)
+        for a, b in zip(ordered, ordered[1:]):
+            assert a.interval.hi <= b.interval.lo
+
+    def test_requires_two_way(self):
+        omap = build_map(STD)
+        with pytest.raises(SearchError):
+            initial_regions(omap, Interval(0, 0x10000), 1)
+
+    def test_empty_space_rejected(self):
+        omap = build_map(STD)
+        with pytest.raises(SearchError):
+            initial_regions(omap, Interval(0x20000, 0x30000), 4)
+
+
+class TestRegionState:
+    def test_mean_share(self):
+        region = RegionState(interval=Interval(0, 10), n_objects=2)
+        assert region.mean_share == 0.0
+        region.record_share(0.4)
+        region.record_share(0.2)
+        assert region.mean_share == pytest.approx(0.3)
+        assert region.n_measurements == 2
+
+    def test_record_resets_zero_streak(self):
+        region = RegionState(interval=Interval(0, 10), n_objects=2)
+        region.zero_streak = 2
+        region.record_share(0.1)
+        assert region.zero_streak == 0
+
+    def test_identity_hashing(self):
+        a = RegionState(interval=Interval(0, 10), n_objects=1)
+        b = RegionState(interval=Interval(0, 10), n_objects=1)
+        assert a != b
+        assert len({a, b}) == 2
+
+
+@st.composite
+def object_layouts(draw):
+    """Random non-overlapping layouts."""
+    n = draw(st.integers(2, 12))
+    cursor = 0x1000
+    layout = []
+    for i in range(n):
+        gap = draw(st.integers(0, 0x2000))
+        size = draw(st.integers(0x100, 0x4000))
+        cursor += gap
+        layout.append((f"v{i}", cursor, size))
+        cursor += size
+    return layout
+
+
+class TestSplitProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(object_layouts())
+    def test_recursive_splitting_terminates_at_singles(self, layout):
+        """Repeated aligned splitting must reach single-object regions
+        without ever cutting an object, losing one, or looping forever."""
+        omap = build_map(layout)
+        whole = Interval(0x0, layout[-1][1] + layout[-1][2] + 0x1000)
+        work = [region_for(omap, whole)]
+        singles = []
+        steps = 0
+        while work:
+            steps += 1
+            assert steps < 300, "splitting did not terminate"
+            region = work.pop()
+            if region.single_object:
+                singles.append(region)
+                continue
+            children = split_region(omap, region)
+            assert children, "split lost every child"
+            work.extend(children)
+        found = {r.obj.name for r in singles}
+        assert found == {name for name, _, _ in layout}

@@ -1,0 +1,99 @@
+"""Tests for profile comparison metrics and tables."""
+
+import pytest
+
+from repro.core.profile import DataProfile, ObjectShare
+from repro.core.report import (
+    comparison_table,
+    max_share_error,
+    rank_agreement,
+    spearman_rank_correlation,
+)
+
+
+def profile(source, **shares):
+    total = 1000
+    return DataProfile(
+        source=source,
+        shares=[
+            ObjectShare(name=k, count=int(v * total), share=v) for k, v in shares.items()
+        ],
+        total_misses=total,
+    )
+
+
+ACTUAL = profile("actual", a=0.5, b=0.3, c=0.15, d=0.05)
+
+
+class TestRankAgreement:
+    def test_perfect(self):
+        measured = profile("m", a=0.52, b=0.28, c=0.16, d=0.04)
+        assert rank_agreement(ACTUAL, measured, k=4) == 1.0
+
+    def test_near_tie_swap_forgiven(self):
+        actual = profile("actual", x=0.40, y=0.395, z=0.205)
+        measured = profile("m", y=0.41, x=0.39, z=0.2)  # x/y swapped
+        assert rank_agreement(actual, measured, k=3) == 1.0
+
+    def test_big_swap_penalised(self):
+        measured = profile("m", d=0.5, b=0.3, c=0.15, a=0.05)  # a <-> d
+        assert rank_agreement(ACTUAL, measured, k=4) < 1.0
+
+    def test_subset_judged_on_reported(self):
+        # The search reports only its found objects; order among them counts.
+        measured = profile("m", a=0.5, b=0.3)
+        assert rank_agreement(ACTUAL, measured, k=4) == 1.0
+
+    def test_nothing_reported(self):
+        measured = profile("m", zz=1.0)
+        assert rank_agreement(ACTUAL, measured, k=4) == 0.0
+
+    def test_empty_actual(self):
+        assert rank_agreement(profile("a"), profile("m"), k=4) == 1.0
+
+
+class TestMaxShareError:
+    def test_zero_when_identical(self):
+        assert max_share_error(ACTUAL, ACTUAL) == 0.0
+
+    def test_reports_worst(self):
+        measured = profile("m", a=0.35, b=0.3, c=0.15, d=0.05)
+        assert max_share_error(ACTUAL, measured) == pytest.approx(0.15)
+
+    def test_ignores_unreported(self):
+        measured = profile("m", a=0.5)
+        assert max_share_error(ACTUAL, measured) == 0.0
+
+
+class TestSpearman:
+    def test_identical_order(self):
+        measured = profile("m", a=0.9, b=0.05, c=0.03, d=0.02)
+        assert spearman_rank_correlation(ACTUAL, measured) == 1.0
+
+    def test_reversed_order(self):
+        measured = profile("m", d=0.5, c=0.3, b=0.15, a=0.05)
+        assert spearman_rank_correlation(ACTUAL, measured) == -1.0
+
+    def test_too_few_comparable(self):
+        measured = profile("m", a=1.0)
+        assert spearman_rank_correlation(ACTUAL, measured) == 1.0
+
+
+class TestComparisonTable:
+    def test_renders_all_sources(self):
+        sample = profile("sample", a=0.52, b=0.28, c=0.16, d=0.04)
+        search = profile("search", a=0.49, b=0.31)
+        out = comparison_table(ACTUAL, [sample, search], title="T")
+        assert "sample rank" in out
+        assert "search rank" in out
+        assert "a" in out
+
+    def test_includes_technique_only_objects(self):
+        sample = profile("sample", a=0.5, ghost=0.5)
+        out = comparison_table(ACTUAL, [sample], k=2)
+        assert "ghost" in out
+
+    def test_dash_for_missing(self):
+        search = profile("search", a=0.5)
+        out = comparison_table(ACTUAL, [search], k=3)
+        assert "-" in out

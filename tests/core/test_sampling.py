@@ -1,0 +1,103 @@
+"""Tests for the miss-address sampling profiler."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import PeriodSchedule, SamplingProfiler, UNMAPPED
+from repro.errors import CounterError
+from repro.sim.engine import Simulator
+from repro.cache import CacheConfig
+from repro.workloads.synthetic import SyntheticStreams
+
+
+def run_sampler(period=100, schedule=PeriodSchedule.FIXED, rounds=6, spec=None):
+    sim = Simulator(CacheConfig(size=64 * 1024), seed=2)
+    wl = SyntheticStreams(
+        spec or {"A": (256 * 1024, 70), "B": (256 * 1024, 30)},
+        rounds=rounds,
+        lines_per_round=5000,
+        interleaved=True,
+        seed=2,
+    )
+    tool = SamplingProfiler(period=period, schedule=schedule, seed=2)
+    return sim.run(wl, tool=tool), tool
+
+
+class TestSchedules:
+    def test_fixed(self):
+        tool = SamplingProfiler(period=100)
+        assert tool.next_period() == 100
+
+    def test_prime(self):
+        tool = SamplingProfiler(period=100, schedule="prime")
+        assert tool.next_period() == 101  # smallest prime >= 100
+
+    def test_prime_keeps_prime_period(self):
+        tool = SamplingProfiler(period=97, schedule=PeriodSchedule.PRIME)
+        assert tool.next_period() == 97
+
+    def test_random_within_bounds(self):
+        tool = SamplingProfiler(period=100, schedule=PeriodSchedule.RANDOM, seed=1)
+        draws = {tool.next_period() for _ in range(50)}
+        assert all(50 <= p < 150 for p in draws)
+        assert len(draws) > 5
+
+    def test_bad_period(self):
+        with pytest.raises(CounterError):
+            SamplingProfiler(period=0)
+
+
+class TestEndToEnd:
+    def test_sample_counts_proportional(self):
+        res, tool = run_sampler(period=101, schedule=PeriodSchedule.PRIME)
+        prof = res.measured
+        assert prof.rank_of("A") == 1
+        assert prof.rank_of("B") == 2
+        assert abs(prof.share_of("A") - res.actual.share_of("A")) < 0.05
+
+    def test_total_samples_matches_period(self):
+        res, tool = run_sampler(period=500)
+        expected = res.stats.total_misses // 500
+        assert abs(tool.total_samples - expected) <= 2
+
+    def test_profile_metadata(self):
+        res, tool = run_sampler(period=100)
+        meta = res.measured.meta
+        assert meta["period"] == 100
+        assert meta["schedule"] == "fixed"
+        assert meta["samples"] == tool.total_samples
+
+    def test_handler_cost_in_paper_band(self):
+        res, _ = run_sampler(period=200)
+        mean = res.stats.interrupts.mean_cycles()
+        assert 8_900 <= mean <= 11_000  # ~9,000 cycles per sampling interrupt
+
+    def test_perturbation_refs_emitted(self):
+        res, _ = run_sampler(period=100)
+        assert res.stats.instr_refs > 0
+
+    def test_unmapped_addresses_bucketed(self, aspace):
+        """Misses outside every object attribute to the UNMAPPED bucket."""
+        from repro.workloads.base import Workload
+        from repro.sim.blocks import ReferenceBlock
+
+        class GapWorkload(Workload):
+            name = "gap"
+            cycles_per_ref = 2.0
+
+            def _declare(self):
+                self.symbols.declare("A", 64 * 1024, pad_after=1 << 20)
+
+            def _generate(self):
+                a = self.symbols["A"]
+                # Stream A and the unmapped gap after it.
+                gap_base = a.end + 4096
+                yield ReferenceBlock(
+                    addrs=np.arange(gap_base, gap_base + 64 * 2000, 64, dtype=np.uint64),
+                    cycles_per_ref=2.0,
+                )
+
+        sim = Simulator(CacheConfig(size=16 * 1024), seed=0)
+        tool = SamplingProfiler(period=50)
+        res = sim.run(GapWorkload(), tool=tool)
+        assert res.measured.share_of(UNMAPPED) > 0.9

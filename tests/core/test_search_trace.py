@@ -1,0 +1,109 @@
+"""Tests for search iteration tracing and the convergence renderer."""
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.core.search import NWaySearch, SearchPhase
+from repro.core.search_trace import (
+    IterationRecord,
+    MeasuredRegion,
+    render_trace,
+    trace_summary,
+)
+from repro.sim.engine import Simulator
+from repro.util.intervals import Interval
+from repro.workloads.synthetic import SyntheticStreams
+
+
+@pytest.fixture(scope="module")
+def traced_tool():
+    sim = Simulator(CacheConfig(size=64 * 1024), seed=3)
+    wl = SyntheticStreams(
+        {"A": (512 * 1024, 55), "B": (512 * 1024, 30), "C": (512 * 1024, 15)},
+        rounds=40,
+        lines_per_round=6000,
+        interleaved=True,
+        seed=3,
+    )
+    tool = NWaySearch(n=4, interval_cycles=40_000)
+    sim.run(wl, tool=tool)
+    return tool
+
+
+class TestRecording:
+    def test_one_record_per_interrupt(self, traced_tool):
+        search_records = [r for r in traced_tool.trace if r.phase == "searching"]
+        est_records = [r for r in traced_tool.trace if r.phase == "estimating"]
+        assert len(search_records) == traced_tool.iterations
+        assert len(est_records) >= 1
+
+    def test_shares_normalised(self, traced_tool):
+        for rec in traced_tool.trace:
+            total_share = sum(r.share for r in rec.regions)
+            assert total_share <= 1.0 + 1e-9
+
+    def test_single_object_labels(self, traced_tool):
+        last_search = [r for r in traced_tool.trace if r.phase == "searching"][-1]
+        labels = {r.label for r in last_search.regions if r.single_object}
+        assert labels <= {"A", "B", "C"}
+        assert labels
+
+    def test_termination_note(self, traced_tool):
+        notes = [r.note for r in traced_tool.trace if r.note]
+        assert "-> estimation" in notes
+
+    def test_regions_narrow_over_time(self, traced_tool):
+        widths = [
+            max(r.interval.hi - r.interval.lo for r in rec.regions)
+            for rec in traced_tool.trace
+            if rec.phase == "searching" and rec.regions
+        ]
+        assert widths[-1] < widths[0]
+
+
+class TestRenderer:
+    def test_render_empty(self):
+        assert "no search iterations" in render_trace([])
+
+    def test_render_basic(self):
+        records = [
+            IterationRecord(
+                iteration=1,
+                phase="searching",
+                total_misses=100,
+                regions=[
+                    MeasuredRegion(Interval(0, 1000), 0.9, False, "2 objs"),
+                    MeasuredRegion(Interval(1000, 2000), 0.1, False, "2 objs"),
+                ],
+            )
+        ]
+        out = render_trace(records, width=40)
+        assert "# 1 searching" in out
+        assert "█" in out  # the 90% region renders dark
+        assert "░" in out  # the 10% region renders faint
+
+    def test_render_real_trace(self, traced_tool):
+        out = render_trace(traced_tool.trace)
+        assert "search convergence" in out
+        assert out.count("|") >= 2 * len(traced_tool.trace)
+
+    def test_summary(self, traced_tool):
+        out = trace_summary(traced_tool.trace)
+        assert f"iter {traced_tool.trace[0].iteration:>3}" in out
+        assert "misses" in out
+
+    def test_explicit_span(self):
+        records = [
+            IterationRecord(
+                iteration=1,
+                phase="searching",
+                total_misses=10,
+                regions=[MeasuredRegion(Interval(100, 200), 1.0, True, "x")],
+            )
+        ]
+        out = render_trace(records, span=Interval(0, 1000), width=50)
+        row = [l for l in out.splitlines() if "#" in l][0]
+        body = row.split("|")[1]
+        # The region occupies only the 10-20% stretch of the span.
+        assert body[:4].strip() == ""
+        assert "█" in body[5:12]

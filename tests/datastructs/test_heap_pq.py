@@ -1,0 +1,153 @@
+"""Tests for the indexed max-priority queue behind the n-way search."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastructs.heap_pq import MaxPriorityQueue
+
+
+class TestBasics:
+    def test_empty(self):
+        q = MaxPriorityQueue()
+        assert len(q) == 0
+        assert not q
+        with pytest.raises(IndexError):
+            q.pop()
+        with pytest.raises(IndexError):
+            q.peek()
+
+    def test_push_pop_order(self):
+        q = MaxPriorityQueue()
+        q.push("low", 1.0)
+        q.push("high", 9.0)
+        q.push("mid", 5.0)
+        assert q.pop() == ("high", 9.0)
+        assert q.pop() == ("mid", 5.0)
+        assert q.pop() == ("low", 1.0)
+
+    def test_ties_broken_by_insertion_order(self):
+        q = MaxPriorityQueue()
+        q.push("first", 2.0)
+        q.push("second", 2.0)
+        assert q.pop()[0] == "first"
+        assert q.pop()[0] == "second"
+
+    def test_membership(self):
+        q = MaxPriorityQueue()
+        q.push("x", 1.0)
+        assert "x" in q
+        q.pop()
+        assert "x" not in q
+
+    def test_repush_updates(self):
+        q = MaxPriorityQueue()
+        q.push("x", 1.0)
+        q.push("y", 2.0)
+        q.push("x", 3.0)
+        assert len(q) == 2
+        assert q.peek() == ("x", 3.0)
+
+    def test_update_down(self):
+        q = MaxPriorityQueue()
+        q.push("x", 9.0)
+        q.push("y", 5.0)
+        q.update("x", 1.0)
+        assert q.peek()[0] == "y"
+
+    def test_remove(self):
+        q = MaxPriorityQueue()
+        q.push("a", 1.0)
+        q.push("b", 2.0)
+        q.push("c", 3.0)
+        assert q.remove("b") == 2.0
+        assert "b" not in q
+        assert [q.pop()[0], q.pop()[0]] == ["c", "a"]
+        q.check_invariants()
+
+    def test_priority_of(self):
+        q = MaxPriorityQueue()
+        q.push("a", 4.5)
+        assert q.priority_of("a") == 4.5
+
+    def test_peek_top(self):
+        q = MaxPriorityQueue()
+        for name, p in (("a", 1), ("b", 5), ("c", 3), ("d", 4)):
+            q.push(name, p)
+        top = q.peek_top(3)
+        assert [item for item, _ in top] == ["b", "d", "c"]
+        assert len(q) == 4  # non-destructive
+
+    def test_items_descending(self):
+        q = MaxPriorityQueue()
+        for name, p in (("a", 1), ("b", 5), ("c", 3)):
+            q.push(name, p)
+        assert [i for i, _ in q.items()] == ["b", "c", "a"]
+
+    def test_total_priority(self):
+        q = MaxPriorityQueue()
+        q.push("a", 0.25)
+        q.push("b", 0.5)
+        assert q.total_priority() == pytest.approx(0.75)
+
+    def test_op_count(self):
+        q = MaxPriorityQueue()
+        for i in range(32):
+            q.push(i, float(i))
+        assert q.reset_op_count() > 0
+        assert q.op_count == 0
+
+
+class TestPropertyBased:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 50), st.floats(0, 100, allow_nan=False)),
+            max_size=100,
+        )
+    )
+    def test_pop_sequence_is_sorted(self, entries):
+        q = MaxPriorityQueue()
+        model: dict[int, float] = {}
+        for item, priority in entries:
+            q.push(item, priority)
+            model[item] = priority
+        q.check_invariants()
+        popped = []
+        while q:
+            item, priority = q.pop()
+            assert model.pop(item) == priority
+            popped.append(priority)
+        assert popped == sorted(popped, reverse=True)
+        assert not model
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["push", "pop", "update", "remove"]),
+                st.integers(0, 20),
+                st.floats(0, 10, allow_nan=False),
+            ),
+            max_size=80,
+        )
+    )
+    def test_random_ops_keep_invariants(self, ops):
+        q = MaxPriorityQueue()
+        model: dict[int, float] = {}
+        for op, item, priority in ops:
+            if op == "push":
+                q.push(item, priority)
+                model[item] = priority
+            elif op == "pop" and model:
+                got_item, got_priority = q.pop()
+                best = max(model.values())
+                assert got_priority == best
+                assert model.pop(got_item) == got_priority
+            elif op == "update" and item in model:
+                q.update(item, priority)
+                model[item] = priority
+            elif op == "remove" and item in model:
+                assert q.remove(item) == model.pop(item)
+        q.check_invariants()
+        assert len(q) == len(model)

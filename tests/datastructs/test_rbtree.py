@@ -1,0 +1,176 @@
+"""Unit and model-based property tests for the red-black tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastructs.rbtree import RedBlackTree
+
+
+class TestBasicOps:
+    def test_empty(self):
+        t = RedBlackTree()
+        assert len(t) == 0
+        assert not t
+        assert t.get(5) is None
+        assert t.floor(5) is None
+        assert t.ceiling(5) is None
+        assert t.min_key() is None
+        assert t.max_key() is None
+
+    def test_insert_get(self):
+        t = RedBlackTree()
+        t.insert(10, "a")
+        t.insert(5, "b")
+        t.insert(20, "c")
+        assert t.get(10) == "a"
+        assert t.get(5) == "b"
+        assert t.get(20) == "c"
+        assert len(t) == 3
+        assert 10 in t and 11 not in t
+
+    def test_insert_replaces(self):
+        t = RedBlackTree()
+        t.insert(1, "old")
+        t.insert(1, "new")
+        assert t.get(1) == "new"
+        assert len(t) == 1
+
+    def test_delete(self):
+        t = RedBlackTree()
+        for k in (5, 3, 8, 1, 4):
+            t.insert(k, k * 10)
+        assert t.delete(3) == 30
+        assert 3 not in t
+        assert len(t) == 4
+        t.check_invariants()
+
+    def test_delete_missing_raises(self):
+        t = RedBlackTree()
+        with pytest.raises(KeyError):
+            t.delete(99)
+
+    def test_items_sorted(self):
+        t = RedBlackTree()
+        for k in (50, 10, 30, 20, 40):
+            t.insert(k, None)
+        assert t.keys() == [10, 20, 30, 40, 50]
+
+    def test_min_max(self):
+        t = RedBlackTree()
+        for k in (7, 2, 9):
+            t.insert(k, None)
+        assert t.min_key() == 2
+        assert t.max_key() == 9
+
+
+class TestFloorCeiling:
+    def setup_method(self):
+        self.t = RedBlackTree()
+        for k in (10, 20, 30):
+            self.t.insert(k, f"v{k}")
+
+    def test_floor_exact(self):
+        assert self.t.floor(20) == (20, "v20")
+
+    def test_floor_between(self):
+        assert self.t.floor(25) == (20, "v20")
+
+    def test_floor_below_min(self):
+        assert self.t.floor(5) is None
+
+    def test_floor_above_max(self):
+        assert self.t.floor(99) == (30, "v30")
+
+    def test_ceiling_exact(self):
+        assert self.t.ceiling(20) == (20, "v20")
+
+    def test_ceiling_between(self):
+        assert self.t.ceiling(25) == (30, "v30")
+
+    def test_ceiling_above_max(self):
+        assert self.t.ceiling(31) is None
+
+    def test_range_items(self):
+        assert list(self.t.range_items(10, 30)) == [(10, "v10"), (20, "v20")]
+        assert list(self.t.range_items(15, 35)) == [(20, "v20"), (30, "v30")]
+        assert list(self.t.range_items(21, 29)) == []
+
+
+class TestProbeCounting:
+    def test_probes_accumulate_and_reset(self):
+        t = RedBlackTree()
+        for k in range(32):
+            t.insert(k, None)
+        t.reset_probe_count()
+        t.floor(17)
+        assert t.probe_count > 0
+        count = t.reset_probe_count()
+        assert count > 0
+        assert t.probe_count == 0
+
+
+@st.composite
+def operation_sequences(draw):
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete", "floor", "ceiling"]),
+                st.integers(0, 200),
+            ),
+            max_size=120,
+        )
+    )
+    return ops
+
+
+class TestModelBased:
+    @settings(max_examples=60, deadline=None)
+    @given(operation_sequences())
+    def test_matches_dict_model(self, ops):
+        """The tree must agree with a sorted-dict reference model after
+        every operation, and its red-black invariants must hold."""
+        tree = RedBlackTree()
+        model: dict[int, int] = {}
+        for op, key in ops:
+            if op == "insert":
+                tree.insert(key, key)
+                model[key] = key
+            elif op == "delete":
+                if key in model:
+                    assert tree.delete(key) == model.pop(key)
+                else:
+                    with pytest.raises(KeyError):
+                        tree.delete(key)
+            elif op == "floor":
+                candidates = [k for k in model if k <= key]
+                expected = max(candidates) if candidates else None
+                got = tree.floor(key)
+                assert (got[0] if got else None) == expected
+            else:
+                candidates = [k for k in model if k >= key]
+                expected = min(candidates) if candidates else None
+                got = tree.ceiling(key)
+                assert (got[0] if got else None) == expected
+        tree.check_invariants()
+        assert tree.keys() == sorted(model)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 1000), unique=True, max_size=200))
+    def test_invariants_after_bulk_insert(self, keys):
+        tree = RedBlackTree()
+        for k in keys:
+            tree.insert(k, None)
+        tree.check_invariants()
+        assert tree.keys() == sorted(keys)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 100), unique=True, min_size=1, max_size=100))
+    def test_invariants_after_deleting_half(self, keys):
+        tree = RedBlackTree()
+        for k in keys:
+            tree.insert(k, None)
+        for k in keys[:: 2]:
+            tree.delete(k)
+        tree.check_invariants()
+        assert tree.keys() == sorted(set(keys) - set(keys[::2]))

@@ -1,0 +1,105 @@
+"""Tests for the sorted-array variable map."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastructs.sorted_table import SortedTable
+
+
+class TestBasics:
+    def test_empty(self):
+        t = SortedTable()
+        assert len(t) == 0
+        assert not t
+        assert t.get(5) is None
+        assert t.floor(5) is None
+        assert t.min_key() is None
+
+    def test_insert_keeps_sorted(self):
+        t = SortedTable()
+        for k in (30, 10, 20):
+            t.insert(k, str(k))
+        assert t.keys() == [10, 20, 30]
+        assert t.values() == ["10", "20", "30"]
+
+    def test_insert_replaces(self):
+        t = SortedTable()
+        t.insert(5, "a")
+        t.insert(5, "b")
+        assert t.get(5) == "b"
+        assert len(t) == 1
+
+    def test_delete(self):
+        t = SortedTable()
+        t.insert(1, "x")
+        assert t.delete(1) == "x"
+        assert len(t) == 0
+        with pytest.raises(KeyError):
+            t.delete(1)
+
+    def test_contains(self):
+        t = SortedTable()
+        t.insert(7, None)
+        assert 7 in t
+        assert 8 not in t
+
+
+class TestFreeze:
+    def test_freeze_blocks_mutation(self):
+        t = SortedTable()
+        t.insert(1, "a")
+        t.freeze()
+        assert t.frozen
+        with pytest.raises(RuntimeError):
+            t.insert(2, "b")
+        with pytest.raises(RuntimeError):
+            t.delete(1)
+
+    def test_frozen_lookups_still_work(self):
+        t = SortedTable()
+        t.insert(1, "a")
+        t.freeze()
+        assert t.get(1) == "a"
+        assert t.floor(5) == (1, "a")
+
+
+class TestFloorCeilingRange:
+    def setup_method(self):
+        self.t = SortedTable()
+        for k in (100, 200, 300):
+            self.t.insert(k, k)
+
+    def test_floor(self):
+        assert self.t.floor(100) == (100, 100)
+        assert self.t.floor(250) == (200, 200)
+        assert self.t.floor(99) is None
+
+    def test_ceiling(self):
+        assert self.t.ceiling(150) == (200, 200)
+        assert self.t.ceiling(301) is None
+
+    def test_range_items(self):
+        assert list(self.t.range_items(100, 300)) == [(100, 100), (200, 200)]
+        assert list(self.t.range_items(0, 1000)) == [(100, 100), (200, 200), (300, 300)]
+
+    def test_probe_count_grows(self):
+        self.t.reset_probe_count()
+        self.t.floor(150)
+        assert self.t.reset_probe_count() >= 1
+
+
+class TestAgainstModel:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 500), max_size=100))
+    def test_floor_matches_model(self, keys):
+        t = SortedTable()
+        model = {}
+        for k in keys:
+            t.insert(k, k)
+            model[k] = k
+        for probe in range(0, 501, 37):
+            candidates = [k for k in model if k <= probe]
+            expected = max(candidates) if candidates else None
+            got = t.floor(probe)
+            assert (got[0] if got else None) == expected

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_are_choices(self):
+        parser = build_parser()
+        for name in _EXPERIMENTS:
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["table1", "--apps", "mgrid", "ijpeg", "--quick", "--seed", "7"]
+        )
+        assert args.apps == ["mgrid", "ijpeg"]
+        assert args.quick
+        assert args.seed == 7
+
+    def test_profile_tool_choices(self):
+        args = build_parser().parse_args(["profile", "--tool", "search"])
+        assert args.tool == "search"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "--tool", "magic"])
+
+
+class TestMain:
+    def test_fig2_runs(self, capsys):
+        assert main(["fig2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "priority queue" in out
+        assert "[fig2 in" in out
+
+    def test_single_app_restriction(self, capsys):
+        assert main(["fig5", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "applu" in out
+
+    def test_profile_sampling(self, capsys):
+        assert main(["profile", "--apps", "mgrid", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "profile: mgrid" in out
+        assert "overhead" in out
+
+    def test_profile_search(self, capsys):
+        assert main(["profile", "--apps", "mgrid", "--tool", "search", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "search(10-way)" in out
+
+    def test_profile_adaptive(self, capsys):
+        assert main(["profile", "--apps", "mgrid", "--tool", "adaptive", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "profile: mgrid" in out

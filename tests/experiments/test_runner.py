@@ -1,0 +1,37 @@
+"""Tests for the experiment runner's scaling and caching."""
+
+from repro.core.sampling import PeriodSchedule
+
+
+class TestRunner:
+    def test_baseline_cached(self, quick_runner):
+        a = quick_runner.baseline("tomcatv")
+        b = quick_runner.baseline("tomcatv")
+        assert a is b
+
+    def test_scaled_period_targets_samples(self, quick_runner):
+        period = quick_runner.scaled_sampling_period("tomcatv")
+        misses = quick_runner.baseline("tomcatv").stats.app_misses
+        assert misses // period >= 1000  # at least ~half the target samples
+
+    def test_search_interval_fits_run(self, quick_runner):
+        interval = quick_runner.search_interval("tomcatv")
+        cycles = quick_runner.baseline("tomcatv").stats.app_cycles
+        assert 20 <= cycles // interval <= 60
+
+    def test_overhead_periods_are_paper_ladder(self, quick_runner):
+        assert quick_runner.overhead_periods() == [1_000, 10_000, 100_000, 1_000_000]
+
+    def test_with_sampling_runs(self, quick_runner):
+        res = quick_runner.with_sampling(
+            "mgrid", period=5_000, schedule=PeriodSchedule.PRIME
+        )
+        assert res.measured is not None
+        assert res.measured.meta["schedule"] == "prime"
+
+    def test_quick_kwargs_shrink(self, quick_runner):
+        wl = quick_runner.make("tomcatv")
+        assert wl.n_steps == 4
+
+    def test_apps_list(self, quick_runner):
+        assert len(quick_runner.apps()) == 7

@@ -1,0 +1,115 @@
+"""Tests for miss counters and the region counter bank."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CounterError
+from repro.hpm.counters import MissCounter, RegionCounterBank
+from repro.util.intervals import Interval
+
+
+class TestMissCounter:
+    def test_counts_qualified_misses(self):
+        c = MissCounter()
+        c.program_region(Interval(0, 100))
+        inc = c.observe(np.array([10, 50, 150], dtype=np.uint64))
+        assert inc == 2
+        assert c.value == 2
+
+    def test_unqualified_counts_all(self):
+        c = MissCounter()
+        c.observe(np.array([1, 2, 3], dtype=np.uint64))
+        assert c.value == 3
+
+    def test_disabled_ignores(self):
+        c = MissCounter()
+        c.enabled = False
+        c.observe(np.array([1], dtype=np.uint64))
+        assert c.value == 0
+
+    def test_read_and_clear(self):
+        c = MissCounter()
+        c.observe(np.array([1, 2], dtype=np.uint64))
+        assert c.read_and_clear() == 2
+        assert c.value == 0
+
+    def test_overflow_arming(self):
+        c = MissCounter()
+        c.arm_overflow(5)
+        assert c.armed
+        assert c.misses_until_overflow() == 5
+        c.observe(np.arange(3, dtype=np.uint64))
+        assert c.misses_until_overflow() == 2
+        assert not c.overflowed
+        c.observe(np.arange(2, dtype=np.uint64))
+        assert c.overflowed
+        assert c.misses_until_overflow() == 0
+
+    def test_overflow_threshold_relative_to_current(self):
+        c = MissCounter()
+        c.observe(np.arange(10, dtype=np.uint64))
+        c.arm_overflow(5)
+        assert c.misses_until_overflow() == 5
+
+    def test_disarm(self):
+        c = MissCounter()
+        c.arm_overflow(5)
+        c.disarm()
+        assert not c.armed
+        assert c.misses_until_overflow() is None
+
+    def test_bad_threshold(self):
+        c = MissCounter()
+        with pytest.raises(CounterError):
+            c.arm_overflow(0)
+
+
+class TestRegionCounterBank:
+    def test_program_and_observe(self):
+        bank = RegionCounterBank(3)
+        bank.program([Interval(0, 100), Interval(100, 200)])
+        addrs = np.array([50, 150, 150, 500], dtype=np.uint64)
+        bank.observe(addrs)
+        assert bank.read_all() == [1, 2]
+
+    def test_extra_counters_disabled(self):
+        bank = RegionCounterBank(3)
+        bank.program([Interval(0, 10)])
+        assert bank.read_all() == [0]
+        assert not bank[1].enabled
+        assert not bank[2].enabled
+
+    def test_too_many_regions_rejected(self):
+        bank = RegionCounterBank(2)
+        with pytest.raises(CounterError):
+            bank.program([Interval(0, 1), Interval(1, 2), Interval(2, 3)])
+
+    def test_reprogram_clears(self):
+        bank = RegionCounterBank(2)
+        bank.program([Interval(0, 100)])
+        bank.observe(np.array([5], dtype=np.uint64))
+        bank.program([Interval(0, 100)])
+        assert bank.read_all() == [0]
+
+    def test_clear_all(self):
+        bank = RegionCounterBank(2)
+        bank.program([Interval(0, 100), Interval(100, 200)])
+        bank.observe(np.array([5, 150], dtype=np.uint64))
+        bank.clear_all()
+        assert bank.read_all() == [0, 0]
+
+    def test_zero_counters_rejected(self):
+        with pytest.raises(CounterError):
+            RegionCounterBank(0)
+
+    def test_counts_match_scalar_filter(self):
+        bank = RegionCounterBank(4)
+        regions = [Interval(i * 1000, (i + 1) * 1000) for i in range(4)]
+        bank.program(regions)
+        rng = np.random.default_rng(5)
+        addrs = rng.integers(0, 5000, 2000).astype(np.uint64)
+        bank.observe(addrs)
+        got = bank.read_all()
+        for region, count in zip(regions, got):
+            expected = sum(1 for a in addrs if region.lo <= a < region.hi)
+            assert count == expected

@@ -1,0 +1,69 @@
+"""Tests for the interrupt cost model and log."""
+
+from repro.hpm.interrupts import (
+    CostModel,
+    InterruptKind,
+    InterruptLog,
+    InterruptRecord,
+)
+
+
+class TestCostModel:
+    def test_paper_delivery_cost(self):
+        # Section 3.3: ~50us on a 175MHz Octane = 8,800 cycles.
+        assert CostModel().interrupt_delivery_cycles == 8_800
+
+    def test_sampler_cost_in_paper_band(self):
+        """Total per sampling interrupt (delivery + handler) must land near
+        the paper's ~9,000 cycles for typical map depths."""
+        cm = CostModel()
+        total = cm.interrupt_delivery_cycles + cm.sampler_handler_cycles(map_probes=5)
+        assert 8_900 <= total <= 10_000
+
+    def test_search_cost_in_paper_band(self):
+        """Per search iteration, the paper reports 26,000-64,000 cycles."""
+        cm = CostModel()
+        typical = cm.interrupt_delivery_cycles + cm.search_handler_cycles(
+            queue_ops=25, splits=5, boundary_scans=20, counter_io=21
+        )
+        assert 26_000 <= typical <= 64_000
+
+    def test_handler_costs_monotone_in_work(self):
+        cm = CostModel()
+        assert cm.sampler_handler_cycles(10) > cm.sampler_handler_cycles(1)
+        assert cm.search_handler_cycles(9, 9, 9, 9) > cm.search_handler_cycles(1, 1, 1, 1)
+
+
+class TestInterruptLog:
+    def _record(self, cycle=0, handler=100):
+        return InterruptRecord(
+            kind=InterruptKind.MISS_OVERFLOW,
+            cycle=cycle,
+            handler_cycles=handler,
+            delivery_cycles=8_800,
+        )
+
+    def test_totals(self):
+        log = InterruptLog()
+        log.append(self._record(handler=100))
+        log.append(self._record(handler=200))
+        assert len(log) == 2
+        assert log.total_handler_cycles == 300
+        assert log.total_cycles == 300 + 2 * 8_800
+
+    def test_mean(self):
+        log = InterruptLog()
+        assert log.mean_cycles() == 0.0
+        log.append(self._record(handler=200))
+        assert log.mean_cycles() == 9_000
+
+    def test_per_billion(self):
+        log = InterruptLog()
+        for _ in range(4):
+            log.append(self._record())
+        assert log.per_billion_cycles(2_000_000_000) == 2.0
+        assert log.per_billion_cycles(0) == 0.0
+
+    def test_record_total(self):
+        rec = self._record(handler=150)
+        assert rec.total_cycles == 8_950

@@ -1,0 +1,41 @@
+"""Tests for the PerformanceMonitor facade."""
+
+import numpy as np
+
+from repro.hpm.monitor import PerformanceMonitor
+from repro.hpm.multiplex import MultiplexedRegionBank
+from repro.util.intervals import Interval
+
+
+class TestMonitor:
+    def test_observe_updates_all_resources(self):
+        mon = PerformanceMonitor(n_region_counters=2)
+        mon.regions.program([Interval(0, 100)])
+        mon.overflow_counter.arm_overflow(10)
+        addrs = np.array([50, 150, 70], dtype=np.uint64)
+        mon.observe(addrs)
+        assert mon.global_counter.value == 3
+        assert mon.regions.read_all() == [2]
+        assert mon.last_miss_addr == 70
+        assert mon.misses_until_overflow() == 7
+        assert mon.total_misses_observed == 3
+
+    def test_overflow_pending(self):
+        mon = PerformanceMonitor(1)
+        mon.overflow_counter.arm_overflow(2)
+        mon.observe(np.array([1, 2], dtype=np.uint64))
+        assert mon.overflow_pending
+
+    def test_disarmed_budget_none(self):
+        mon = PerformanceMonitor(1)
+        assert mon.misses_until_overflow() is None
+
+    def test_empty_observe_keeps_last_addr(self):
+        mon = PerformanceMonitor(1)
+        mon.observe(np.array([42], dtype=np.uint64))
+        mon.observe(np.array([], dtype=np.uint64))
+        assert mon.last_miss_addr == 42
+
+    def test_multiplexed_bank_selected(self):
+        mon = PerformanceMonitor(4, multiplexed=True)
+        assert isinstance(mon.regions, MultiplexedRegionBank)

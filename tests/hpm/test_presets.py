@@ -1,0 +1,67 @@
+"""Tests for the PMU capability catalog (paper section 1 / related work)."""
+
+import pytest
+
+from repro.errors import CounterError
+from repro.hpm.presets import PRESETS, get_preset, technique_support
+
+
+class TestPresets:
+    def test_all_paper_processors_present(self):
+        for key in ("r10000", "alpha-21264", "ultrasparc", "itanium"):
+            assert key in PRESETS
+
+    def test_unknown_rejected(self):
+        with pytest.raises(CounterError):
+            get_preset("pentium-pro")
+
+    def test_everyone_counts_misses(self):
+        # "All of these can provide cache miss information."
+        for preset in PRESETS.values():
+            assert preset.counts_cache_misses
+
+
+class TestCapabilities:
+    def test_itanium_supports_sampling(self):
+        # "The Itanium also provides a way to determine the address of the
+        # last cache miss."
+        assert get_preset("itanium").supports_sampling()
+
+    def test_r10000_cannot_sample_addresses(self):
+        # Overflow interrupts yes, miss address no.
+        preset = get_preset("r10000")
+        assert preset.overflow_interrupt
+        assert not preset.supports_sampling()
+
+    def test_ultrasparc_no_overflow(self):
+        assert not get_preset("ultrasparc").supports_sampling()
+
+    def test_itanium_search_needs_multiplexing(self):
+        # One conditional counter: "multiple counters ... could be
+        # simulated by timesharing the single conditional counter".
+        preset = get_preset("itanium")
+        assert not preset.supports_search(2)
+        assert preset.supports_search_multiplexed()
+
+    def test_paper_ideal_runs_everything(self):
+        preset = get_preset("paper-ideal")
+        assert preset.supports_sampling()
+        assert preset.supports_search(10)
+
+
+class TestTechniqueSupport:
+    def test_itanium(self):
+        support = technique_support("itanium", n=10)
+        assert support == {"sampling": "native", "search": "emulated"}
+
+    def test_r10000(self):
+        support = technique_support("r10000")
+        assert support == {"sampling": "unsupported", "search": "unsupported"}
+
+    def test_paper_ideal(self):
+        support = technique_support("paper-ideal", n=10)
+        assert support == {"sampling": "native", "search": "native"}
+
+    def test_accepts_preset_object(self):
+        support = technique_support(get_preset("ultrasparc"))
+        assert support["sampling"] == "unsupported"

@@ -1,0 +1,45 @@
+"""Tests for base/bounds registers."""
+
+import numpy as np
+
+from repro.hpm.registers import BaseBoundsRegister
+from repro.util.intervals import Interval
+
+
+class TestBaseBounds:
+    def test_unprogrammed_matches_everything(self):
+        reg = BaseBoundsRegister()
+        assert reg.matches(0)
+        assert reg.matches(1 << 40)
+        addrs = np.array([1, 2, 3], dtype=np.uint64)
+        assert reg.match_count(addrs) == 3
+        assert reg.match_mask(addrs).all()
+
+    def test_region_half_open(self):
+        reg = BaseBoundsRegister(Interval(100, 200))
+        assert reg.matches(100)
+        assert reg.matches(199)
+        assert not reg.matches(200)
+        assert not reg.matches(99)
+
+    def test_match_count_vectorised(self):
+        reg = BaseBoundsRegister(Interval(100, 200))
+        addrs = np.array([50, 100, 150, 199, 200, 250], dtype=np.uint64)
+        assert reg.match_count(addrs) == 3
+        assert reg.match_mask(addrs).tolist() == [False, True, True, True, False, False]
+
+    def test_reprogram_and_clear(self):
+        reg = BaseBoundsRegister(Interval(0, 10))
+        reg.program(Interval(20, 30))
+        assert reg.matches(25)
+        assert not reg.matches(5)
+        reg.clear()
+        assert reg.region is None
+        assert reg.matches(5)
+
+    def test_mask_matches_scalar(self):
+        reg = BaseBoundsRegister(Interval(64, 4096))
+        addrs = np.arange(0, 8192, 128, dtype=np.uint64)
+        mask = reg.match_mask(addrs)
+        for addr, bit in zip(addrs, mask):
+            assert bit == reg.matches(int(addr))

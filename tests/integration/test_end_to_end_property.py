@@ -1,0 +1,77 @@
+"""Property-based end-to-end test: random profiles are recovered.
+
+The library's central promise, as a single property: for *any* mix of
+array shares, both techniques recover the ground-truth ranking (up to
+near-ties) and the sampled shares converge to the actual shares.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheConfig
+from repro.core.report import max_share_error, rank_agreement
+from repro.core.sampling import PeriodSchedule, SamplingProfiler
+from repro.core.search import NWaySearch
+from repro.sim.engine import Simulator
+from repro.workloads.synthetic import SyntheticStreams
+
+
+@st.composite
+def share_specs(draw):
+    n = draw(st.integers(2, 6))
+    shares = draw(
+        st.lists(
+            st.integers(5, 60), min_size=n, max_size=n
+        )
+    )
+    return {
+        f"arr{i}": (256 * 1024, share) for i, share in enumerate(shares)
+    }
+
+
+def run_pair(spec, seed):
+    sim = Simulator(CacheConfig(size=64 * 1024, assoc=4), seed=seed)
+
+    def wl():
+        return SyntheticStreams(
+            spec, rounds=25, lines_per_round=5000, interleaved=True, seed=seed
+        )
+
+    base = sim.run(wl())
+    period = max(16, base.stats.app_misses // 1500)
+    sampled = sim.run(
+        wl(),
+        tool=SamplingProfiler(period=period, schedule=PeriodSchedule.PRIME, seed=seed),
+    )
+    return base, sampled
+
+
+class TestRecoveryProperty:
+    @settings(max_examples=8, deadline=None)
+    @given(share_specs(), st.integers(0, 1000))
+    def test_sampling_recovers_any_profile(self, spec, seed):
+        base, sampled = run_pair(spec, seed)
+        assert max_share_error(base.actual, sampled.measured, k=6) < 0.04
+        assert rank_agreement(base.actual, sampled.measured, k=4) >= 0.75
+
+    def test_search_recovers_distinct_profile(self):
+        spec = {"w": (256 * 1024, 50), "x": (256 * 1024, 27), "y": (256 * 1024, 15),
+                "z": (256 * 1024, 8)}
+        sim = Simulator(CacheConfig(size=64 * 1024, assoc=4), seed=11)
+        base = sim.run(
+            SyntheticStreams(spec, rounds=40, lines_per_round=6000,
+                             interleaved=True, seed=11)
+        )
+        interval = base.stats.app_cycles // 45
+        searched = sim.run(
+            SyntheticStreams(spec, rounds=40, lines_per_round=6000,
+                             interleaved=True, seed=11),
+            tool=NWaySearch(n=10, interval_cycles=interval),
+        )
+        assert searched.measured.names()[:4] == ["w", "x", "y", "z"]
+        for name in spec:
+            assert searched.measured.share_of(name) == pytest.approx(
+                base.actual.share_of(name), abs=0.05
+            )

@@ -1,0 +1,70 @@
+"""Smoke tests: every shipped example must run cleanly end-to-end.
+
+These invoke the scripts as subprocesses (the way a user would) and
+assert on their headline output. They are the slowest tests in the
+suite (~1 min total); deselect with ``-k 'not examples'`` for quick
+iterations.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "who is causing the cache misses?" in out
+        assert "hot" in out
+        assert "search overhead" in out
+
+    def test_stencil_tuning(self):
+        out = run_example("stencil_tuning.py")
+        assert "fingers `grid`" in out
+        assert "fix eliminated" in out
+        # The fix must actually help.
+        assert "eliminated 0%" not in out
+
+    def test_heap_profiling(self):
+        out = run_example("heap_profiling.py")
+        assert "aggregated by allocation site" in out
+        assert "heap@make_leaf" in out or "heap@make_interior" in out
+
+    def test_phase_adaptive_search(self):
+        out = run_example("phase_adaptive_search.py")
+        assert "Figure 5" in out
+        assert "zero-miss retention" in out
+
+    def test_cache_planning(self):
+        out = run_example("cache_planning.py")
+        assert "tuning advice" in out
+        assert "thrashing" in out
+        assert "streaming" in out
+        assert "miss ratio" in out
+
+    def test_pmu_portability(self):
+        out = run_example("pmu_portability.py")
+        assert "PMU capability matrix" in out
+        assert "Intel Itanium" in out
+        assert "multiplexed single counter" in out
+
+    def test_search_convergence(self):
+        out = run_example("search_convergence.py")
+        assert "search convergence" in out
+        assert "-> estimation" in out
+        assert "converged in" in out

@@ -1,0 +1,111 @@
+"""Integration tests for the Figure 3/4 overhead and perturbation shapes."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_alignment_ablation,
+    run_multiplex_ablation,
+    run_phase_heuristic_ablation,
+    run_policy_ablation,
+)
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+
+APPS = ["tomcatv", "mgrid", "ijpeg"]
+
+
+@pytest.fixture(scope="module")
+def fig3(quick_runner):
+    return run_fig3(quick_runner, apps=APPS)
+
+
+@pytest.fixture(scope="module")
+def fig4(quick_runner):
+    return run_fig4(quick_runner, apps=APPS)
+
+
+class TestFig3Shapes:
+    def test_perturbation_near_negligible(self, fig3):
+        """Paper: effects 'almost negligible' — low single-digit percent
+        at worst for every configuration."""
+        for app, vals in fig3.values.items():
+            for key, increase in vals.items():
+                if key == "baseline_misses":
+                    continue
+                assert increase < 0.05, (app, key, increase)
+
+    def test_rare_sampling_perturbs_least_eventually(self, fig3):
+        for app, vals in fig3.values.items():
+            assert vals["sample_1000000"] <= vals["sample_1000"] + 0.001, app
+
+
+class TestFig4Shapes:
+    def test_frequent_sampling_expensive(self, fig4):
+        """Paper: 1-in-1,000 costs up to ~16%; tomcatv is the worst."""
+        t = fig4.values["tomcatv"]
+        assert t["sample_1000"]["slowdown"] > 0.05
+        assert t["sample_1000"]["slowdown"] > fig4.values["ijpeg"]["sample_1000"]["slowdown"]
+
+    def test_10k_sampling_cheap(self, fig4):
+        """Paper: at 1-in-10,000 the worst slowdown is ~1.6%."""
+        for app, vals in fig4.values.items():
+            assert vals["sample_10000"]["slowdown"] < 0.03, app
+
+    def test_sampling_cost_near_9000_per_interrupt(self, fig4):
+        for app, vals in fig4.values.items():
+            cyc = vals["sample_1000"]["cycles_per_interrupt"]
+            assert 8_800 <= cyc <= 11_000, app
+
+    def test_search_cost_in_paper_band(self, fig4):
+        """Paper: 26,000-64,000 cycles per search interrupt."""
+        for app, vals in fig4.values.items():
+            cyc = vals["search"]["cycles_per_interrupt"]
+            assert 20_000 <= cyc <= 64_000, (app, cyc)
+
+    def test_search_amortises_at_paper_scale(self, fig4):
+        """Paper: search needs only a fixed handful of interrupts, so on a
+        paper-length run its slowdown is far below 1-in-10,000 sampling."""
+        for app, vals in fig4.values.items():
+            assert (
+                vals["search"]["slowdown_paper_scale"]
+                < vals["sample_10000"]["slowdown_paper_scale"] / 10
+            ), app
+
+    def test_miss_rate_drives_interrupt_rate(self, fig4):
+        """tomcatv (highest miss rate) takes the most sampling interrupts
+        per cycle; ijpeg (lowest) the fewest — paper's 13-1,727 spread."""
+        rates = {
+            app: vals["sample_10000"]["interrupts_per_gcycle"]
+            for app, vals in fig4.values.items()
+        }
+        assert rates["tomcatv"] > rates["mgrid"] > rates["ijpeg"]
+
+
+class TestAblations:
+    def test_alignment(self, quick_runner):
+        report = run_alignment_ablation(quick_runner)
+        aligned = report.values["aligned"]
+        naive = report.values["naive"]
+        actual = report.values["actual_hot"]
+        assert aligned["hot_rank"] == 1
+        assert abs(aligned["hot_share"] - actual) < 0.08
+        # The naive split underestimates the straddling array badly (each
+        # half region sees only part of it) or misses it outright.
+        naive_share = naive["hot_share"] or 0.0
+        assert naive_share < aligned["hot_share"] * 0.75
+
+    def test_phase_heuristic(self, quick_runner):
+        report = run_phase_heuristic_ablation(quick_runner)
+        with_h = report.values["with heuristic"]["top5_hit_rate"]
+        without = report.values["without"]["top5_hit_rate"]
+        assert with_h >= 0.8
+        assert with_h > without
+
+    def test_multiplex_still_finds_top(self, quick_runner):
+        report = run_multiplex_ablation(quick_runner)
+        assert report.values["multiplexed"]["found"][0] == "U"
+
+    def test_policy_robustness(self, quick_runner):
+        report = run_policy_ablation(quick_runner)
+        tops = [set(v["sampled_top3"]) for v in report.values.values()]
+        assert tops[0] == tops[1] == tops[2] == {"RX", "RY", "AA"}

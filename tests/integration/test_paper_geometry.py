@@ -1,0 +1,46 @@
+"""Validation of the paper-scale cache preset.
+
+The default experiments run a scaled 256 KiB cache; `CacheConfig.paper()`
+restores the paper's 2 MB geometry. These tests confirm the documented
+claim that the workloads' share structure survives the geometry change
+when arrays are scaled up with it (DESIGN.md section 2).
+"""
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.sim.engine import Simulator
+from repro.workloads.mgrid import Mgrid
+from repro.workloads.tomcatv import Tomcatv
+
+
+class TestPaperGeometry:
+    @pytest.fixture(scope="class")
+    def paper_sim(self):
+        return Simulator(CacheConfig.paper(), seed=42)
+
+    def test_preset_geometry(self):
+        cfg = CacheConfig.paper()
+        assert cfg.size == 2 * 1024 * 1024
+        assert cfg.n_sets * cfg.assoc * cfg.line_size == cfg.size
+
+    def test_tomcatv_shares_hold_at_paper_scale(self, paper_sim):
+        """scale=8 grows every array with the 8x cache; shares persist."""
+        res = paper_sim.run(Tomcatv(scale=8.0, seed=42, n_steps=3, rows_per_step=12))
+        actual = res.actual
+        assert actual.share_of("RX") == pytest.approx(0.225, abs=0.02)
+        assert actual.share_of("RY") == pytest.approx(0.225, abs=0.02)
+        assert actual.share_of("AA") == pytest.approx(0.15, abs=0.02)
+
+    def test_mgrid_shares_hold_at_paper_scale(self, paper_sim):
+        res = paper_sim.run(Mgrid(scale=8.0, seed=42, n_vcycles=2, fine_lines=8000))
+        actual = res.actual
+        assert actual.names()[:3] == ["U", "R", "V"]
+        assert actual.share_of("V") == pytest.approx(0.188, abs=0.03)
+
+    def test_sampling_works_at_paper_scale(self, paper_sim):
+        from repro.core.sampling import SamplingProfiler
+
+        wl = Tomcatv(scale=8.0, seed=42, n_steps=3, rows_per_step=12)
+        res = paper_sim.run(wl, tool=SamplingProfiler(period=53, schedule="prime"))
+        assert res.measured.share_of("RX") == pytest.approx(0.225, abs=0.02)

@@ -1,0 +1,60 @@
+"""Tests for segment layout and address classification."""
+
+import pytest
+
+from repro.errors import AddressSpaceError
+from repro.memory.address_space import AddressSpace, Segment
+
+
+class TestSegment:
+    def test_properties(self):
+        seg = Segment("s", 0x1000, 0x2000)
+        assert seg.size == 0x1000
+        assert seg.contains(0x1000)
+        assert seg.contains(0x1FFF)
+        assert not seg.contains(0x2000)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(AddressSpaceError):
+            Segment("bad", 0x2000, 0x1000)
+
+
+class TestAddressSpace:
+    def test_default_segments_disjoint(self):
+        aspace = AddressSpace()
+        segs = aspace.segments
+        for i, a in enumerate(segs):
+            for b in segs[i + 1 :]:
+                assert a.limit <= b.base or b.limit <= a.base
+
+    def test_segment_of(self):
+        aspace = AddressSpace()
+        assert aspace.segment_of(aspace.data.base) is aspace.data
+        assert aspace.segment_of(aspace.heap.base + 100) is aspace.heap
+        assert aspace.segment_of(aspace.stack.limit - 1) is aspace.stack
+        assert aspace.segment_of(0) is None
+
+    def test_whole_extent_covers_all(self):
+        aspace = AddressSpace()
+        whole = aspace.whole_extent()
+        for seg in aspace.segments:
+            assert whole.lo <= seg.base and seg.limit <= whole.hi
+
+    def test_application_extent_excludes_nothing_in_app_segments(self):
+        aspace = AddressSpace()
+        app = aspace.application_extent()
+        assert app.lo <= aspace.data.base
+        assert app.hi >= aspace.stack.limit
+
+    def test_overlap_rejected(self):
+        with pytest.raises(AddressSpaceError):
+            AddressSpace(
+                data=Segment("data", 0x1000, 0x9000),
+                heap=Segment("heap", 0x5000, 0xA000),
+            )
+
+    def test_heap_base_matches_paper_naming(self):
+        """The heap base is chosen so ijpeg's paper-named blocks fit."""
+        aspace = AddressSpace()
+        assert aspace.heap.contains(0x141020000)
+        assert aspace.heap.contains(0x14101E000)

@@ -1,0 +1,146 @@
+"""Unit and property tests for the simulated heap allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, ObjectMapError
+from repro.memory.address_space import Segment
+from repro.memory.allocator import HeapAllocator
+
+
+def make_heap(size=1 << 20, align=64):
+    return HeapAllocator(Segment("heap", 0x1_4100_0000, 0x1_4100_0000 + size), align)
+
+
+class TestMalloc:
+    def test_first_block_at_base(self):
+        h = make_heap()
+        obj = h.malloc(100)
+        assert obj.base == h.segment.base
+
+    def test_default_name_is_hex_base(self):
+        h = make_heap()
+        obj = h.malloc(100)
+        assert obj.name == f"{obj.base:#x}"
+
+    def test_explicit_name(self):
+        h = make_heap()
+        assert h.malloc(64, name="image").name == "image"
+
+    def test_size_rounded_to_alignment(self):
+        h = make_heap(align=64)
+        obj = h.malloc(10)
+        assert obj.size == 64
+
+    def test_sequential_blocks_disjoint(self):
+        h = make_heap()
+        blocks = [h.malloc(100) for _ in range(10)]
+        for a, b in zip(blocks, blocks[1:]):
+            assert a.end <= b.base
+
+    def test_paper_block_addresses(self):
+        """The ijpeg allocation recipe lands at the paper's hex names."""
+        h = make_heap(size=4 << 20)
+        h.malloc(0x1E000)
+        b2 = h.malloc(0x2000)
+        b3 = h.malloc(1 << 20)
+        assert b2.name == "0x14101e000"
+        assert b3.name == "0x141020000"
+
+    def test_exhaustion(self):
+        h = make_heap(size=4096)
+        with pytest.raises(AllocationError):
+            h.malloc(8192)
+
+    def test_bad_size(self):
+        h = make_heap()
+        with pytest.raises(AllocationError):
+            h.malloc(0)
+
+    def test_alloc_site_recorded(self):
+        h = make_heap()
+        assert h.malloc(64, alloc_site="make_node").alloc_site == "make_node"
+
+
+class TestFree:
+    def test_free_and_reuse(self):
+        h = make_heap()
+        a = h.malloc(256)
+        h.free(a)
+        b = h.malloc(256)
+        assert b.base == a.base  # first-fit reuses the hole
+
+    def test_free_by_address(self):
+        h = make_heap()
+        a = h.malloc(64)
+        h.free(a.base)
+        assert h.live_count == 0
+
+    def test_double_free_rejected(self):
+        h = make_heap()
+        a = h.malloc(64)
+        h.free(a)
+        with pytest.raises(ObjectMapError):
+            h.free(a)
+
+    def test_free_unknown_rejected(self):
+        h = make_heap()
+        with pytest.raises(ObjectMapError):
+            h.free(12345)
+
+    def test_coalescing(self):
+        h = make_heap()
+        a = h.malloc(256)
+        b = h.malloc(256)
+        c = h.malloc(256)
+        h.free(a)
+        h.free(c)
+        h.free(b)  # middle free must merge all three holes
+        big = h.malloc(768)
+        assert big.base == a.base
+        h.check_invariants()
+
+    def test_counters(self):
+        h = make_heap()
+        a = h.malloc(64)
+        h.malloc(64)
+        h.free(a)
+        assert h.alloc_count == 2
+        assert h.free_count == 1
+        assert h.live_count == 1
+
+
+class TestObservers:
+    def test_events_fire(self):
+        h = make_heap()
+        events = []
+        h.add_observer(lambda ev, obj: events.append((ev, obj.base)))
+        a = h.malloc(64)
+        h.free(a)
+        assert events == [("alloc", a.base), ("free", a.base)]
+
+
+class TestPropertyBased:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["malloc", "free"]), st.integers(1, 4096)),
+            max_size=80,
+        )
+    )
+    def test_invariants_under_churn(self, ops):
+        """Holes and live blocks must tile the segment after any sequence."""
+        h = make_heap(size=1 << 18)
+        live = []
+        for op, size in ops:
+            if op == "malloc":
+                try:
+                    live.append(h.malloc(size))
+                except AllocationError:
+                    pass
+            elif live:
+                h.free(live.pop(size % len(live)))
+        h.check_invariants()
+        assert h.live_count == len(live)
+        assert h.total_allocated == sum(o.size for o in live)

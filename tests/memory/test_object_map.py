@@ -1,0 +1,154 @@
+"""Tests for the unified address -> object map."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ObjectMapError
+from repro.memory.object_map import AttributionSnapshot, ObjectMap
+from repro.memory.objects import MemoryObject, ObjectKind
+from repro.util.intervals import Interval
+
+
+class TestLookup:
+    def test_lookup_globals_and_heap(self, populated_map):
+        omap, objs, _ = populated_map
+        assert omap.lookup(objs["A"].base) is objs["A"]
+        assert omap.lookup(objs["B"].base + 100) is objs["B"]
+        assert omap.lookup(objs["h1"].base + 5) is objs["h1"]
+
+    def test_lookup_miss_in_gap(self, populated_map):
+        omap, objs, _ = populated_map
+        # C was declared with pad_after, so just past C is unmapped.
+        assert omap.lookup(objs["C"].end + 100) is None
+
+    def test_lookup_before_everything(self, populated_map):
+        omap, _, _ = populated_map
+        assert omap.lookup(1) is None
+
+    def test_lookup_after_free(self, populated_map):
+        omap, objs, heap = populated_map
+        heap.free(objs["h2"])
+        assert omap.lookup(objs["h2"].base) is None
+
+    def test_probe_count_consumed(self, populated_map):
+        omap, objs, _ = populated_map
+        omap.consume_probe_count()
+        omap.lookup(objs["A"].base)
+        assert omap.consume_probe_count() > 0
+        assert omap.consume_probe_count() == 0
+
+    def test_len_and_all_objects_sorted(self, populated_map):
+        omap, objs, _ = populated_map
+        assert len(omap) == 5
+        bases = [o.base for o in omap.all_objects()]
+        assert bases == sorted(bases)
+
+
+class TestGeneration:
+    def test_generation_bumps_on_change(self, populated_map):
+        omap, _, heap = populated_map
+        g0 = omap.generation
+        blk = heap.malloc(64)
+        assert omap.generation > g0
+        heap.free(blk)
+        assert omap.generation > g0 + 1
+
+    def test_snapshot_cached_per_generation(self, populated_map):
+        omap, _, heap = populated_map
+        s1 = omap.snapshot()
+        s2 = omap.snapshot()
+        assert s1 is s2
+        heap.malloc(64)
+        assert omap.snapshot() is not s1
+
+
+class TestBoundaries:
+    def test_boundaries_strictly_inside(self, populated_map):
+        omap, objs, _ = populated_map
+        iv = Interval(objs["A"].base, objs["C"].end)
+        bounds = omap.boundaries_in(iv)
+        assert objs["A"].base not in bounds  # not strictly inside
+        assert objs["B"].base in bounds
+        assert objs["C"].base in bounds
+        assert all(iv.lo < b < iv.hi for b in bounds)
+
+    def test_objects_overlapping_partial(self, populated_map):
+        omap, objs, _ = populated_map
+        # An interval starting mid-B must still report B.
+        iv = Interval(objs["B"].base + 10, objs["B"].base + 20)
+        assert omap.objects_overlapping(iv) == [objs["B"]]
+
+    def test_objects_overlapping_range(self, populated_map):
+        omap, objs, _ = populated_map
+        iv = Interval(objs["A"].base, objs["h2"].end)
+        found = omap.objects_overlapping(iv)
+        assert [o.name for o in found] == [
+            objs["A"].name, objs["B"].name, objs["C"].name,
+            objs["h1"].name, objs["h2"].name,
+        ]
+
+    def test_stack_objects_included(self, aspace):
+        omap = ObjectMap()
+        obj = MemoryObject("f:x", base=aspace.stack.base, size=64, kind=ObjectKind.STACK)
+        omap.add_stack(obj)
+        assert omap.lookup(obj.base) is obj
+        omap.remove_stack(obj)
+        assert omap.lookup(obj.base) is None
+
+    def test_add_global_wrong_kind_rejected(self):
+        omap = ObjectMap()
+        heap_obj = MemoryObject("h", base=0x1000, size=64, kind=ObjectKind.HEAP)
+        with pytest.raises(ObjectMapError):
+            omap.add_global(heap_obj)
+
+
+class TestAttributionSnapshot:
+    def test_attribute_basics(self, populated_map):
+        omap, objs, _ = populated_map
+        snap = omap.snapshot()
+        addrs = np.array(
+            [objs["A"].base, objs["B"].base + 8, objs["h1"].base, 1, objs["C"].end + 50],
+            dtype=np.uint64,
+        )
+        idx = snap.attribute(addrs)
+        names = [snap.objects[i].name if i >= 0 else None for i in idx]
+        assert names == [objs["A"].name, objs["B"].name, objs["h1"].name, None, None]
+
+    def test_count_by_object(self, populated_map):
+        omap, objs, _ = populated_map
+        snap = omap.snapshot()
+        addrs = np.array([objs["A"].base] * 3 + [objs["B"].base] * 2, dtype=np.uint64)
+        counts = snap.count_by_object(addrs)
+        by_name = dict(zip((o.name for o in snap.objects), counts))
+        assert by_name[objs["A"].name] == 3
+        assert by_name[objs["B"].name] == 2
+
+    def test_empty_snapshot(self):
+        snap = AttributionSnapshot([])
+        idx = snap.attribute(np.array([1, 2], dtype=np.uint64))
+        assert (idx == -1).all()
+
+    def test_overlap_rejected(self):
+        a = MemoryObject("a", base=100, size=50)
+        b = MemoryObject("b", base=120, size=50)
+        with pytest.raises(ObjectMapError):
+            AttributionSnapshot([a, b])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 2000), min_size=1, max_size=50))
+    def test_attribute_matches_linear_scan(self, probes):
+        objs = [
+            MemoryObject("x", base=100, size=100),
+            MemoryObject("y", base=300, size=50),
+            MemoryObject("z", base=1000, size=500),
+        ]
+        snap = AttributionSnapshot(objs)
+        addrs = np.array(probes, dtype=np.uint64)
+        got = snap.attribute(addrs)
+        for addr, idx in zip(probes, got):
+            expected = next(
+                (i for i, o in enumerate(objs) if o.contains(addr)), -1
+            )
+            assert idx == expected

@@ -1,0 +1,43 @@
+"""Tests for the MemoryObject value type."""
+
+import pytest
+
+from repro.memory.objects import MemoryObject, ObjectKind
+from repro.util.intervals import Interval
+
+
+class TestMemoryObject:
+    def test_extent_is_half_open(self):
+        obj = MemoryObject("x", base=100, size=50)
+        assert obj.end == 150
+        assert obj.extent == Interval(100, 150)
+        assert obj.contains(100)
+        assert obj.contains(149)
+        assert not obj.contains(150)
+        assert not obj.contains(99)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            MemoryObject("x", base=0, size=0)
+        with pytest.raises(ValueError):
+            MemoryObject("x", base=-1, size=4)
+
+    def test_uids_unique_and_increasing(self):
+        a = MemoryObject("a", base=0, size=1)
+        b = MemoryObject("b", base=0, size=1)
+        assert a.uid != b.uid
+        assert b.uid > a.uid
+
+    def test_default_kind_global(self):
+        assert MemoryObject("x", base=0, size=8).kind is ObjectKind.GLOBAL
+
+    def test_frozen(self):
+        obj = MemoryObject("x", base=0, size=8)
+        with pytest.raises(AttributeError):
+            obj.base = 5
+
+    def test_alloc_site(self):
+        obj = MemoryObject(
+            "h", base=0, size=8, kind=ObjectKind.HEAP, alloc_site="make_node"
+        )
+        assert obj.alloc_site == "make_node"

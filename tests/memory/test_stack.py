@@ -1,0 +1,87 @@
+"""Tests for the stack model (future-work aggregation, paper section 5)."""
+
+import pytest
+
+from repro.errors import AddressSpaceError
+from repro.memory.address_space import Segment
+from repro.memory.object_map import ObjectMap
+from repro.memory.stack import StackModel, aggregation_key
+
+
+def make_stack(size=1 << 16):
+    omap = ObjectMap()
+    seg = Segment("stack", 0x7_F000_0000, 0x7_F000_0000 + size)
+    return StackModel(seg, omap), omap
+
+
+class TestFrames:
+    def test_push_allocates_downward(self):
+        stack, _ = make_stack()
+        f1 = stack.push_frame("main", {"x": 64})
+        f2 = stack.push_frame("helper", {"y": 64})
+        assert f2.limit <= f1.base
+        assert stack.depth == 2
+
+    def test_locals_registered_in_map(self):
+        stack, omap = make_stack()
+        stack.push_frame("f", {"buf": 128})
+        addr = stack.addr_of("f", "buf")
+        obj = omap.lookup(addr)
+        assert obj is not None
+        assert obj.name == aggregation_key("f", "buf")
+
+    def test_pop_unregisters(self):
+        stack, omap = make_stack()
+        stack.push_frame("f", {"buf": 128})
+        addr = stack.addr_of("f", "buf")
+        stack.pop_frame()
+        assert omap.lookup(addr) is None
+        assert stack.depth == 0
+
+    def test_pop_empty_raises(self):
+        stack, _ = make_stack()
+        with pytest.raises(AddressSpaceError):
+            stack.pop_frame()
+
+    def test_overflow(self):
+        stack, _ = make_stack(size=256)
+        with pytest.raises(AddressSpaceError):
+            stack.push_frame("big", {"huge": 1 << 20})
+
+    def test_current_frame(self):
+        stack, _ = make_stack()
+        assert stack.current_frame() is None
+        f = stack.push_frame("f", {"x": 16})
+        assert stack.current_frame() is f
+
+
+class TestAggregation:
+    def test_instances_share_name(self):
+        """Recursive calls produce distinct extents but one shared name —
+        the aggregation the paper proposes for stack variables."""
+        stack, omap = make_stack()
+        f1 = stack.push_frame("fib", {"n": 16})
+        f2 = stack.push_frame("fib", {"n": 16})
+        names = {obj.name for obj in (*f1.locals, *f2.locals)}
+        assert names == {aggregation_key("fib", "n")}
+        bases = {obj.base for obj in (*f1.locals, *f2.locals)}
+        assert len(bases) == 2  # distinct instances
+
+    def test_addr_of_innermost(self):
+        stack, _ = make_stack()
+        stack.push_frame("fib", {"n": 16})
+        outer = stack.addr_of("fib", "n")
+        stack.push_frame("fib", {"n": 16})
+        inner = stack.addr_of("fib", "n")
+        assert inner != outer
+
+    def test_addr_of_missing(self):
+        stack, _ = make_stack()
+        with pytest.raises(KeyError):
+            stack.addr_of("nope", "x")
+
+    def test_layout_order_high_to_low(self):
+        stack, _ = make_stack()
+        frame = stack.push_frame("f", {"first": 32, "second": 32})
+        first, second = frame.locals
+        assert first.base > second.base

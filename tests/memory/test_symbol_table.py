@@ -1,0 +1,76 @@
+"""Tests for symbol-table variable layout."""
+
+import pytest
+
+from repro.errors import AddressSpaceError, ObjectMapError
+from repro.memory.address_space import Segment
+from repro.memory.symbol_table import SymbolTable
+
+
+def make_table(size=1 << 20, align=64):
+    return SymbolTable(Segment("data", 0x1000_0000, 0x1000_0000 + size), align)
+
+
+class TestDeclare:
+    def test_sequential_layout(self):
+        st = make_table()
+        a = st.declare("a", 100)
+        b = st.declare("b", 100)
+        assert a.base < b.base
+        assert b.base >= a.end
+
+    def test_alignment(self):
+        st = make_table(align=256)
+        a = st.declare("a", 10)
+        b = st.declare("b", 10)
+        assert a.base % 256 == 0
+        assert b.base % 256 == 0
+
+    def test_pad_after_creates_gap(self):
+        st = make_table()
+        a = st.declare("a", 64, pad_after=1024)
+        b = st.declare("b", 64)
+        assert b.base >= a.end + 1024
+
+    def test_duplicate_name_rejected(self):
+        st = make_table()
+        st.declare("x", 8)
+        with pytest.raises(ObjectMapError):
+            st.declare("x", 8)
+
+    def test_overflow_rejected(self):
+        st = make_table(size=4096)
+        with pytest.raises(AddressSpaceError):
+            st.declare("big", 8192)
+
+    def test_bad_size_rejected(self):
+        st = make_table()
+        with pytest.raises(ValueError):
+            st.declare("z", 0)
+
+    def test_bad_alignment_rejected(self):
+        st = make_table()
+        with pytest.raises(ValueError):
+            st.declare("z", 8, align=3)
+
+    def test_declare_many_in_order(self):
+        st = make_table()
+        objs = st.declare_many({"p": 64, "q": 64, "r": 64})
+        assert list(objs) == ["p", "q", "r"]
+        assert objs["p"].base < objs["q"].base < objs["r"].base
+
+    def test_lookup_helpers(self):
+        st = make_table()
+        a = st.declare("a", 64)
+        assert st["a"] is a
+        assert "a" in st
+        assert "b" not in st
+        assert len(st) == 1
+        assert st.objects == [a]
+        assert st.bytes_used >= 64
+
+    def test_objects_never_overlap(self):
+        st = make_table()
+        objs = [st.declare(f"v{i}", 96 + i * 8) for i in range(20)]
+        for a, b in zip(objs, objs[1:]):
+            assert a.end <= b.base

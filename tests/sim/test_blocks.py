@@ -1,0 +1,62 @@
+"""Tests for reference blocks and trace concatenation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.blocks import ReferenceBlock, concat_blocks
+
+
+class TestReferenceBlock:
+    def test_coerces_to_uint64(self):
+        block = ReferenceBlock(addrs=[1, 2, 3])
+        assert block.addrs.dtype == np.uint64
+        assert len(block) == 3
+
+    def test_cycles(self):
+        block = ReferenceBlock(addrs=np.arange(10), cycles_per_ref=4.0, extra_cycles=7)
+        assert block.total_cycles == 47
+        assert block.cycles_for(5) == 20
+        assert block.cycles_for(10) == 47  # extra charged at completion
+
+    def test_refs_within_cycles(self):
+        block = ReferenceBlock(addrs=np.arange(10), cycles_per_ref=4.0)
+        assert block.refs_within_cycles(9) == 2
+        assert block.refs_within_cycles(1) == 1  # always makes progress
+
+    def test_bad_cpr(self):
+        with pytest.raises(WorkloadError):
+            ReferenceBlock(addrs=np.arange(3), cycles_per_ref=0)
+
+    def test_writes_mask_validated(self):
+        with pytest.raises(WorkloadError):
+            ReferenceBlock(addrs=np.arange(3), writes=np.array([True]))
+
+    def test_writes_mask_kept(self):
+        block = ReferenceBlock(addrs=np.arange(2), writes=np.array([True, False]))
+        assert block.writes.dtype == bool
+
+
+class TestConcat:
+    def test_concat(self):
+        a = ReferenceBlock(addrs=np.arange(3), cycles_per_ref=2.0, extra_cycles=1)
+        b = ReferenceBlock(addrs=np.arange(3, 6), cycles_per_ref=2.0, extra_cycles=2)
+        merged = concat_blocks([a, b])
+        assert merged.addrs.tolist() == [0, 1, 2, 3, 4, 5]
+        assert merged.extra_cycles == 3
+
+    def test_concat_mixed_writes(self):
+        a = ReferenceBlock(addrs=np.arange(2), writes=np.array([True, True]))
+        b = ReferenceBlock(addrs=np.arange(2))
+        merged = concat_blocks([a, b])
+        assert merged.writes.tolist() == [True, True, False, False]
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            concat_blocks([])
+
+    def test_concat_mismatched_cpr_rejected(self):
+        a = ReferenceBlock(addrs=np.arange(2), cycles_per_ref=2.0)
+        b = ReferenceBlock(addrs=np.arange(2), cycles_per_ref=3.0)
+        with pytest.raises(WorkloadError):
+            concat_blocks([a, b])

@@ -1,0 +1,48 @@
+"""Tests for the virtual cycle clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+
+
+class TestAdvance:
+    def test_split_accounting(self):
+        clk = VirtualClock()
+        clk.advance_app(100)
+        clk.advance_instr(40)
+        assert clk.now == 140
+        assert clk.app_cycles == 100
+        assert clk.instr_cycles == 40
+
+    def test_negative_rejected(self):
+        clk = VirtualClock()
+        with pytest.raises(SimulationError):
+            clk.advance_app(-1)
+        with pytest.raises(SimulationError):
+            clk.advance_instr(-1)
+
+
+class TestDeadline:
+    def test_timer_fires_at_deadline(self):
+        clk = VirtualClock()
+        clk.set_deadline(50)
+        assert not clk.timer_expired
+        assert clk.cycles_until_deadline() == 50
+        clk.advance_app(50)
+        assert clk.timer_expired
+        assert clk.cycles_until_deadline() == 0
+
+    def test_deadline_must_be_future(self):
+        clk = VirtualClock()
+        clk.advance_app(10)
+        with pytest.raises(SimulationError):
+            clk.set_deadline(10)
+
+    def test_clear(self):
+        clk = VirtualClock()
+        clk.set_deadline(100)
+        clk.clear_deadline()
+        assert clk.deadline is None
+        assert not clk.timer_expired
+        assert clk.cycles_until_deadline() is None

@@ -1,0 +1,173 @@
+"""Engine tests: exact interrupt placement, accounting, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheConfig
+from repro.core.profile import DataProfile
+from repro.hpm.interrupts import InterruptKind
+from repro.sim.engine import Simulator
+from repro.sim.instrumentation import HandlerResult, InstrumentationTool
+from repro.workloads.synthetic import SyntheticStreams
+
+
+def small_workload(rounds=4, seed=0, **kw):
+    return SyntheticStreams(
+        {"A": (256 * 1024, 60), "B": (256 * 1024, 40)},
+        rounds=rounds,
+        lines_per_round=4000,
+        seed=seed,
+        **kw,
+    )
+
+
+class RecordingTool(InstrumentationTool):
+    """Minimal tool that records every interrupt it receives."""
+
+    name = "recorder"
+
+    def __init__(self, period=None, timer=None, mem_refs=None, stop_after=None):
+        super().__init__()
+        self.period = period
+        self.timer = timer
+        self.mem_refs = mem_refs
+        self.stop_after = stop_after
+        self.overflow_addrs: list[int] = []
+        self.timer_cycles: list[int] = []
+
+    def attach(self, ctx):
+        return HandlerResult(
+            rearm_overflow=self.period, next_timer_in=self.timer
+        )
+
+    def on_miss_overflow(self, cycle):
+        self.overflow_addrs.append(self.ctx.monitor.last_miss_addr)
+        done = (
+            self.stop_after is not None
+            and len(self.overflow_addrs) >= self.stop_after
+        )
+        return HandlerResult(
+            handler_cycles=100,
+            mem_refs=self.mem_refs,
+            rearm_overflow=None if done else self.period,
+            done=done,
+        )
+
+    def on_timer(self, cycle):
+        self.timer_cycles.append(cycle)
+        return HandlerResult(handler_cycles=500, next_timer_in=self.timer)
+
+    def profile(self):
+        return DataProfile(source="recorder")
+
+
+class TestBaseline:
+    def test_ground_truth_matches_cache(self, sim):
+        res = sim.run(small_workload())
+        assert res.ground_truth.total_misses == res.stats.app_misses
+        assert res.stats.instr_refs == 0
+        assert res.stats.instr_cycles == 0
+        assert res.actual.total_misses == res.stats.app_misses
+
+    def test_determinism(self):
+        a = Simulator(CacheConfig(size=64 * 1024), seed=5).run(small_workload(seed=3))
+        b = Simulator(CacheConfig(size=64 * 1024), seed=5).run(small_workload(seed=3))
+        assert a.stats.app_misses == b.stats.app_misses
+        assert a.stats.app_cycles == b.stats.app_cycles
+        assert a.actual.as_dict() == b.actual.as_dict()
+
+    def test_max_refs_truncates(self, sim):
+        full = sim.run(small_workload())
+        part = sim.run(small_workload(), max_refs=1000)
+        assert part.stats.app_refs == 1000
+        assert part.stats.app_refs < full.stats.app_refs
+
+    def test_cycles_accounted(self, sim):
+        res = sim.run(small_workload())
+        wl_cpr = small_workload().cycles_per_ref
+        assert res.stats.app_cycles == pytest.approx(
+            res.stats.app_refs * wl_cpr, rel=0.01
+        )
+
+    def test_ground_truth_disabled(self, sim):
+        res = sim.run(small_workload(), ground_truth=False)
+        assert res.actual is None
+        assert res.ground_truth is None
+
+
+class TestOverflowInterrupts:
+    def test_interrupt_at_exact_miss(self, sim):
+        """With a pure-miss stream, the k-th overflow's last-miss-address
+        must be exactly the (k*period)-th referenced address."""
+        wl = small_workload(rounds=2)
+        tool = RecordingTool(period=500)
+        res = sim.run(wl, tool=tool)
+        # Reconstruct the app's address stream.
+        stream = np.concatenate([b.addrs for b in small_workload(rounds=2).blocks()])
+        # Every access is a cold/capacity miss here (streaming > cache).
+        for k, addr in enumerate(tool.overflow_addrs, start=1):
+            assert addr == int(stream[k * 500 - 1])
+
+    def test_interrupt_count(self, sim):
+        wl = small_workload(rounds=2)
+        tool = RecordingTool(period=500)
+        res = sim.run(wl, tool=tool)
+        assert len(res.stats.interrupts) == len(tool.overflow_addrs)
+        assert res.stats.app_misses // 500 == len(tool.overflow_addrs)
+
+    def test_done_stops_interrupts(self, sim):
+        tool = RecordingTool(period=100, stop_after=3)
+        sim.run(small_workload(), tool=tool)
+        assert len(tool.overflow_addrs) == 3
+
+    def test_instr_cycles_charged(self, sim):
+        tool = RecordingTool(period=1000)
+        res = sim.run(small_workload(), tool=tool)
+        n = len(tool.overflow_addrs)
+        expected = n * (sim.cost_model.interrupt_delivery_cycles + 100)
+        assert res.stats.instr_cycles == expected
+        assert res.stats.slowdown > 0
+
+
+class TestTimerInterrupts:
+    def test_timer_spacing(self, sim):
+        tool = RecordingTool(timer=10_000)
+        res = sim.run(small_workload(), tool=tool)
+        assert len(tool.timer_cycles) > 3
+        gaps = np.diff(tool.timer_cycles)
+        # Each gap covers the timer interval plus the handler's own time,
+        # plus up to one reference of overshoot.
+        assert (gaps >= 10_000).all()
+        assert (gaps <= 10_000 + 9_300 + 200).all()
+
+    def test_timer_and_overflow_coexist(self, sim):
+        tool = RecordingTool(period=2000, timer=20_000)
+        sim.run(small_workload(), tool=tool)
+        assert tool.overflow_addrs and tool.timer_cycles
+
+
+class TestPerturbation:
+    def test_instr_refs_through_cache(self, sim):
+        refs = np.arange(0x2_0000_0000, 0x2_0000_0000 + 64 * 50, 64, dtype=np.uint64)
+        tool = RecordingTool(period=1000, mem_refs=refs)
+        res = sim.run(small_workload(), tool=tool)
+        n = len(tool.overflow_addrs)
+        assert res.stats.instr_refs == n * len(refs)
+        assert res.stats.instr_misses > 0
+        # Ground truth must never see instrumentation misses.
+        assert res.ground_truth.total_misses == res.stats.app_misses
+
+    def test_pollution_perturbs_app(self):
+        """Instrumentation misses evict app lines: with a small cache and
+        a reusing app, instrumented app misses exceed baseline misses."""
+        cfg = CacheConfig(size=16 * 1024, assoc=4)
+        wl_spec = {"A": (8 * 1024, 100)}  # A fits in cache: mostly hits
+
+        def make_wl():
+            return SyntheticStreams(wl_spec, rounds=200, lines_per_round=128)
+
+        base = Simulator(cfg, seed=1).run(make_wl())
+        refs = np.arange(0x2_0000_0000, 0x2_0000_0000 + 64 * 512, 64, dtype=np.uint64)
+        tool = RecordingTool(period=16, mem_refs=refs)
+        instr = Simulator(cfg, seed=1).run(make_wl(), tool=tool, max_refs=base.stats.app_refs)
+        assert instr.stats.app_misses > base.stats.app_misses

@@ -1,0 +1,58 @@
+"""Tests for RunStats metrics (the figures' raw quantities)."""
+
+import pytest
+
+from repro.hpm.interrupts import InterruptKind, InterruptLog, InterruptRecord
+from repro.sim.events import RunStats
+
+
+def stats(**kw):
+    base = dict(
+        app_refs=1000,
+        app_misses=100,
+        instr_refs=10,
+        instr_misses=2,
+        app_cycles=10_000,
+        instr_cycles=500,
+    )
+    base.update(kw)
+    return RunStats(**base)
+
+
+class TestRunStats:
+    def test_totals(self):
+        s = stats()
+        assert s.total_cycles == 10_500
+        assert s.total_misses == 102
+
+    def test_slowdown(self):
+        assert stats().slowdown == pytest.approx(0.05)
+        assert RunStats().slowdown == 0.0
+
+    def test_miss_rate_per_mcycle(self):
+        s = stats(app_misses=250, app_cycles=1_000_000)
+        assert s.miss_rate_per_mcycle == pytest.approx(250.0)
+        assert RunStats().miss_rate_per_mcycle == 0.0
+
+    def test_miss_increase_vs(self):
+        base = stats(app_misses=100, instr_misses=0)
+        instrumented = stats(app_misses=101, instr_misses=2)
+        # (103 - 100) / 100
+        assert instrumented.miss_increase_vs(base) == pytest.approx(0.03)
+
+    def test_miss_increase_vs_empty_baseline(self):
+        assert stats().miss_increase_vs(RunStats()) == 0.0
+
+    def test_interrupts_per_gcycle(self):
+        log = InterruptLog()
+        for _ in range(3):
+            log.append(
+                InterruptRecord(
+                    kind=InterruptKind.TIMER,
+                    cycle=0,
+                    handler_cycles=1,
+                    delivery_cycles=1,
+                )
+            )
+        s = stats(interrupts=log, app_cycles=1_000_000_000, instr_cycles=0)
+        assert s.interrupts_per_gcycle() == pytest.approx(3.0)

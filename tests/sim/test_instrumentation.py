@@ -1,0 +1,53 @@
+"""Tests for the instrumentation plumbing helpers."""
+
+import numpy as np
+import pytest
+
+from repro.memory.objects import ObjectKind
+from repro.sim.instrumentation import _RefPattern
+
+
+class TestRefPattern:
+    def test_touch_within_structure(self):
+        pattern = _RefPattern(base=0x1000, size=256)
+        addrs = pattern.touch([0, 100, 255, 300])
+        assert addrs.dtype == np.uint64
+        assert all(0x1000 <= a < 0x1100 for a in addrs)
+        assert addrs[3] == 0x1000 + (300 % 256)
+
+    def test_binary_search_path_halves(self):
+        pattern = _RefPattern(base=0x1000, size=1024)  # 64 entries of 16B
+        path = pattern.binary_search_path(key_hint=0xABCDEF, n_probes=6)
+        assert 1 <= len(path) <= 6
+        # First probe is the middle entry.
+        assert path[0] == 0x1000 + (64 // 2) * 16
+
+    def test_different_keys_touch_different_paths(self):
+        pattern = _RefPattern(base=0x1000, size=4096)
+        a = pattern.binary_search_path(0b101010, 8).tolist()
+        b = pattern.binary_search_path(0b010101, 8).tolist()
+        assert a != b
+
+    def test_single_entry_structure(self):
+        pattern = _RefPattern(base=0x1000, size=8)
+        path = pattern.binary_search_path(5, 4)
+        assert len(path) >= 1
+
+
+class TestToolContext:
+    def test_alloc_instr_kind(self, aspace):
+        from repro.memory.allocator import HeapAllocator
+        from repro.sim.instrumentation import ToolContext
+
+        ctx = ToolContext(
+            object_map=None,
+            monitor=None,
+            cost_model=None,
+            address_space=aspace,
+            cache=None,
+            instr_allocator=HeapAllocator(aspace.instr),
+        )
+        obj = ctx.alloc_instr("counts", 4096)
+        assert obj.kind is ObjectKind.INSTR
+        assert obj.name == "counts"
+        assert aspace.instr.contains(obj.base)

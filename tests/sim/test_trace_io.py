@@ -1,0 +1,43 @@
+"""Round-trip tests for trace save/load."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.sim.blocks import ReferenceBlock
+from repro.sim.trace_io import load_trace, save_trace
+
+
+class TestRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        blocks = [
+            ReferenceBlock(addrs=np.arange(100, dtype=np.uint64), cycles_per_ref=3.5,
+                           label="warm", extra_cycles=9),
+            ReferenceBlock(addrs=np.arange(5, dtype=np.uint64),
+                           writes=np.array([True, False, True, False, True])),
+        ]
+        path = tmp_path / "trace.npz"
+        save_trace(path, blocks)
+        loaded = load_trace(path)
+        assert len(loaded) == 2
+        assert np.array_equal(loaded[0].addrs, blocks[0].addrs)
+        assert loaded[0].cycles_per_ref == 3.5
+        assert loaded[0].label == "warm"
+        assert loaded[0].extra_cycles == 9
+        assert loaded[0].writes is None
+        assert np.array_equal(loaded[1].writes, blocks[1].writes)
+
+    def test_empty_block_list(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_trace(path, [])
+        assert load_trace(path) == []
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_not_a_trace(self, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, junk=np.arange(3))
+        with pytest.raises(TraceError):
+            load_trace(path)

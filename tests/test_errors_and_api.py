@@ -1,0 +1,67 @@
+"""Library-level contract tests: error hierarchy and the public API."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_allocation_error_is_address_space_error(self):
+        assert issubclass(errors.AllocationError, errors.AddressSpaceError)
+
+    def test_catchable_as_repro_error(self):
+        from repro.cache import CacheConfig
+
+        with pytest.raises(repro.ReproError):
+            CacheConfig(size=100)
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_quickstart_docstring_flow(self):
+        """The README/module-docstring flow must work verbatim-ish."""
+        from repro import CacheConfig, SamplingProfiler, Simulator, workloads
+
+        sim = Simulator(CacheConfig(size="64K", assoc=4))
+        result = sim.run(
+            workloads.Tomcatv(n_steps=1, rows_per_step=4),
+            tool=SamplingProfiler(period=64),
+        )
+        assert result.actual.table()
+        assert result.measured.table()
+        assert result.stats.slowdown >= 0
+
+    def test_subpackage_alls_resolve(self):
+        import repro.analysis
+        import repro.cache
+        import repro.core
+        import repro.hpm
+        import repro.memory
+        import repro.sim
+        import repro.workloads
+
+        for module in (
+            repro.analysis,
+            repro.cache,
+            repro.core,
+            repro.hpm,
+            repro.memory,
+            repro.sim,
+            repro.workloads,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"

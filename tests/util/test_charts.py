@@ -1,0 +1,71 @@
+"""Tests for the ASCII chart renderers."""
+
+from repro.util.charts import hbar_chart, line_chart, sparkline
+
+
+class TestHbarChart:
+    def test_basic_render(self):
+        out = hbar_chart(
+            ["tomcatv", "ijpeg"],
+            {"search": [0.01, 0.02], "sample": [0.16, 0.003]},
+            title="slowdown",
+        )
+        assert "tomcatv:" in out
+        assert "search" in out
+        assert "0.16" in out
+
+    def test_log_scale_notes_peak(self):
+        out = hbar_chart(["a"], {"s": [10.0]}, log=True, unit="%")
+        assert "log scale" in out
+        assert "10%" in out
+
+    def test_zero_values_ok(self):
+        out = hbar_chart(["a"], {"s": [0.0], "t": [5.0]})
+        assert "0" in out
+
+    def test_all_zero(self):
+        out = hbar_chart(["a"], {"s": [0.0]}, title="t")
+        assert "no nonzero" in out
+
+    def test_longest_bar_is_peak(self):
+        out = hbar_chart(["g"], {"big": [100.0], "small": [1.0]}, width=20)
+        lines = [l for l in out.splitlines() if "|" in l]
+        big_bar = lines[0].split("|")[1]
+        small_bar = lines[1].split("|")[1]
+        assert big_bar.count("█") > small_bar.count("█")
+
+    def test_log_compresses_ratio(self):
+        linear = hbar_chart(["g"], {"a": [1000.0], "b": [1.0]}, width=30)
+        logged = hbar_chart(["g"], {"a": [1000.0], "b": [1.0]}, width=30, log=True)
+
+        def bar_len(out, row):
+            return [l for l in out.splitlines() if "|" in l][row].split("|")[1].count("█")
+
+        assert bar_len(logged, 1) > bar_len(linear, 1)
+
+
+class TestSparkline:
+    def test_length_capped(self):
+        assert len(sparkline(list(range(1000)), width=50)) == 50
+
+    def test_shape(self):
+        out = sparkline([0, 0, 10, 0])
+        assert out[2] == "█"
+        assert out[0] == " "
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestLineChart:
+    def test_rows_share_scale(self):
+        out = line_chart({"hot": [10, 10, 10], "cold": [1, 1, 1]})
+        rows = out.splitlines()
+        assert rows[0].startswith("hot")
+        hot_marks = rows[0].split("|")[1]
+        cold_marks = rows[1].split("|")[1]
+        assert max(hot_marks) > max(cold_marks)  # block chars sort by height
+
+    def test_title(self):
+        out = line_chart({"x": [1]}, title="Fig")
+        assert out.splitlines()[0] == "Fig"

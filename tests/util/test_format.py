@@ -1,0 +1,50 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.util.format import Table, render_table
+
+
+class TestTable:
+    def test_basic_render(self):
+        t = Table(["a", "bb"])
+        t.add_row([1, "x"])
+        out = render_table(t)
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "bb" in lines[0]
+        assert "1" in lines[2]
+
+    def test_title(self):
+        t = Table(["col"], title="My Table")
+        t.add_row(["v"])
+        out = render_table(t)
+        assert out.splitlines()[0] == "My Table"
+        assert out.splitlines()[1] == "========"
+
+    def test_row_length_validation(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_separator_renders_as_rule(self):
+        t = Table(["a"])
+        t.add_row(["x"])
+        t.add_separator()
+        t.add_row(["y"])
+        out = render_table(t).splitlines()
+        assert out[3] == out[1]  # the separator repeats the header rule
+
+    def test_column_widths_fit_longest_cell(self):
+        t = Table(["h"])
+        t.add_row(["a-much-longer-cell"])
+        out = render_table(t).splitlines()
+        assert len(out[0]) == len("a-much-longer-cell")
+
+    def test_separator_does_not_widen_columns(self):
+        t = Table(["h"])
+        t.add_separator()
+        out = render_table(t).splitlines()
+        # The separator renders as a rule matching the (1-char) column,
+        # not as a literal "---" that would widen it.
+        assert out[-1] == out[1] == "-"

@@ -1,0 +1,117 @@
+"""Unit and property tests for half-open interval arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.intervals import (
+    Interval,
+    intersect,
+    intersects,
+    interval_len,
+    is_empty,
+    make,
+    span,
+    subtract,
+    union_len,
+)
+
+ivs = st.tuples(
+    st.integers(0, 10_000), st.integers(0, 10_000)
+).map(lambda t: Interval(min(t), max(t)))
+
+
+class TestBasics:
+    def test_make_validates(self):
+        with pytest.raises(ValueError):
+            make(10, 5)
+
+    def test_make_accepts_equal(self):
+        assert is_empty(make(5, 5))
+
+    def test_contains_is_half_open(self):
+        iv = Interval(10, 20)
+        assert 10 in iv
+        assert 19 in iv
+        assert 20 not in iv
+        assert 9 not in iv
+
+    def test_len(self):
+        assert interval_len(Interval(3, 10)) == 7
+        assert interval_len(Interval(3, 3)) == 0
+
+    def test_span(self):
+        assert span([Interval(5, 10), Interval(20, 30)]) == Interval(5, 30)
+
+    def test_span_ignores_empty(self):
+        assert span([Interval(5, 5), Interval(8, 9)]) == Interval(8, 9)
+
+    def test_span_of_nothing(self):
+        assert is_empty(span([]))
+
+
+class TestIntersect:
+    def test_overlap(self):
+        assert intersect(Interval(0, 10), Interval(5, 15)) == Interval(5, 10)
+
+    def test_disjoint_is_empty(self):
+        assert is_empty(intersect(Interval(0, 5), Interval(10, 20)))
+
+    def test_touching_do_not_intersect(self):
+        # Half-open: [0,5) and [5,10) share no address.
+        assert not intersects(Interval(0, 5), Interval(5, 10))
+
+    @given(ivs, ivs)
+    def test_intersects_iff_nonempty_intersection(self, a, b):
+        assert intersects(a, b) == (not is_empty(intersect(a, b)))
+
+    @given(ivs, ivs)
+    def test_commutative(self, a, b):
+        assert intersect(a, b) == intersect(b, a)
+
+
+class TestSubtract:
+    def test_hole_in_middle(self):
+        parts = subtract(Interval(0, 100), Interval(40, 60))
+        assert parts == [Interval(0, 40), Interval(60, 100)]
+
+    def test_total_eclipse(self):
+        assert subtract(Interval(10, 20), Interval(0, 100)) == []
+
+    def test_no_overlap_returns_original(self):
+        assert subtract(Interval(0, 10), Interval(50, 60)) == [Interval(0, 10)]
+
+    def test_empty_minuend(self):
+        assert subtract(Interval(5, 5), Interval(0, 10)) == []
+
+    @given(ivs, ivs)
+    def test_lengths_conserve(self, a, b):
+        remaining = subtract(a, b)
+        removed = interval_len(intersect(a, b))
+        assert sum(interval_len(r) for r in remaining) + removed == interval_len(a)
+
+    @given(ivs, ivs)
+    def test_result_disjoint_from_b(self, a, b):
+        for part in subtract(a, b):
+            assert not intersects(part, b)
+
+
+class TestUnionLen:
+    def test_disjoint(self):
+        assert union_len([Interval(0, 10), Interval(20, 30)]) == 20
+
+    def test_overlapping(self):
+        assert union_len([Interval(0, 10), Interval(5, 15)]) == 15
+
+    def test_nested(self):
+        assert union_len([Interval(0, 100), Interval(10, 20)]) == 100
+
+    def test_empty_inputs(self):
+        assert union_len([]) == 0
+        assert union_len([Interval(5, 5)]) == 0
+
+    @given(st.lists(ivs, max_size=8))
+    def test_bounded_by_sum_and_span(self, parts):
+        total = union_len(parts)
+        assert total <= sum(interval_len(p) for p in parts)
+        assert total <= interval_len(span(parts))

@@ -1,0 +1,48 @@
+"""Tests for the primality helpers behind resonance-free periods."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.primes import is_prime, next_prime, prev_prime
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 11, 50111, 104729])
+    def test_primes(self, n):
+        assert is_prime(n)
+
+    @pytest.mark.parametrize("n", [-5, 0, 1, 4, 9, 50000, 104730])
+    def test_composites(self, n):
+        assert not is_prime(n)
+
+    def test_paper_period(self):
+        # The paper replaced 50,000 with the nearby prime 50,111.
+        assert not is_prime(50_000)
+        assert is_prime(50_111)
+
+
+class TestNextPrev:
+    def test_next_prime_of_paper_period(self):
+        assert next_prime(50_000) == 50_021  # the smallest prime above 50,000
+
+    def test_prev_prime(self):
+        assert prev_prime(50_000) == 49_999
+
+    def test_prev_prime_rejects_small(self):
+        with pytest.raises(ValueError):
+            prev_prime(2)
+
+    @given(st.integers(2, 100_000))
+    def test_next_prime_properties(self, n):
+        p = next_prime(n)
+        assert p > n
+        assert is_prime(p)
+        for candidate in range(n + 1, p):
+            assert not is_prime(candidate)
+
+    @given(st.integers(3, 10_000))
+    def test_prev_prime_properties(self, n):
+        p = prev_prime(n)
+        assert p < n
+        assert is_prime(p)

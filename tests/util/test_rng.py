@@ -1,0 +1,33 @@
+"""Tests for deterministic RNG plumbing."""
+
+import numpy as np
+
+from repro.util.rng import make_rng, spawn_rng
+
+
+class TestMakeRng:
+    def test_default_is_deterministic(self):
+        a = make_rng().integers(0, 1 << 30, 8)
+        b = make_rng().integers(0, 1 << 30, 8)
+        assert np.array_equal(a, b)
+
+    def test_seeded(self):
+        a = make_rng(42).integers(0, 1 << 30, 8)
+        b = make_rng(42).integers(0, 1 << 30, 8)
+        c = make_rng(43).integers(0, 1 << 30, 8)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestSpawnRng:
+    def test_children_differ_by_key(self):
+        parent1 = make_rng(1)
+        parent2 = make_rng(1)
+        a = spawn_rng(parent1, "alpha").integers(0, 1 << 30, 8)
+        b = spawn_rng(parent2, "beta").integers(0, 1 << 30, 8)
+        assert not np.array_equal(a, b)
+
+    def test_children_deterministic(self):
+        a = spawn_rng(make_rng(1), "x").integers(0, 1 << 30, 8)
+        b = spawn_rng(make_rng(1), "x").integers(0, 1 << 30, 8)
+        assert np.array_equal(a, b)

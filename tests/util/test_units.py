@@ -1,0 +1,52 @@
+"""Tests for size parsing and formatting."""
+
+import pytest
+
+from repro.util.units import KiB, MiB, fmt_bytes, fmt_count, fmt_cycles, fmt_pct, parse_size
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("64", 64),
+            ("2K", 2 * KiB),
+            ("2k", 2 * KiB),
+            ("256KiB", 256 * KiB),
+            ("2MB", 2 * MiB),
+            ("2 MiB", 2 * MiB),
+            ("1g", 1024 * MiB),
+        ],
+    )
+    def test_parses(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_size("lots")
+
+    def test_rejects_unknown_suffix(self):
+        with pytest.raises(ValueError):
+            parse_size("5parsecs")
+
+
+class TestFormat:
+    def test_fmt_bytes(self):
+        assert fmt_bytes(2 * MiB) == "2MiB"
+        assert fmt_bytes(1536) == "1.5KiB"
+        assert fmt_bytes(100) == "100B"
+
+    def test_fmt_count(self):
+        assert fmt_count(1234567) == "1,234,567"
+
+    def test_fmt_cycles(self):
+        assert fmt_cycles(2_500_000) == "2.50Mcyc"
+        assert fmt_cycles(500) == "500cyc"
+        assert fmt_cycles(3.2e9) == "3.20Gcyc"
+
+    def test_fmt_pct(self):
+        assert fmt_pct(0.225) == "22.5"
+        assert fmt_pct(0.0301, digits=2) == "3.01"

@@ -1,0 +1,64 @@
+"""Tests for the Workload base class contract."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+from repro.workloads.synthetic import SyntheticStreams
+
+
+class Minimal(Workload):
+    name = "minimal"
+    cycles_per_ref = 3.0
+
+    def _declare(self):
+        self.symbols.declare("only", 4096)
+
+    def _generate(self):
+        obj = self.symbols["only"]
+        yield self.block(np.arange(obj.base, obj.end, 64, dtype=np.uint64))
+
+
+class TestLifecycle:
+    def test_prepare_idempotent(self):
+        wl = Minimal()
+        wl.prepare()
+        omap = wl.object_map
+        wl.prepare()
+        assert wl.object_map is omap
+
+    def test_blocks_triggers_prepare(self):
+        wl = Minimal()
+        blocks = list(wl.blocks())
+        assert wl.object_map is not None
+        assert len(blocks) == 1
+
+    def test_globals_frozen_after_prepare(self):
+        """The object map's static-variable table locks after load."""
+        from repro.memory.objects import MemoryObject
+
+        wl = Minimal()
+        wl.prepare()
+        with pytest.raises(RuntimeError):
+            wl.object_map.add_global(MemoryObject("late", base=0x1_3000_0000, size=64))
+
+    def test_bad_scale(self):
+        with pytest.raises(WorkloadError):
+            SyntheticStreams({"a": (64, 1)}, scale=0)
+
+    def test_scaled_rounds_up(self):
+        wl = Minimal(scale=1.0)
+        assert wl.scaled(100) == 4096          # min alignment
+        assert wl.scaled(5000) == 8192
+        wl2 = Minimal(scale=2.0)
+        assert wl2.scaled(5000) == 12288
+
+    def test_block_helper_uses_cpr(self):
+        wl = Minimal()
+        wl.prepare()
+        block = next(iter(wl._generate()))
+        assert block.cycles_per_ref == 3.0
+
+    def test_describe_mentions_name(self):
+        assert "minimal" in Minimal().describe()

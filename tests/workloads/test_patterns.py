@@ -1,0 +1,126 @@
+"""Tests for vectorised access-pattern generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.objects import MemoryObject
+from repro.util.rng import make_rng
+from repro.workloads.patterns import (
+    interleave,
+    intra_line_hits,
+    random_lines,
+    repeat_window,
+    stream_lines,
+    strided_lines,
+)
+
+OBJ = MemoryObject("arr", base=0x1000_0000, size=64 * 1024)
+
+
+class TestStreamLines:
+    def test_sequential(self):
+        addrs = stream_lines(OBJ, 4)
+        assert addrs.tolist() == [OBJ.base + i * 64 for i in range(4)]
+
+    def test_start_offset(self):
+        addrs = stream_lines(OBJ, 2, start_line=10)
+        assert addrs[0] == OBJ.base + 640
+
+    def test_wraps_within_object(self):
+        capacity = OBJ.size // 64
+        addrs = stream_lines(OBJ, capacity + 5)
+        assert addrs[capacity] == OBJ.base  # wrapped
+        assert all(OBJ.contains(int(a)) for a in addrs)
+
+    def test_dtype(self):
+        assert stream_lines(OBJ, 3).dtype == np.uint64
+
+
+class TestStridedLines:
+    def test_stride(self):
+        addrs = strided_lines(OBJ, stride_lines=4, count=3)
+        assert addrs.tolist() == [OBJ.base, OBJ.base + 256, OBJ.base + 512]
+
+    def test_stays_in_object(self):
+        addrs = strided_lines(OBJ, stride_lines=7, count=1000)
+        assert all(OBJ.contains(int(a)) for a in addrs)
+
+
+class TestRepeatWindow:
+    def test_tiles(self):
+        addrs = repeat_window(OBJ, window_lines=3, sweeps=2)
+        assert len(addrs) == 6
+        assert np.array_equal(addrs[:3], addrs[3:])
+
+
+class TestRandomLines:
+    def test_in_object(self):
+        addrs = random_lines(OBJ, 500, make_rng(0))
+        assert all(OBJ.contains(int(a)) for a in addrs)
+
+    def test_hot_fraction_concentrates(self):
+        addrs = random_lines(
+            OBJ, 5000, make_rng(0), hot_fraction=0.95, hot_lines=8
+        )
+        hot_limit = OBJ.base + 8 * 64
+        hot = (addrs < hot_limit).mean()
+        assert hot > 0.9
+
+    def test_deterministic(self):
+        a = random_lines(OBJ, 100, make_rng(1))
+        b = random_lines(OBJ, 100, make_rng(1))
+        assert np.array_equal(a, b)
+
+
+class TestInterleave:
+    def test_round_robin(self):
+        a = np.array([1, 3, 5], dtype=np.uint64)
+        b = np.array([2, 4, 6], dtype=np.uint64)
+        assert interleave(a, b).tolist() == [1, 2, 3, 4, 5, 6]
+
+    def test_three_way(self):
+        a = np.array([1], dtype=np.uint64)
+        b = np.array([2], dtype=np.uint64)
+        c = np.array([3], dtype=np.uint64)
+        assert interleave(a, b, c).tolist() == [1, 2, 3]
+
+    def test_trims_to_shortest(self):
+        a = np.array([1, 3, 5], dtype=np.uint64)
+        b = np.array([2], dtype=np.uint64)
+        assert interleave(a, b).tolist() == [1, 2]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            interleave()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 50), st.integers(2, 5))
+    def test_alternation_property(self, n, k):
+        """Element i of interleave comes from stream i % k."""
+        streams = [
+            np.full(n, 1000 * s, dtype=np.uint64) + np.arange(n, dtype=np.uint64)
+            for s in range(k)
+        ]
+        out = interleave(*streams)
+        for i, value in enumerate(out):
+            assert value // 1000 == i % k
+
+
+class TestIntraLineHits:
+    def test_expansion(self):
+        addrs = np.array([0, 64], dtype=np.uint64)
+        out = intra_line_hits(addrs, extra_per_line=2)
+        assert len(out) == 6
+        # First touch of each group is the original line address.
+        assert out[0] == 0 and out[3] == 64
+
+    def test_extras_stay_in_line(self):
+        addrs = np.array([128], dtype=np.uint64)
+        out = intra_line_hits(addrs, extra_per_line=10)
+        assert all(128 <= a < 192 for a in out)
+
+    def test_zero_extras_identity(self):
+        addrs = np.array([1, 2], dtype=np.uint64)
+        assert intra_line_hits(addrs, 0) is addrs

@@ -1,0 +1,176 @@
+"""Structure-specific tests for each SPEC95 workload model.
+
+These pin the *engineered* behaviours each model exists to provide (see
+the module docstrings): the interleavings, phases, eras and allocation
+recipes that the paper's experiments depend on. The share-level tests
+live in test_workloads.py; these go one level deeper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads.applu import Applu
+from repro.workloads.compress_ import Compress
+from repro.workloads.ijpeg import Ijpeg
+from repro.workloads.mgrid import Mgrid
+from repro.workloads.su2cor import _ERAS, Su2cor
+from repro.workloads.swim import _ARRAYS as SWIM_ARRAYS
+from repro.workloads.swim import Swim
+from repro.workloads.tomcatv import Tomcatv
+
+
+def block_owner_counts(wl, labels=None):
+    """name -> number of line-addresses per object across the stream."""
+    wl.prepare()
+    snapshot = wl.object_map.snapshot()
+    counts = {}
+    for block in wl.blocks():
+        if labels is not None and block.label not in labels:
+            continue
+        per = snapshot.count_by_object(block.addrs)
+        for obj, c in zip(snapshot.objects, per):
+            if c:
+                counts[obj.name] = counts.get(obj.name, 0) + int(c)
+    return counts
+
+
+class TestTomcatv:
+    def test_residual_parity_flips_are_irregular(self):
+        """Rows 0 and 3 of every 12 carry the extra AA line (the phase
+        flip that makes the resonance partial)."""
+        wl = Tomcatv(n_steps=1, rows_per_step=12)
+        wl.prepare()
+        coeff_lengths = [len(b) for b in wl.blocks() if b.label == "coeff"]
+        base = min(coeff_lengths)
+        longer = [i for i, n in enumerate(coeff_lengths) if n > base]
+        assert longer == [0, 3]
+
+    def test_seven_arrays(self):
+        wl = Tomcatv()
+        wl.prepare()
+        assert len(wl.symbols) == 7
+
+
+class TestSwim:
+    def test_thirteen_equal_arrays(self):
+        wl = Swim(n_steps=2, lines_per_array_per_step=400)
+        counts = block_owner_counts(wl)
+        assert set(counts) == set(SWIM_ARRAYS)
+        volumes = set(counts.values())
+        assert len(volumes) == 1  # perfectly tied shares
+
+    def test_group_labels(self):
+        wl = Swim(n_steps=1, lines_per_array_per_step=400)
+        wl.prepare()
+        labels = {b.label for b in wl.blocks()}
+        assert any("CU" in l for l in labels)
+        assert any("UOLD" in l for l in labels)
+
+
+class TestSu2cor:
+    def test_three_eras_sum_to_one(self):
+        assert sum(frac for frac, _ in _ERAS) == pytest.approx(1.0)
+        for _frac, shares in _ERAS:
+            assert sum(shares.values()) == pytest.approx(100.0, abs=0.5)
+
+    def test_r_cold_in_final_era(self):
+        assert "R" not in _ERAS[2][1]
+
+    def test_era_ordering_in_stream(self):
+        """R's references must all fall in the first ~60% of the stream."""
+        wl = Su2cor(total_lines=60_000, slices_per_era=10)
+        wl.prepare()
+        r = wl.symbols["R"]
+        positions = []
+        pos = 0
+        for block in wl.blocks():
+            inside = (block.addrs >= np.uint64(r.base)) & (
+                block.addrs < np.uint64(r.end)
+            )
+            if inside.any():
+                positions.append(pos)
+            pos += len(block)
+        total = pos
+        assert positions, "R never referenced"
+        assert max(positions) < total * 0.65
+
+
+class TestMgrid:
+    def test_strided_coarse_levels(self):
+        wl = Mgrid(n_vcycles=1, fine_lines=800)
+        wl.prepare()
+        labels = [b.label for b in wl.blocks()]
+        for stride in (2, 4, 8):
+            assert f"coarse{stride}" in labels
+
+    def test_u_slightly_hotter_than_r(self):
+        counts = block_owner_counts(Mgrid(n_vcycles=2, fine_lines=2000))
+        assert counts["U"] > counts["R"]
+
+
+class TestApplu:
+    def test_rsd_only_in_rhs_phase(self):
+        wl = Applu(n_iterations=2, jacobian_lines=2000)
+        wl.prepare()
+        rsd = wl.symbols["rsd"]
+        for block in wl.blocks():
+            inside = (block.addrs >= np.uint64(rsd.base)) & (
+                block.addrs < np.uint64(rsd.end)
+            )
+            if inside.any():
+                assert block.label.startswith("rhs")
+
+    def test_abc_silent_in_rhs_phase(self):
+        wl = Applu(n_iterations=2, jacobian_lines=2000)
+        counts = block_owner_counts(wl, labels={"rhs", "rhs-frct", "rhs-d"})
+        assert "a" not in counts and "b" not in counts and "c" not in counts
+        assert "rsd" in counts
+
+
+class TestCompress:
+    def test_output_volume_ratio(self):
+        counts = block_owner_counts(
+            Compress(input_lines=5_000, seed=1), labels={"read", "write"}
+        )
+        ratio = counts["comp_text_buffer"] / counts["orig_text_buffer"]
+        # write stream is 0.565x input lines with equal intra-line factors.
+        assert ratio == pytest.approx(0.565, abs=0.02)
+
+    def test_hash_probes_mostly_hot(self):
+        wl = Compress(input_lines=3_000, seed=1)
+        wl.prepare()
+        htab = wl.symbols["htab"]
+        hot_limit = htab.base + 64 * 64
+        probes = np.concatenate(
+            [b.addrs for b in wl.blocks() if b.label == "hash"]
+        )
+        hot_fraction = float((probes < hot_limit).mean())
+        assert hot_fraction > 0.97
+
+
+class TestIjpeg:
+    def test_allocation_recipe(self):
+        wl = Ijpeg(image_lines=100)
+        wl.prepare()
+        assert wl._colormap.base == 0x141000000
+        assert wl._rowbuf.name == "0x14101e000"
+        assert wl._image.name == "0x141020000"
+
+    def test_alloc_sites_recorded(self):
+        wl = Ijpeg(image_lines=100)
+        wl.prepare()
+        assert wl._image.alloc_site == "alloc_image"
+
+    def test_quant_tables_reused(self):
+        wl = Ijpeg(image_lines=2_000, rows_per_chunk=500)
+        wl.prepare()
+        quant = wl.symbols["std_chrominance_quant_tbl"]
+        touches = 0
+        for block in wl.blocks():
+            if block.label == "quant":
+                inside = (block.addrs >= np.uint64(quant.base)) & (
+                    block.addrs < np.uint64(quant.end)
+                )
+                touches += int(inside.sum())
+        # Far more touches than the table has lines: heavy reuse (hits).
+        assert touches > 4 * (quant.size // 64)

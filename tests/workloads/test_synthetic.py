@@ -1,0 +1,86 @@
+"""Tests for the synthetic workloads."""
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.errors import WorkloadError
+from repro.sim.engine import Simulator
+from repro.workloads.synthetic import FigureTwoLayout, SyntheticStreams, TreeChaser
+
+
+@pytest.fixture
+def sim64():
+    return Simulator(CacheConfig(size=64 * 1024), seed=8)
+
+
+class TestSyntheticStreams:
+    def test_shares_converge_to_spec(self, sim64):
+        wl = SyntheticStreams(
+            {"A": (256 * 1024, 60), "B": (256 * 1024, 40)}, rounds=10, seed=8
+        )
+        res = sim64.run(wl)
+        assert res.actual.share_of("A") == pytest.approx(0.60, abs=0.02)
+        assert res.actual.share_of("B") == pytest.approx(0.40, abs=0.02)
+
+    def test_interleaved_preserves_shares(self, sim64):
+        wl = SyntheticStreams(
+            {"A": (256 * 1024, 70), "B": (256 * 1024, 30)},
+            rounds=10,
+            interleaved=True,
+            seed=8,
+        )
+        res = sim64.run(wl)
+        assert res.actual.share_of("A") == pytest.approx(0.70, abs=0.03)
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(WorkloadError):
+            SyntheticStreams({})
+
+
+class TestFigureTwoLayout:
+    def test_shares(self, sim64):
+        res = sim64.run(FigureTwoLayout(seed=8, rounds=30))
+        actual = res.actual
+        assert actual.names()[0] == "E"
+        assert actual.share_of("E") == pytest.approx(0.35, abs=0.02)
+        # Upper region {A,B,C,D} aggregates ~60%.
+        upper = sum(actual.share_of(n) for n in "ABCD")
+        assert upper == pytest.approx(0.60, abs=0.03)
+
+    def test_midpoint_is_de_boundary(self):
+        wl = FigureTwoLayout()
+        wl.prepare()
+        objs = {o.name: o for o in wl.object_map.all_objects()}
+        lo = objs["A"].base
+        hi = objs["F"].end
+        midpoint = (lo + hi) // 2
+        assert objs["E"].base - 64 * 8 <= midpoint <= objs["E"].base + 64 * 8
+
+
+class TestTreeChaser:
+    def test_heap_blocks_and_sites(self, sim64):
+        wl = TreeChaser(seed=8, n_nodes=300, n_steps=6, refs_per_step=2000)
+        res = sim64.run(wl)
+        sites = {
+            o.alloc_site
+            for o in wl.object_map.all_objects()
+            if o.alloc_site is not None
+        }
+        assert {"make_interior", "make_leaf", "side_table"} <= sites
+        assert res.stats.app_misses > 0
+
+    def test_churn_keeps_map_consistent(self, sim64):
+        wl = TreeChaser(seed=8, n_nodes=300, n_steps=8, refs_per_step=1000)
+        sim64.run(wl)
+        wl.heap.check_invariants()
+
+    def test_aggregation_by_site(self, sim64):
+        from repro.core.aggregate import aggregate_heap_by_site
+
+        wl = TreeChaser(seed=8, n_nodes=300, n_steps=6, refs_per_step=2000)
+        res = sim64.run(wl)
+        agg = aggregate_heap_by_site(res.actual)
+        names = agg.names()
+        assert any(n.startswith("heap@") for n in names)
+        # Aggregation strictly reduces the entry count.
+        assert len(agg) < len(res.actual)

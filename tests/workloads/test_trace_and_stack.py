@@ -1,0 +1,101 @@
+"""Tests for the trace-replay and recursive (stack) workloads."""
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheConfig
+from repro.core.sampling import SamplingProfiler
+from repro.errors import WorkloadError
+from repro.memory.address_space import DATA_BASE, HEAP_BASE
+from repro.sim.blocks import ReferenceBlock
+from repro.sim.engine import Simulator
+from repro.sim.trace_io import save_trace
+from repro.workloads.trace import RecursiveCalls, TraceWorkload
+
+
+def make_blocks():
+    a_base = DATA_BASE + 0x1000
+    return [
+        ReferenceBlock(
+            addrs=np.arange(a_base, a_base + 64 * 500, 64, dtype=np.uint64),
+            cycles_per_ref=4.0,
+        ),
+        ReferenceBlock(
+            addrs=np.arange(HEAP_BASE, HEAP_BASE + 64 * 300, 64, dtype=np.uint64),
+            cycles_per_ref=4.0,
+        ),
+    ]
+
+
+LAYOUT = {
+    "alpha": (DATA_BASE + 0x1000, 64 * 500),
+    "hblock": (HEAP_BASE, 64 * 512),
+}
+
+
+class TestTraceWorkload:
+    def test_replay_in_memory(self):
+        sim = Simulator(CacheConfig(size=16 * 1024), seed=0)
+        wl = TraceWorkload(make_blocks(), layout=LAYOUT)
+        res = sim.run(wl)
+        assert res.actual.rank_of("alpha") == 1
+        assert res.actual.share_of("alpha") == pytest.approx(500 / 800, abs=0.01)
+        assert res.actual.share_of("hblock") == pytest.approx(300 / 800, abs=0.01)
+
+    def test_replay_from_file(self, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(path, make_blocks())
+        sim = Simulator(CacheConfig(size=16 * 1024), seed=0)
+        res = sim.run(TraceWorkload(path, layout=LAYOUT))
+        assert res.stats.app_refs == 800
+
+    def test_empty_layout_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceWorkload(make_blocks(), layout={})
+
+    def test_out_of_segment_object_rejected(self):
+        wl = TraceWorkload(make_blocks(), layout={"bad": (0x10, 64)})
+        with pytest.raises(WorkloadError):
+            wl.prepare()
+
+    def test_profiling_a_trace(self):
+        sim = Simulator(CacheConfig(size=16 * 1024), seed=0)
+        wl = TraceWorkload(make_blocks(), layout=LAYOUT)
+        res = sim.run(wl, tool=SamplingProfiler(period=13))
+        assert res.measured.rank_of("alpha") == 1
+
+
+class TestRecursiveCalls:
+    def _run(self, tool=None, **kw):
+        sim = Simulator(CacheConfig(size=64 * 1024), seed=9)
+        return sim.run(RecursiveCalls(seed=9, depth=8, repeats=8, **kw), tool=tool)
+
+    def test_stack_instances_aggregate(self):
+        res = self._run()
+        names = res.actual.names()
+        assert "fib:frame_buf" in names
+        assert "memo_table" in names
+        # Every recursion level's buffer folded into one entry.
+        assert sum(1 for n in names if n.startswith("fib:frame_buf")) == 1
+
+    def test_stack_unwinds_cleanly(self):
+        wl = RecursiveCalls(seed=9, depth=6, repeats=3)
+        sim = Simulator(CacheConfig(size=64 * 1024), seed=9)
+        sim.run(wl)
+        assert wl.stack.depth == 0
+
+    def test_sampling_attributes_stack_vars(self):
+        res = self._run(tool=SamplingProfiler(period=29, schedule="prime"))
+        measured = res.measured
+        assert measured.rank_of("fib:frame_buf") == 1
+        actual = res.actual.share_of("fib:frame_buf")
+        assert measured.share_of("fib:frame_buf") == pytest.approx(actual, abs=0.06)
+
+    def test_deeper_recursion_more_stack_share(self):
+        shallow = self._run()
+        sim = Simulator(CacheConfig(size=64 * 1024), seed=9)
+        deep = sim.run(RecursiveCalls(seed=9, depth=16, repeats=8))
+        assert (
+            deep.actual.share_of("fib:frame_buf")
+            >= shallow.actual.share_of("fib:frame_buf") - 0.02
+        )

@@ -1,0 +1,143 @@
+"""Per-application workload tests: structure, shares, determinism.
+
+Share tolerances are loose bands around the paper's Table 1 values —
+each workload was engineered to land near them; these tests pin the
+behaviour against regressions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheConfig
+from repro.errors import WorkloadError
+from repro.sim.engine import Simulator
+from repro.workloads import registry
+from repro.workloads.ijpeg import Ijpeg
+from repro.workloads.tomcatv import Tomcatv
+
+QUICK = {
+    "tomcatv": {"n_steps": 3, "rows_per_step": 12},
+    "swim": {"n_steps": 2, "lines_per_array_per_step": 1200},
+    "su2cor": {"total_lines": 120_000, "slices_per_era": 18},
+    "mgrid": {"n_vcycles": 3, "fine_lines": 8_000},
+    "applu": {"n_iterations": 5, "jacobian_lines": 4_000},
+    "compress": {"input_lines": 20_000},
+    "ijpeg": {"image_lines": 15_000},
+}
+
+#: (object, expected share, tolerance) per app — from the paper's Table 1.
+EXPECTED = {
+    "tomcatv": [("RX", 0.225, 0.02), ("RY", 0.225, 0.02), ("AA", 0.15, 0.02)],
+    "swim": [("CU", 0.077, 0.01), ("VOLD", 0.077, 0.01)],
+    "su2cor": [("U", 0.571, 0.05), ("R", 0.070, 0.02), ("S", 0.066, 0.02)],
+    "mgrid": [("U", 0.408, 0.03), ("R", 0.404, 0.03), ("V", 0.188, 0.03)],
+    "applu": [("a", 0.229, 0.02), ("d", 0.174, 0.02), ("rsd", 0.069, 0.015)],
+    "compress": [("orig_text_buffer", 0.63, 0.04), ("comp_text_buffer", 0.356, 0.04)],
+    "ijpeg": [("0x141020000", 0.847, 0.05), ("jpeg_compressed_data", 0.125, 0.03)],
+}
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    sim = Simulator(CacheConfig(size=256 * 1024, assoc=4), seed=11)
+    results = {}
+    for name in registry.workload_names():
+        wl = registry.make_workload(name, seed=11, **QUICK[name])
+        results[name] = sim.run(wl)
+    return results
+
+
+class TestRegistry:
+    def test_names(self):
+        assert registry.workload_names() == [
+            "tomcatv", "swim", "su2cor", "mgrid", "applu", "compress", "ijpeg",
+        ]
+
+    def test_unknown_rejected(self):
+        with pytest.raises(WorkloadError):
+            registry.make_workload("nachos")
+
+    def test_factory_kwargs(self):
+        wl = registry.make_workload("tomcatv", n_steps=2)
+        assert wl.n_steps == 2
+
+
+@pytest.mark.parametrize("app", list(EXPECTED))
+class TestShares:
+    def test_paper_shares(self, baselines, app):
+        actual = baselines[app].actual
+        for name, expected, tolerance in EXPECTED[app]:
+            got = actual.share_of(name)
+            assert got == pytest.approx(expected, abs=tolerance), (
+                f"{app}.{name}: got {got:.3f}, paper {expected:.3f}"
+            )
+
+    def test_top_object_matches_paper(self, baselines, app):
+        top = baselines[app].actual.names()[0]
+        paper_top = EXPECTED[app][0][0]
+        # swim's arrays tie at 7.7% — any of them may rank first.
+        if app == "swim":
+            assert baselines[app].actual.share_of(top) == pytest.approx(0.077, abs=0.01)
+        else:
+            assert top == paper_top
+
+
+class TestMissRateOrdering:
+    def test_paper_rate_ordering(self, baselines):
+        """Section 3.2: ijpeg (144/Mcyc) < compress (361) < mgrid (6,827)
+        < the other FP codes."""
+        rates = {
+            app: res.stats.miss_rate_per_mcycle for app, res in baselines.items()
+        }
+        assert rates["ijpeg"] < rates["compress"] < rates["mgrid"]
+        for app in ("tomcatv", "swim", "su2cor", "applu"):
+            assert rates[app] > rates["mgrid"]
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        def digest(wl):
+            return [hash(block.addrs.tobytes()) for block in wl.blocks()]
+
+        a = registry.make_workload("compress", seed=5, input_lines=5_000)
+        b = registry.make_workload("compress", seed=5, input_lines=5_000)
+        assert digest(a) == digest(b)
+
+
+class TestStructure:
+    def test_tomcatv_interleaves_rx_ry(self):
+        """The residual blocks must strictly alternate RX/RY (the
+        resonance mechanism)."""
+        wl = Tomcatv(n_steps=1, rows_per_step=2)
+        wl.prepare()
+        rx, ry = wl.symbols["RX"], wl.symbols["RY"]
+        residual = [b for b in wl.blocks() if b.label == "residual"][0]
+        # Strip the intra-line extras: take one address per line group.
+        line_addrs = residual.addrs[:: 2]
+        owners = ["RX" if rx.contains(int(a)) else "RY" for a in line_addrs[:20]]
+        assert owners == ["RX", "RY"] * 10
+
+    def test_ijpeg_paper_block_names(self):
+        wl = Ijpeg(image_lines=100)
+        wl.prepare()
+        names = {o.name for o in wl.object_map.all_objects()}
+        assert "0x141020000" in names
+        assert "0x14101e000" in names
+
+    def test_applu_has_silent_abc_phases(self, baselines):
+        """Figure 5: some blocks touch rsd while a/b/c are silent."""
+        wl = registry.make_workload("applu", seed=11, **QUICK["applu"])
+        wl.prepare()
+        labels = {block.label for block in wl.blocks()}
+        assert "rhs" in labels and "jacld" in labels
+
+    def test_all_blocks_inside_known_objects(self, baselines):
+        """Workload streams must attribute ~fully to declared objects."""
+        for app, res in baselines.items():
+            unattributed = res.ground_truth.unattributed
+            assert unattributed / max(1, res.ground_truth.total_misses) < 0.001, app
+
+    def test_describe(self):
+        wl = registry.make_workload("mgrid")
+        text = wl.describe()
+        assert "mgrid" in text and "objects" in text
