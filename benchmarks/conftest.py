@@ -6,10 +6,21 @@ figures (see DESIGN.md section 4). Each experiment runs once under
 times the regeneration and prints/saves the paper-style report: rendered
 tables are written to ``benchmarks/reports/<experiment>.txt`` and echoed
 to stdout (run with ``-s`` to see them inline).
+
+Two environment variables wire the harness into the parallel runner and
+persistent result cache (see ``src/repro/experiments/parallel.py``):
+
+* ``REPRO_JOBS=N`` — pre-compute the experiment grid over N worker
+  processes before the drivers run (results are bit-identical to
+  serial execution);
+* ``REPRO_CACHE_DIR=PATH`` — persist per-cell results on disk, so a
+  repeated benchmark invocation (or a CI run restoring the directory)
+  is served from the cache instead of re-simulating.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -22,7 +33,14 @@ REPORTS_DIR = Path(__file__).parent / "reports"
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
     """Full-size experiment runner; baselines cached across benchmarks."""
-    return ExperimentRunner(RunnerConfig(seed=1234), quick=False)
+    jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+    cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    runner = ExperimentRunner(
+        RunnerConfig(seed=1234), quick=False, jobs=jobs, cache_dir=cache_dir
+    )
+    if jobs > 1 or cache_dir:
+        runner.warm()
+    return runner
 
 
 @pytest.fixture(scope="session")

@@ -43,6 +43,14 @@ from repro.core import (
     spearman_rank_correlation,
 )
 from repro.errors import ReproError
+from repro.experiments import (
+    ExperimentRunner,
+    ParallelRunner,
+    ResultCache,
+    SimSpec,
+    TaskSpec,
+    ToolSpec,
+)
 from repro.hpm import CostModel, PerformanceMonitor
 from repro.memory import (
     AddressSpace,
@@ -88,6 +96,12 @@ __all__ = [
     "StackModel",
     "MemoryObject",
     "ReproError",
+    "ExperimentRunner",
+    "ParallelRunner",
+    "ResultCache",
+    "TaskSpec",
+    "ToolSpec",
+    "SimSpec",
     "workloads",
     "analysis",
 ]

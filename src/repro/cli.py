@@ -5,10 +5,17 @@ Regenerates any of the paper's artifacts from the terminal::
     python -m repro table1
     python -m repro fig4 --apps tomcatv ijpeg
     python -m repro resonance --quick
-    python -m repro all --quick
+    python -m repro all --quick --jobs 4 --cache-dir .repro-cache
+    python -m repro cache --cache-dir .repro-cache          # inspect
+    python -m repro cache --cache-dir .repro-cache --clear  # wipe
 
 ``--quick`` runs reduced-size workloads (the same knobs the test suite
-uses); the default sizes match EXPERIMENTS.md.
+uses); the default sizes match EXPERIMENTS.md. ``--jobs N`` pre-computes
+the experiment grid over N worker processes (results are bit-identical
+to serial execution), and ``--cache-dir`` persists every cell on disk so
+repeated invocations are served from the cache; cells are keyed by
+workload, configuration, seed and a source-code version tag, so edits to
+the simulation code invalidate stale entries automatically.
 """
 
 from __future__ import annotations
@@ -66,8 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*_EXPERIMENTS, "all", "profile"],
-        help="which artifact to regenerate, or 'profile' to profile one app",
+        choices=[*_EXPERIMENTS, "all", "profile", "cache"],
+        help="which artifact to regenerate, 'profile' to profile one app, "
+        "or 'cache' to inspect/clear the result cache",
     )
     parser.add_argument(
         "--apps",
@@ -86,6 +94,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="reduced workload sizes (faster)"
     )
     parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes used to pre-compute the experiment grid "
+        "(results are bit-identical to --jobs 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the persistent result cache (enables caching; "
+        "required by the 'cache' subcommand)",
+    )
+    parser.add_argument(
+        "--clear",
+        action="store_true",
+        help="cache subcommand: remove every cached result",
+    )
     return parser
 
 
@@ -115,17 +141,59 @@ def _profile_app(runner: ExperimentRunner, app: str, tool_name: str) -> None:
     )
 
 
+def _cache_command(args) -> int:
+    """The `cache` subcommand: inspect or clear the result cache."""
+    from repro.experiments.cache_store import ResultCache
+
+    if args.cache_dir is None:
+        print("cache: --cache-dir is required", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_dir)
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} cached results from {cache.root}")
+        return 0
+    print(cache.describe())
+    for entry in cache.entries():
+        print(f"  {entry.key[:16]}…  {entry.size_bytes:>8} bytes")
+    if cache.manifest_path.exists():
+        from repro.experiments.cache_store import Manifest
+
+        records = Manifest.load(cache.manifest_path)
+        hits = sum(1 for r in records if r["cached"])
+        print(
+            f"manifest: {len(records)} task records, {hits} hits, "
+            f"{len(records) - hits} misses"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     from repro.experiments.runner import RunnerConfig
 
-    runner = ExperimentRunner(RunnerConfig(seed=args.seed), quick=args.quick)
+    if args.experiment == "cache":
+        return _cache_command(args)
+
+    runner = ExperimentRunner(
+        RunnerConfig(seed=args.seed),
+        quick=args.quick,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
     if args.experiment == "profile":
         apps = args.apps or ["tomcatv"]
         for app in apps:
             _profile_app(runner, app, args.tool)
         return 0
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.jobs > 1 or args.cache_dir:
+        t0 = time.time()
+        runner.warm(apps=args.apps, experiments=names, jobs=args.jobs)
+        print(
+            f"[grid: {runner.manifest.summary()}; "
+            f"warmed in {time.time() - t0:.1f}s with {args.jobs} jobs]\n"
+        )
     for name in names:
         t0 = time.time()
         report = _EXPERIMENTS[name](runner, args.apps)

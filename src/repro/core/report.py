@@ -51,12 +51,17 @@ def rank_agreement(
 ) -> float:
     """Fraction of the actual top-k the technique ranked consistently.
 
-    A measured rank "agrees" if it equals the actual rank, or if the two
-    objects' actual shares differ by less than ``tolerance`` (the paper
-    notes both algorithms order objects correctly "except when the
-    difference in total cache misses caused by two or more objects was
-    small (generally less than 2%)"), or — for the search, which reports
-    only n-1 objects — if the object was simply not reported.
+    Objects whose actual shares are near-tied are *rank-interchangeable*:
+    consecutive objects (in actual order) whose shares differ by less
+    than ``tolerance`` form one tie block, transitively — so a chain of
+    near-equal shares (swim's thirteen 7.7% arrays) may appear in any
+    order without penalty. This is the paper's caveat made precise: both
+    algorithms order objects correctly "except when the difference in
+    total cache misses caused by two or more objects was small (generally
+    less than 2%)". A measured position "agrees" when the object placed
+    there belongs to the same tie block as the object actually ranked
+    there; objects a technique did not report (the search returns only
+    n-1 objects) are excluded rather than penalised.
     """
     top = actual.top(k)
     if not top:
@@ -64,22 +69,28 @@ def rank_agreement(
     reported = [s for s in top if measured.rank_of(s.name) is not None]
     if not reported:
         return 0.0
-    agree = 0
     # Rank among reported objects only, so a technique that legitimately
     # reports a subset is judged on the order of what it did report.
     actual_order = [s.name for s in sorted(reported, key=lambda s: -s.share)]
     measured_order = sorted(
         (s.name for s in reported), key=lambda nm: measured.rank_of(nm)
     )
-    for pos, name in enumerate(measured_order):
-        if actual_order[pos] == name:
-            agree += 1
-        else:
-            # Forgive swaps between near-equal objects.
-            here = actual.share_of(name)
-            there = actual.share_of(actual_order[pos])
-            if abs(here - there) < tolerance:
-                agree += 1
+    # Assign each object to its tie block: a new block starts where the
+    # share gap to the previous (better-ranked) object reaches tolerance.
+    block: dict[str, int] = {}
+    current = 0
+    for i, name in enumerate(actual_order):
+        if i and (
+            actual.share_of(actual_order[i - 1]) - actual.share_of(name)
+            >= tolerance
+        ):
+            current += 1
+        block[name] = current
+    agree = sum(
+        1
+        for pos, name in enumerate(measured_order)
+        if block[name] == block[actual_order[pos]]
+    )
     return agree / len(reported)
 
 

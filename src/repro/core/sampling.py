@@ -15,6 +15,7 @@ the resonance.
 from __future__ import annotations
 
 import enum
+import zlib
 
 import numpy as np
 
@@ -140,7 +141,13 @@ class SamplingProfiler(InstrumentationTool):
         # Handler memory behaviour: the binary-search probes into the map
         # array plus the read-modify-write of the object's count slot.
         probe_refs = self._map_struct.binary_search_path(addr, probes)
-        count_slot = self._counts_struct.touch([(hash(name) & 0xFFFF) * 8])
+        # crc32, not hash(): the slot index must be reproducible across
+        # processes (PYTHONHASHSEED randomises str hashes per process,
+        # which would make the handler's cache footprint — and therefore
+        # measured results — differ from run to run).
+        count_slot = self._counts_struct.touch(
+            [(zlib.crc32(name.encode()) & 0xFFFF) * 8]
+        )
         mem_refs = np.concatenate([probe_refs, count_slot, count_slot])
         return HandlerResult(
             handler_cycles=handler_cycles,

@@ -13,7 +13,7 @@ are tracked so the instrumentation cost model can charge virtual cycles.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterator
+from typing import Hashable, Iterator
 
 
 class MaxPriorityQueue:

@@ -15,6 +15,15 @@ from repro.experiments.records import (
     PAPER_TABLE2_TWO_WAY,
     ExperimentReport,
 )
+from repro.experiments.cache_store import Manifest, ResultCache
+from repro.experiments.parallel import (
+    ParallelRunner,
+    SimSpec,
+    TaskSpec,
+    ToolSpec,
+    derive_task_seed,
+    expand_grid,
+)
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
@@ -41,6 +50,14 @@ from repro.experiments.extensions import (
 __all__ = [
     "ExperimentRunner",
     "ExperimentReport",
+    "ParallelRunner",
+    "ResultCache",
+    "Manifest",
+    "TaskSpec",
+    "ToolSpec",
+    "SimSpec",
+    "derive_task_seed",
+    "expand_grid",
     "PAPER_TABLE1",
     "PAPER_TABLE2_TWO_WAY",
     "PAPER_FIG3_NOTES",

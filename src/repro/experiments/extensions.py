@@ -16,7 +16,6 @@ from __future__ import annotations
 from repro.cache import CacheConfig
 from repro.core.report import max_share_error
 from repro.core.sampling import PeriodSchedule, SamplingProfiler
-from repro.core.search import NWaySearch
 from repro.experiments.records import ExperimentReport
 from repro.experiments.runner import ExperimentRunner
 from repro.sim.engine import Simulator

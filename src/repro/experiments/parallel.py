@@ -1,0 +1,324 @@
+"""Parallel experiment execution over a declarative task grid.
+
+The paper's evaluation is a grid of *independent* simulation runs —
+workloads x sampling periods x search configurations — so instead of
+executing cells serially inside one process, this module describes each
+cell as a :class:`TaskSpec` (workload + kwargs, simulator knobs, tool
+knobs, seed) and fans the grid out over ``ProcessPoolExecutor`` workers.
+Because every cell is a pure function of its spec, parallel and serial
+execution produce bit-identical results, and specs double as cache keys
+for the on-disk :class:`~repro.experiments.cache_store.ResultCache`.
+
+Per-task seeds for replicated grids are derived deterministically from
+``(config hash, workload, task index)`` so a grid is reproducible
+regardless of how many workers execute it or in what order cells finish.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from repro.cache import CacheConfig
+from repro.errors import SimulationError
+from repro.experiments.cache_store import (
+    Manifest,
+    ResultCache,
+    code_version_tag,
+    stable_hash,
+)
+from repro.hpm.interrupts import CostModel
+from repro.sim.engine import RunResult, Simulator
+from repro.workloads.registry import make_workload
+
+__all__ = [
+    "SimSpec",
+    "ToolSpec",
+    "TaskSpec",
+    "ParallelRunner",
+    "execute_task",
+    "derive_task_seed",
+    "expand_grid",
+    "strip_result",
+]
+
+
+# ------------------------------------------------------------------ specs
+
+@dataclass
+class SimSpec:
+    """Declarative :class:`~repro.sim.engine.Simulator` configuration."""
+
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    n_region_counters: int = 10
+    multiplexed_counters: bool = False
+    cost_model: CostModel = field(default_factory=CostModel)
+    chunk_size: int = 1 << 15
+    l1: CacheConfig | None = None
+    prefetch_next_line: bool = False
+
+    def build(self, seed: int | None) -> Simulator:
+        return Simulator(
+            cache_config=self.cache,
+            n_region_counters=self.n_region_counters,
+            multiplexed_counters=self.multiplexed_counters,
+            cost_model=self.cost_model,
+            seed=seed,
+            chunk_size=self.chunk_size,
+            l1_config=self.l1,
+            prefetch_next_line=self.prefetch_next_line,
+        )
+
+
+def _tool_factories() -> dict:
+    # Imported lazily: core imports the sim/cache stack and this module
+    # is imported by repro.experiments at package-import time.
+    from repro.core.adaptive import AdaptiveSamplingProfiler
+    from repro.core.sampling import SamplingProfiler
+    from repro.core.search import NWaySearch
+
+    return {
+        "sampling": SamplingProfiler,
+        "search": NWaySearch,
+        "adaptive": AdaptiveSamplingProfiler,
+    }
+
+
+@dataclass
+class ToolSpec:
+    """Declarative instrumentation-tool configuration.
+
+    ``kind`` selects the factory ("sampling", "search" or "adaptive");
+    ``kwargs`` are passed to its constructor verbatim. Keeping tools as
+    data (not instances) is what lets a worker process rebuild the tool
+    and lets the cache key cover its exact configuration.
+    """
+
+    kind: str
+    kwargs: dict = field(default_factory=dict)
+
+    def build(self):
+        factories = _tool_factories()
+        try:
+            factory = factories[self.kind]
+        except KeyError:
+            raise SimulationError(
+                f"unknown tool kind {self.kind!r}; "
+                f"available: {', '.join(factories)}"
+            ) from None
+        return factory(**self.kwargs)
+
+
+@dataclass
+class TaskSpec:
+    """One grid cell: everything needed to reproduce a single run."""
+
+    workload: str
+    workload_kwargs: dict = field(default_factory=dict)
+    seed: int | None = None
+    tool: ToolSpec | None = None
+    max_refs: int | None = None
+    series_bucket_cycles: int | None = None
+    sim: SimSpec = field(default_factory=SimSpec)
+    #: Display label for manifests/progress; not part of the cache key.
+    label: str = ""
+
+    def key(self) -> str:
+        """Stable content hash identifying this cell's result."""
+        return stable_hash(
+            {
+                "workload": self.workload,
+                "workload_kwargs": self.workload_kwargs,
+                "seed": self.seed,
+                "tool": None
+                if self.tool is None
+                else {"kind": self.tool.kind, "kwargs": self.tool.kwargs},
+                "max_refs": self.max_refs,
+                "series_bucket_cycles": self.series_bucket_cycles,
+                "sim": self.sim,
+                "version": code_version_tag(),
+            }
+        )
+
+    def describe(self) -> str:
+        if self.label:
+            return self.label
+        tool = "baseline" if self.tool is None else self.tool.kind
+        return f"{self.workload}/{tool}"
+
+
+def derive_task_seed(config_hash: str, workload: str, index: int) -> int:
+    """Deterministic per-task seed from (config hash, workload, index).
+
+    Stable across processes, Python versions and worker scheduling, so a
+    replicated grid always runs the same per-cell seeds.
+    """
+    digest = hashlib.sha256(
+        f"{config_hash}|{workload}|{index}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") % (2**31 - 1)
+
+
+def expand_grid(
+    workloads: list[tuple[str, dict]],
+    tools: list[ToolSpec | None],
+    sim: SimSpec | None = None,
+    replicas: int = 1,
+    seed: int | None = None,
+) -> list[TaskSpec]:
+    """The full workload x tool (x replica) grid as task specs.
+
+    When ``seed`` is None, each cell gets a deterministic seed derived
+    from the grid configuration hash, its workload and its cell index;
+    passing an explicit ``seed`` pins every cell to it (the paper-grid
+    convention, where the seed is part of the experiment definition).
+    """
+    sim = sim or SimSpec()
+    config_hash = stable_hash(
+        {
+            "workloads": [[name, kwargs] for name, kwargs in workloads],
+            "tools": [
+                None if t is None else {"kind": t.kind, "kwargs": t.kwargs}
+                for t in tools
+            ],
+            "sim": sim,
+            "replicas": replicas,
+        }
+    )
+    specs = []
+    index = 0
+    for name, kwargs in workloads:
+        for tool in tools:
+            for _ in range(replicas):
+                task_seed = (
+                    seed
+                    if seed is not None
+                    else derive_task_seed(config_hash, name, index)
+                )
+                specs.append(
+                    TaskSpec(
+                        workload=name,
+                        workload_kwargs=dict(kwargs),
+                        seed=task_seed,
+                        tool=dataclasses.replace(tool) if tool else None,
+                        sim=sim,
+                    )
+                )
+                index += 1
+    return specs
+
+
+# -------------------------------------------------------------- execution
+
+def strip_result(result: RunResult) -> RunResult:
+    """A cacheable copy of ``result``: drop the live ground-truth and
+    tool objects (they hold simulator internals), keep every field the
+    experiment drivers read (stats, actual/measured profiles, series)."""
+    return dataclasses.replace(result, ground_truth=None, tool=None)
+
+
+def execute_task(spec: TaskSpec) -> RunResult:
+    """Run one grid cell to completion (pure function of the spec)."""
+    simulator = spec.sim.build(spec.seed)
+    workload = make_workload(spec.workload, seed=spec.seed, **spec.workload_kwargs)
+    tool = spec.tool.build() if spec.tool is not None else None
+    result = simulator.run(
+        workload,
+        tool=tool,
+        series_bucket_cycles=spec.series_bucket_cycles,
+        max_refs=spec.max_refs,
+    )
+    return strip_result(result)
+
+
+def _timed_execute(spec: TaskSpec) -> tuple[RunResult, float]:
+    """Worker entry point: execute and report wall-clock seconds."""
+    t0 = time.perf_counter()
+    result = execute_task(spec)
+    return result, time.perf_counter() - t0
+
+
+class ParallelRunner:
+    """Executes task grids across processes, through the result cache.
+
+    * Cells already in the cache are served from disk (recorded as hits
+      in the manifest) without touching the pool.
+    * Remaining cells are deduplicated by key — a grid that names the
+      same cell twice simulates it once — and fanned out over up to
+      ``jobs`` worker processes (``jobs=1`` executes inline, which is
+      also the fallback when only one cell is pending).
+    * Results come back in input order, bit-identical to serial
+      execution, and every cell is appended to the manifest.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        cache: ResultCache | None = None,
+        manifest: Manifest | None = None,
+    ) -> None:
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        self.cache = cache
+        self.manifest = manifest if manifest is not None else Manifest()
+
+    def run(self, specs: list[TaskSpec]) -> list[RunResult]:
+        results: list[RunResult | None] = [None] * len(specs)
+        pending: dict[str, list[int]] = {}
+        for i, spec in enumerate(specs):
+            key = spec.key()
+            if key in pending:
+                pending[key].append(i)
+                continue
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                results[i] = cached
+                self._log(spec, key, cached=True, wall_s=0.0)
+            else:
+                pending[key] = [i]
+
+        unique = [(key, specs[idxs[0]]) for key, idxs in pending.items()]
+        if self.jobs > 1 and len(unique) > 1:
+            self._run_pool(unique, pending, results)
+        else:
+            for key, spec in unique:
+                result, wall = _timed_execute(spec)
+                self._finish(key, spec, result, wall, pending, results)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------ internal
+
+    def _run_pool(self, unique, pending, results) -> None:
+        workers = min(self.jobs, len(unique))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_timed_execute, spec): (key, spec)
+                for key, spec in unique
+            }
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    key, spec = futures[future]
+                    result, wall = future.result()
+                    self._finish(key, spec, result, wall, pending, results)
+
+    def _finish(self, key, spec, result, wall_s, pending, results) -> None:
+        if self.cache is not None:
+            self.cache.put(key, result)
+        for idx in pending[key]:
+            results[idx] = result
+        self._log(spec, key, cached=False, wall_s=wall_s)
+
+    def _log(self, spec: TaskSpec, key: str, *, cached: bool, wall_s: float):
+        self.manifest.record(
+            task=spec.describe(),
+            workload=spec.workload,
+            seed=spec.seed,
+            key=key,
+            cached=cached,
+            wall_s=wall_s,
+        )

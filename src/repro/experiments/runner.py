@@ -1,4 +1,4 @@
-"""Experiment runner: shared configuration, baseline caching, scaling.
+"""Experiment runner: shared configuration, result caching, scaling.
 
 The paper's runs cover billions of cycles; ours are scaled down (see
 DESIGN.md section 2), so measurement parameters that the paper quotes as
@@ -13,20 +13,39 @@ absolute values are derived here from each application's *baseline* run:
   equivalents scaled by one global factor), because overhead per cycle
   depends only on the miss rate and the period, not on run length.
 
-Baselines are cached: every instrumented configuration of an application
-reuses the same uninstrumented reference measurements.
+Every run the runner performs is described by a declarative
+:class:`~repro.experiments.parallel.TaskSpec` and executed through a
+two-level result cache: an in-process memo (so baselines and repeated
+cells are computed once per runner, as before) and, when a cache
+directory is configured, the on-disk
+:class:`~repro.experiments.cache_store.ResultCache` shared across
+invocations. :meth:`warm` fans the standard experiment grid out over
+worker processes to populate both.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass
 
 from repro.cache import CacheConfig
-from repro.core.sampling import PeriodSchedule, SamplingProfiler
-from repro.core.search import NWaySearch
+from repro.core.sampling import PeriodSchedule
+from repro.experiments.cache_store import Manifest, ResultCache
+from repro.experiments.parallel import (
+    ParallelRunner,
+    SimSpec,
+    TaskSpec,
+    ToolSpec,
+    execute_task,
+)
 from repro.hpm.interrupts import CostModel
 from repro.sim.engine import RunResult, Simulator
 from repro.workloads.registry import make_workload, workload_names
+
+#: Experiments whose cells :meth:`ExperimentRunner.warm` knows how to
+#: pre-compute (the accuracy tables and the overhead/perturbation grid).
+WARMABLE_EXPERIMENTS = ("table1", "table2", "fig3", "fig4", "fig5")
 
 
 @dataclass
@@ -54,16 +73,45 @@ class RunnerConfig:
 
 
 class ExperimentRunner:
-    """Runs applications under the paper's measurement configurations."""
+    """Runs applications under the paper's measurement configurations.
+
+    ``jobs`` sets the default worker count for :meth:`warm`;
+    ``cache_dir`` (a path or an existing :class:`ResultCache`) enables
+    the persistent result cache, so repeated invocations of the same
+    grid are served from disk instead of re-simulating.
+    """
 
     def __init__(
         self,
         config: RunnerConfig | None = None,
         quick: bool = False,
+        jobs: int = 1,
+        cache_dir: "str | os.PathLike | ResultCache | None" = None,
     ) -> None:
         self.config = config or RunnerConfig()
         self.quick = quick
-        self._baselines: dict[str, RunResult] = {}
+        self.jobs = max(1, jobs)
+        if isinstance(cache_dir, ResultCache):
+            self.result_cache: ResultCache | None = cache_dir
+        elif cache_dir is not None:
+            self.result_cache = ResultCache(cache_dir)
+        else:
+            self.result_cache = None
+        # "is not None", not truthiness: ResultCache defines __len__, so a
+        # fresh (empty) cache directory is falsy.
+        self.manifest = Manifest(
+            path=self.result_cache.manifest_path
+            if self.result_cache is not None
+            else None
+        )
+        #: In-process memo: task key -> result, so baselines and repeated
+        #: cells are simulated once per runner regardless of disk caching.
+        self._memo: dict[str, RunResult] = {}
+        self.sim_spec = SimSpec(
+            cache=self.config.cache,
+            n_region_counters=10,
+            cost_model=CostModel(),
+        )
         self.simulator = Simulator(
             cache_config=self.config.cache,
             n_region_counters=10,
@@ -76,24 +124,87 @@ class ExperimentRunner:
     def apps(self) -> list[str]:
         return workload_names()
 
-    def make(self, app: str):
-        """A fresh workload instance (streams are single-use generators)."""
+    def workload_kwargs(self, app: str) -> dict:
+        """The (quick-adjusted) construction kwargs for one application."""
         kwargs = dict(self.config.workload_kwargs)
         if self.quick:
             kwargs.update(_QUICK_KWARGS.get(app, {}))
-        return make_workload(app, seed=self.config.seed, **kwargs)
+        return kwargs
+
+    def make(self, app: str):
+        """A fresh workload instance (streams are single-use generators)."""
+        return make_workload(
+            app, seed=self.config.seed, **self.workload_kwargs(app)
+        )
+
+    # ------------------------------------------------------------ task layer
+
+    def task(
+        self,
+        app: str,
+        tool: ToolSpec | None = None,
+        max_refs: int | None = None,
+        series_bucket_cycles: int | None = None,
+        label: str = "",
+    ) -> TaskSpec:
+        """The :class:`TaskSpec` for one cell of this runner's grid."""
+        return TaskSpec(
+            workload=app,
+            workload_kwargs=self.workload_kwargs(app),
+            seed=self.config.seed,
+            tool=tool,
+            max_refs=max_refs,
+            series_bucket_cycles=series_bucket_cycles,
+            sim=self.sim_spec,
+            label=label,
+        )
+
+    def run_task(self, spec: TaskSpec) -> RunResult:
+        """Execute one cell through the memo and the result cache."""
+        key = spec.key()
+        if key in self._memo:
+            return self._memo[key]
+        if self.result_cache is not None:
+            cached = self.result_cache.get(key)
+            if cached is not None:
+                self._memo[key] = cached
+                self.manifest.record(
+                    task=spec.describe(),
+                    workload=spec.workload,
+                    seed=spec.seed,
+                    key=key,
+                    cached=True,
+                    wall_s=0.0,
+                )
+                return cached
+        t0 = time.perf_counter()
+        result = execute_task(spec)
+        wall = time.perf_counter() - t0
+        self._memo[key] = result
+        if self.result_cache is not None:
+            self.result_cache.put(key, result)
+        self.manifest.record(
+            task=spec.describe(),
+            workload=spec.workload,
+            seed=spec.seed,
+            key=key,
+            cached=False,
+            wall_s=wall,
+        )
+        return result
 
     # ------------------------------------------------------------- baseline
 
     def baseline(self, app: str, series_bucket_cycles: int | None = None) -> RunResult:
-        """Uninstrumented run (cached unless a time series is requested)."""
-        if series_bucket_cycles is not None:
-            return self.simulator.run(
-                self.make(app), series_bucket_cycles=series_bucket_cycles
+        """Uninstrumented run (memoised, including time-series variants)."""
+        return self.run_task(
+            self.task(
+                app,
+                series_bucket_cycles=series_bucket_cycles,
+                label=f"{app}/baseline"
+                + (f"+series({series_bucket_cycles})" if series_bucket_cycles else ""),
             )
-        if app not in self._baselines:
-            self._baselines[app] = self.simulator.run(self.make(app))
-        return self._baselines[app]
+        )
 
     # ----------------------------------------------------- derived settings
 
@@ -116,6 +227,42 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------ tool runs
 
+    def _sampling_task(
+        self,
+        app: str,
+        period: int | None = None,
+        schedule: PeriodSchedule | str = PeriodSchedule.FIXED,
+        max_refs: int | None = None,
+    ) -> TaskSpec:
+        period = period or self.scaled_sampling_period(app)
+        schedule = PeriodSchedule(schedule)
+        tool = ToolSpec(
+            "sampling",
+            {"period": period, "schedule": schedule.value, "seed": self.config.seed},
+        )
+        return self.task(
+            app,
+            tool=tool,
+            max_refs=max_refs,
+            label=f"{app}/sample(1/{period},{schedule.value})",
+        )
+
+    def _search_task(
+        self,
+        app: str,
+        n: int = 10,
+        interval_cycles: int | None = None,
+        max_refs: int | None = None,
+        **search_kwargs,
+    ) -> TaskSpec:
+        interval = interval_cycles or self.search_interval(app)
+        tool = ToolSpec(
+            "search", {"n": n, "interval_cycles": interval, **search_kwargs}
+        )
+        return self.task(
+            app, tool=tool, max_refs=max_refs, label=f"{app}/search({n}-way)"
+        )
+
     def with_sampling(
         self,
         app: str,
@@ -123,11 +270,9 @@ class ExperimentRunner:
         schedule: PeriodSchedule | str = PeriodSchedule.FIXED,
         max_refs: int | None = None,
     ) -> RunResult:
-        period = period or self.scaled_sampling_period(app)
-        tool = SamplingProfiler(
-            period=period, schedule=schedule, seed=self.config.seed
+        return self.run_task(
+            self._sampling_task(app, period=period, schedule=schedule, max_refs=max_refs)
         )
-        return self.simulator.run(self.make(app), tool=tool, max_refs=max_refs)
 
     def with_search(
         self,
@@ -137,9 +282,94 @@ class ExperimentRunner:
         max_refs: int | None = None,
         **search_kwargs,
     ) -> RunResult:
-        interval = interval_cycles or self.search_interval(app)
-        tool = NWaySearch(n=n, interval_cycles=interval, **search_kwargs)
-        return self.simulator.run(self.make(app), tool=tool, max_refs=max_refs)
+        return self.run_task(
+            self._search_task(
+                app,
+                n=n,
+                interval_cycles=interval_cycles,
+                max_refs=max_refs,
+                **search_kwargs,
+            )
+        )
+
+    # ------------------------------------------------------------- parallel
+
+    def _cells_for(self, experiment: str, apps: list[str]) -> list[TaskSpec]:
+        """The grid cells one experiment driver will request.
+
+        Baselines must already be available — the cells' periods and
+        intervals are derived from them, which is exactly why warming is
+        two-phase.
+        """
+        cells: list[TaskSpec] = []
+        if experiment == "table1":
+            for app in apps:
+                cells.append(self._sampling_task(app))
+                cells.append(self._search_task(app, n=10))
+        elif experiment == "table2":
+            for app in apps:
+                cells.append(self._search_task(app, n=2))
+                cells.append(self._search_task(app, n=10))
+        elif experiment in ("fig3", "fig4"):
+            for app in apps:
+                max_refs = self.baseline(app).stats.app_refs
+                cells.append(self._search_task(app, n=10, max_refs=max_refs))
+                for period in self.overhead_periods():
+                    cells.append(
+                        self._sampling_task(app, period=period, max_refs=max_refs)
+                    )
+        elif experiment == "fig5":
+            base = self.baseline("applu")
+            bucket = max(1, base.stats.app_cycles // 48)
+            cells.append(
+                self.task(
+                    "applu",
+                    series_bucket_cycles=bucket,
+                    label=f"applu/baseline+series({bucket})",
+                )
+            )
+        return cells
+
+    def warm(
+        self,
+        apps: list[str] | None = None,
+        experiments: list[str] | None = None,
+        jobs: int | None = None,
+    ) -> Manifest:
+        """Pre-compute the experiment grid with parallel workers.
+
+        Phase 1 runs every application baseline concurrently; phase 2
+        derives the instrumented cells (whose periods/intervals depend on
+        the baselines) and fans them out. Drivers executed afterwards
+        find every cell in the cache, so ``warm()`` + serial drivers is
+        equivalent to — and bit-identical with — fully serial execution.
+        """
+        apps = apps or self.apps()
+        experiments = [
+            e for e in (experiments or WARMABLE_EXPERIMENTS)
+            if e in WARMABLE_EXPERIMENTS
+        ]
+        jobs = max(1, jobs or self.jobs)
+        pool = ParallelRunner(
+            jobs=jobs, cache=self.result_cache, manifest=self.manifest
+        )
+
+        base_specs = [self.task(app, label=f"{app}/baseline") for app in apps]
+        fresh = [s for s in base_specs if s.key() not in self._memo]
+        for spec, result in zip(fresh, pool.run(fresh)):
+            self._memo[spec.key()] = result
+
+        cells: list[TaskSpec] = []
+        seen: set[str] = set(self._memo)
+        for experiment in experiments:
+            for spec in self._cells_for(experiment, apps):
+                key = spec.key()
+                if key not in seen:
+                    seen.add(key)
+                    cells.append(spec)
+        for spec, result in zip(cells, pool.run(cells)):
+            self._memo[spec.key()] = result
+        return self.manifest
 
 
 #: Reduced-size workload parameters for fast test runs.

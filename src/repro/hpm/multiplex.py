@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.hpm.counters import MissCounter, RegionCounterBank
+from repro.hpm.counters import RegionCounterBank
 from repro.util.intervals import Interval
 
 

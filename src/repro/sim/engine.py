@@ -27,7 +27,6 @@ from repro.cache.base import CacheModel
 from repro.errors import SimulationError
 from repro.hpm.interrupts import CostModel, InterruptKind, InterruptRecord
 from repro.hpm.monitor import PerformanceMonitor
-from repro.memory.address_space import AddressSpace
 from repro.memory.allocator import HeapAllocator
 from repro.sim.clock import VirtualClock
 from repro.sim.events import RunStats

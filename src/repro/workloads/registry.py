@@ -12,6 +12,7 @@ from repro.workloads.ijpeg import Ijpeg
 from repro.workloads.mgrid import Mgrid
 from repro.workloads.su2cor import Su2cor
 from repro.workloads.swim import Swim
+from repro.workloads.synthetic import SyntheticStreams
 from repro.workloads.tomcatv import Tomcatv
 
 #: The applications of the paper's evaluation, in its presentation order.
@@ -25,6 +26,12 @@ SPEC_WORKLOADS: dict[str, Callable[..., Workload]] = {
     "ijpeg": Ijpeg,
 }
 
+#: Constructible by name (for task specs and grids) but not part of the
+#: paper's seven-application evaluation set.
+EXTRA_WORKLOADS: dict[str, Callable[..., Workload]] = {
+    "synthetic-streams": SyntheticStreams,
+}
+
 
 def workload_names() -> list[str]:
     return list(SPEC_WORKLOADS)
@@ -32,10 +39,8 @@ def workload_names() -> list[str]:
 
 def make_workload(name: str, **kwargs) -> Workload:
     """Instantiate a registered workload by name."""
-    try:
-        factory = SPEC_WORKLOADS[name]
-    except KeyError:
-        raise WorkloadError(
-            f"unknown workload {name!r}; available: {', '.join(SPEC_WORKLOADS)}"
-        ) from None
+    factory = SPEC_WORKLOADS.get(name) or EXTRA_WORKLOADS.get(name)
+    if factory is None:
+        available = ", ".join([*SPEC_WORKLOADS, *EXTRA_WORKLOADS])
+        raise WorkloadError(f"unknown workload {name!r}; available: {available}")
     return factory(**kwargs)

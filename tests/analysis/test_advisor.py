@@ -1,7 +1,6 @@
 """Tests for the tuning advisor's pattern classification."""
 
 import numpy as np
-import pytest
 
 from repro.analysis.advisor import DiagnosisKind, advice_table, advise
 from repro.analysis.conflicts import analyse_conflicts

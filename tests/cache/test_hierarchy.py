@@ -116,7 +116,6 @@ class TestEndToEnd:
     def test_profiling_through_hierarchy(self):
         """The sampling profiler still ranks objects correctly when fed
         L2 misses instead of single-level misses."""
-        from repro.core.sampling import SamplingProfiler
         from repro.sim.engine import Simulator
         from repro.workloads.synthetic import SyntheticStreams
 

@@ -1,7 +1,6 @@
 """Tests for the exact set-associative cache model."""
 
 import numpy as np
-import pytest
 
 from repro.cache.config import CacheConfig
 from repro.cache.policies import ReplacementPolicy

@@ -1,7 +1,6 @@
 """Remaining coverage: greedy subclass details, profile edge cases,
 ExperimentReport rendering."""
 
-import pytest
 
 from repro.core.greedy_search import GreedySearch
 from repro.core.profile import DataProfile, ObjectShare

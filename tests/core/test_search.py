@@ -107,7 +107,6 @@ class TestGreedyVsPriorityQueue:
 class TestPhaseHandling:
     def _phased_workload(self):
         """Two arrays alternating strict phases."""
-        from repro.sim.blocks import ReferenceBlock
         from repro.workloads.base import Workload
         from repro.workloads.patterns import stream_lines
 

@@ -1,0 +1,139 @@
+"""Tests for the persistent result cache and run manifest."""
+
+import pickle
+
+from repro.cache import CacheConfig
+from repro.experiments.cache_store import (
+    Manifest,
+    ResultCache,
+    canonical,
+    code_version_tag,
+    stable_hash,
+)
+from repro.experiments.parallel import SimSpec, TaskSpec, ToolSpec
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        payload = {"workload": "compress", "kwargs": {"n": 3}, "seed": 7}
+        assert stable_hash(payload) == stable_hash(payload)
+
+    def test_dict_order_irrelevant(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_value_changes_key(self):
+        assert stable_hash({"seed": 1}) != stable_hash({"seed": 2})
+
+    def test_dataclasses_and_enums_canonicalise(self):
+        c = canonical(CacheConfig(size=64 * 1024, assoc=4))
+        assert c["size"] == 64 * 1024
+        assert c["policy"] == "lru"
+
+    def test_int_float_distinct_from_string(self):
+        assert stable_hash({"x": 1}) == stable_hash({"x": 1.0})
+        assert stable_hash({"x": 1}) != stable_hash({"x": "1"})
+
+
+class TestTaskKeys:
+    def test_key_stable_across_calls(self):
+        spec = TaskSpec(workload="synthetic-streams", seed=5)
+        assert spec.key() == spec.key()
+
+    def test_key_ignores_label(self):
+        a = TaskSpec(workload="compress", seed=5, label="x")
+        b = TaskSpec(workload="compress", seed=5, label="y")
+        assert a.key() == b.key()
+
+    def test_key_varies_with_config(self):
+        base = TaskSpec(workload="compress", seed=5)
+        assert base.key() != TaskSpec(workload="compress", seed=6).key()
+        assert base.key() != TaskSpec(workload="mgrid", seed=5).key()
+        assert (
+            base.key()
+            != TaskSpec(
+                workload="compress",
+                seed=5,
+                tool=ToolSpec("sampling", {"period": 64}),
+            ).key()
+        )
+        assert (
+            base.key()
+            != TaskSpec(
+                workload="compress",
+                seed=5,
+                sim=SimSpec(cache=CacheConfig(size=128 * 1024)),
+            ).key()
+        )
+
+    def test_code_version_tag_shape(self):
+        # The key embeds this source hash, so editing the simulator or
+        # the cache models invalidates every stored entry automatically.
+        tag = code_version_tag()
+        assert len(tag) == 16
+        assert all(c in "0123456789abcdef" for c in tag)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get("deadbeef" * 8) is None
+        cache.put("deadbeef" * 8, {"value": 42})
+        assert cache.get("deadbeef" * 8) == {"value": 42}
+        assert ("deadbeef" * 8) in cache
+        assert len(cache) == 1
+
+    def test_corrupt_entry_treated_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = "ab" * 32
+        cache.put(key, [1, 2, 3])
+        path = next(iter((tmp_path / "cache" / "entries").rglob("*.pkl")))
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        assert key not in cache  # corrupt file was evicted
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("cd" * 32, "x")
+        cache.manifest_path.write_text("{}\n")
+        cache.clear()
+        assert len(cache) == 0
+        assert not cache.manifest_path.exists()
+
+    def test_round_trips_pickles(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        value = {"mask": (1, 2, 3), "cfg": CacheConfig(size=64 * 1024)}
+        cache.put("ef" * 32, value)
+        restored = cache.get("ef" * 32)
+        assert restored["cfg"] == value["cfg"]
+        assert pickle.dumps(restored) == pickle.dumps(value)
+
+
+class TestManifest:
+    def test_counts_and_summary(self):
+        m = Manifest()
+        m.record(
+            task="t1", workload="compress", seed=1, key="k1",
+            cached=False, wall_s=0.5,
+        )
+        m.record(
+            task="t2", workload="compress", seed=2, key="k2",
+            cached=True, wall_s=0.0,
+        )
+        assert m.counts() == {"hit": 1, "miss": 1}
+        assert m.total_wall_s() == 0.5
+        assert "1 cache hit" in m.summary()
+        assert "1 simulated" in m.summary()
+
+    def test_jsonl_mirror(self, tmp_path):
+        path = tmp_path / "manifest.jsonl"
+        m = Manifest(path=path)
+        m.record(
+            task="t1", workload="mgrid", seed=9, key="k9",
+            cached=False, wall_s=1.25,
+        )
+        loaded = Manifest.load(path)
+        assert len(loaded) == 1
+        rec = loaded[0]
+        assert rec["workload"] == "mgrid"
+        assert rec["seed"] == 9
+        assert rec["cached"] is False

@@ -1,0 +1,101 @@
+"""Golden regression tests for the quick-mode reports.
+
+Each test regenerates a paper artifact in quick mode (seed 99, the
+shared ``quick_runner``) and diffs its key metrics against checked-in
+golden values with explicit tolerances. The goldens live in
+``tests/experiments/golden/`` and were produced by the same drivers;
+regenerate them deliberately when a simulation-semantics change is
+intended, never to paper over an unexplained drift.
+
+Tolerances: shares within 3 percentage points, accuracy metrics within
+2 points, rank agreements may not drop more than 0.1 below golden, and
+categorical outcomes (who is hottest, who each search finds first) must
+match exactly.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.table1 import run_table1
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+SHARE_TOL = 0.03
+ERROR_TOL = 0.02
+AGREEMENT_SLACK = 0.1
+
+
+def load(name: str) -> dict:
+    return json.loads((GOLDEN_DIR / name).read_text())
+
+
+def assert_shares_close(measured: dict, golden: dict, label: str):
+    for obj, share in golden.items():
+        got = measured.get(obj, 0.0)
+        assert got == pytest.approx(share, abs=SHARE_TOL), (
+            f"{label}: {obj} share {got:.4f} vs golden {share:.4f}"
+        )
+
+
+class TestTable1Golden:
+    @pytest.fixture(scope="class")
+    def report(self, quick_runner):
+        return run_table1(quick_runner, apps=["compress", "mgrid"])
+
+    def test_apps_present(self, report):
+        golden = load("table1_quick.json")
+        assert set(report.values) == set(golden)
+
+    def test_profiles_match_golden(self, report):
+        golden = load("table1_quick.json")
+        for app, gold in golden.items():
+            values = report.values[app]
+            for column in ("actual", "sample", "search"):
+                assert_shares_close(
+                    values[column], gold[column], f"{app}/{column}"
+                )
+
+    def test_accuracy_metrics_match_golden(self, report):
+        golden = load("table1_quick.json")
+        for app, gold in golden.items():
+            values = report.values[app]
+            for metric in ("sample_rank_agreement", "search_rank_agreement"):
+                assert values[metric] >= gold[metric] - AGREEMENT_SLACK, (
+                    f"{app}: {metric} regressed to {values[metric]:.3f} "
+                    f"(golden {gold[metric]:.3f})"
+                )
+            for metric in ("sample_max_error", "search_max_error"):
+                assert values[metric] <= gold[metric] + ERROR_TOL, (
+                    f"{app}: {metric} regressed to {values[metric]:.4f} "
+                    f"(golden {gold[metric]:.4f})"
+                )
+
+    def test_actual_ranking_order_is_stable(self, report):
+        golden = load("table1_quick.json")
+        for app, gold in golden.items():
+            gold_order = sorted(gold["actual"], key=lambda k: -gold["actual"][k])
+            actual = report.values[app]["actual"]
+            got_order = sorted(actual, key=lambda k: -actual[k])
+            assert got_order[:3] == gold_order[:3], (
+                f"{app}: top-3 actual order changed"
+            )
+
+
+class TestFig2Golden:
+    @pytest.fixture(scope="class")
+    def report(self, quick_runner):
+        return run_fig2(quick_runner)
+
+    def test_layout_shares_match_golden(self, report):
+        golden = load("fig2_quick.json")
+        assert_shares_close(report.values["actual"], golden["actual"], "fig2")
+
+    def test_search_outcomes_match_golden(self, report):
+        golden = load("fig2_quick.json")
+        assert report.values["hottest"] == golden["hottest"]
+        assert report.values["pq_top"] == golden["pq_top"]
+        assert report.values["greedy_top"] == golden["greedy_top"]
+        assert report.values["pq_found"] == golden["pq_found"]

@@ -10,7 +10,6 @@ points users at.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.conflicts import analyse_conflicts
 from repro.cache.config import CacheConfig

@@ -5,9 +5,8 @@ array shares, both techniques recover the ground-truth ranking (up to
 near-ties) and the sampled shares converge to the actual shares.
 """
 
-import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.cache import CacheConfig
@@ -49,12 +48,33 @@ def run_pair(spec, seed):
 
 
 class TestRecoveryProperty:
-    @settings(max_examples=8, deadline=None)
+    @settings(max_examples=8, deadline=None, derandomize=True)
     @given(share_specs(), st.integers(0, 1000))
+    # Once-flaky falsifying examples, pinned so the tie-aware
+    # rank_agreement keeps covering them. Both are near-tied pairs that
+    # ~1500 samples cannot reliably order: seed 84 has arr0/arr1 actual
+    # shares ~0.250/0.226 (2.4% gap); seed 934 has two arrays at
+    # ~0.516/0.484 (3.3% gap).
+    @example(
+        spec={
+            "arr0": (262144, 31),
+            "arr1": (262144, 28),
+            "arr2": (262144, 12),
+            "arr3": (262144, 53),
+        },
+        seed=84,
+    )
+    @example(spec={"arr0": (262144, 42), "arr1": (262144, 45)}, seed=934)
     def test_sampling_recovers_any_profile(self, spec, seed):
         base, sampled = run_pair(spec, seed)
         assert max_share_error(base.actual, sampled.measured, k=6) < 0.04
-        assert rank_agreement(base.actual, sampled.measured, k=4) >= 0.75
+        # tolerance=0.08: with ~1500 samples the difference of two shares
+        # near 0.5 has sigma ~2.6%, so only gaps above ~3 sigma (~8%) are
+        # reliably orderable; anything closer is rank-interchangeable.
+        assert (
+            rank_agreement(base.actual, sampled.measured, k=4, tolerance=0.08)
+            >= 0.75
+        )
 
     def test_search_recovers_distinct_profile(self):
         spec = {"w": (256 * 1024, 50), "x": (256 * 1024, 27), "y": (256 * 1024, 15),

@@ -5,7 +5,6 @@ import pytest
 
 from repro.cache import CacheConfig
 from repro.core.profile import DataProfile
-from repro.hpm.interrupts import InterruptKind
 from repro.sim.engine import Simulator
 from repro.sim.instrumentation import HandlerResult, InstrumentationTool
 from repro.workloads.synthetic import SyntheticStreams

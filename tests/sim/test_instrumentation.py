@@ -1,7 +1,6 @@
 """Tests for the instrumentation plumbing helpers."""
 
 import numpy as np
-import pytest
 
 from repro.memory.objects import ObjectKind
 from repro.sim.instrumentation import _RefPattern
