@@ -15,7 +15,10 @@ persistent result cache (see ``src/repro/experiments/parallel.py``):
   serial execution);
 * ``REPRO_CACHE_DIR=PATH`` — persist per-cell results on disk, so a
   repeated benchmark invocation (or a CI run restoring the directory)
-  is served from the cache instead of re-simulating.
+  is served from the cache instead of re-simulating;
+* ``REPRO_BACKEND=array`` — run every simulation on the flat-array
+  cache kernel (bit-identical to the default "reference" backend, and
+  keyed separately in the result cache).
 """
 
 from __future__ import annotations
@@ -35,8 +38,12 @@ def runner() -> ExperimentRunner:
     """Full-size experiment runner; baselines cached across benchmarks."""
     jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
     cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    backend = os.environ.get("REPRO_BACKEND") or None
     runner = ExperimentRunner(
-        RunnerConfig(seed=1234), quick=False, jobs=jobs, cache_dir=cache_dir
+        RunnerConfig(seed=1234, backend=backend),
+        quick=False,
+        jobs=jobs,
+        cache_dir=cache_dir,
     )
     if jobs > 1 or cache_dir:
         runner.warm()

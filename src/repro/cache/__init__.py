@@ -12,6 +12,7 @@ per-object miss attribution that produces the paper's "Actual" columns.
 from repro.cache.config import CacheConfig
 from repro.cache.base import AccessResult, CacheModel, CacheStats
 from repro.cache.policies import ReplacementPolicy
+from repro.cache.kernels import KERNEL_BACKENDS, resolve_backend
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.cache.direct_mapped import DirectMappedCache
 from repro.cache.hierarchy import TwoLevelCache
@@ -24,6 +25,7 @@ __all__ = [
     "CacheStats",
     "AccessResult",
     "ReplacementPolicy",
+    "KERNEL_BACKENDS",
     "SetAssociativeCache",
     "DirectMappedCache",
     "TwoLevelCache",
@@ -37,6 +39,7 @@ def make_cache(
     seed: int | None = None,
     l1_config: CacheConfig | None = None,
     prefetch_next_line: bool = False,
+    backend: str | None = None,
 ) -> CacheModel:
     """Build the right cache model for ``config``.
 
@@ -44,16 +47,22 @@ def make_cache(
     a prefetcher is requested (prefetch needs the sequential model).
     ``l1_config`` puts a filtering L1 in front, returning a
     :class:`TwoLevelCache` whose miss stream (what the counters see) is
-    the L2's.
+    the L2's. ``backend`` selects the kernel executing the access loop
+    (see :mod:`repro.cache.kernels`); it defaults to ``config.backend``
+    and, for the two-level model, applies to both levels.
     """
+    backend = resolve_backend(backend if backend is not None else config.backend)
     if l1_config is not None:
         if prefetch_next_line:
             raise CacheConfigError(
                 "prefetch_next_line is not supported on the two-level model"
             )
-        return TwoLevelCache(l1_config, config)
+        return TwoLevelCache(l1_config, config, backend=backend, seed=seed)
     if config.assoc == 1 and not prefetch_next_line:
-        return DirectMappedCache(config)
+        # Already fully vectorised and exact for any backend; the miss
+        # classification (and its indifference to write masks) must not
+        # change with the backend knob, so both selections share it.
+        return DirectMappedCache(config, backend=backend)
     return SetAssociativeCache(
-        config, seed=seed, prefetch_next_line=prefetch_next_line
+        config, seed=seed, prefetch_next_line=prefetch_next_line, backend=backend
     )

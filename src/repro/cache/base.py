@@ -47,6 +47,39 @@ class CacheStats:
         self.accesses_by_tag[tag] = self.accesses_by_tag.get(tag, 0) + accesses
         self.misses_by_tag[tag] = self.misses_by_tag.get(tag, 0) + misses
 
+    def snapshot(self) -> "CacheStats":
+        """An independent copy of the current totals.
+
+        Consumers that read totals at a known point (e.g. the engine
+        freezing instrumentation counts at stream end, before tool
+        teardown hooks run) snapshot instead of holding a live reference,
+        so later recording can never drift what they observed.
+        """
+        return CacheStats(
+            accesses=self.accesses,
+            misses=self.misses,
+            writebacks=self.writebacks,
+            prefetches=self.prefetches,
+            accesses_by_tag=dict(self.accesses_by_tag),
+            misses_by_tag=dict(self.misses_by_tag),
+        )
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Add ``other``'s totals into this object (returns ``self``).
+
+        Used to combine per-level stats of a hierarchy into one view;
+        per-tag dicts are merged key-wise.
+        """
+        self.accesses += other.accesses
+        self.misses += other.misses
+        self.writebacks += other.writebacks
+        self.prefetches += other.prefetches
+        for tag, count in other.accesses_by_tag.items():
+            self.accesses_by_tag[tag] = self.accesses_by_tag.get(tag, 0) + count
+        for tag, count in other.misses_by_tag.items():
+            self.misses_by_tag[tag] = self.misses_by_tag.get(tag, 0) + count
+        return self
+
 
 class AccessResult(NamedTuple):
     """Result of a (possibly budget-limited) chunk access.

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.cache.kernels import KERNEL_BACKENDS
 from repro.cache.policies import ReplacementPolicy
 from repro.errors import CacheConfigError
 from repro.util.units import fmt_bytes, parse_size
@@ -28,6 +29,11 @@ class CacheConfig:
     line_size: int = 64
     assoc: int = 4
     policy: ReplacementPolicy = field(default=ReplacementPolicy.LRU)
+    #: Kernel backend executing the access loop ("reference" or "array");
+    #: backends are bit-identical, so this is purely a speed knob — but it
+    #: still participates in result-cache keys (see experiments/) because
+    #: the config is hashed field-by-field.
+    backend: str = "reference"
 
     def __post_init__(self) -> None:
         size = parse_size(self.size) if isinstance(self.size, str) else self.size
@@ -44,6 +50,11 @@ class CacheConfig:
         if self.n_sets <= 0 or self.n_sets & (self.n_sets - 1):
             raise CacheConfigError(
                 f"number of sets ({self.n_sets}) must be a power of two"
+            )
+        if self.backend not in KERNEL_BACKENDS:
+            raise CacheConfigError(
+                f"unknown cache kernel backend {self.backend!r}; "
+                f"available: {', '.join(KERNEL_BACKENDS)}"
             )
 
     @property

@@ -3,16 +3,25 @@
 The paper simulates "a single-level set associative cache"; a downstream
 user of the techniques on real hardware would monitor the *last-level*
 cache, in front of which a small L1 filters most traffic. This model
-composes an L1 and an L2 (both LRU set-associative, non-inclusive,
-fill-on-miss to both levels) behind the standard :class:`CacheModel`
-interface, where:
+composes an L1 and an L2 (non-inclusive, fill-on-miss to both levels)
+behind the standard :class:`CacheModel` interface, where:
 
 * ``access`` returns the **L2 (memory) miss mask** — that is what the
   simulated miss counters count, matching what an off-core HPM would see;
-* ``miss_budget`` is a budget of L2 misses, honoured exactly (the loop
-  walks both levels per reference, so it can stop at the triggering
-  reference just like the single-level models);
+* ``miss_budget`` is a budget of L2 misses, honoured exactly: the L1
+  kernel state is snapshotted before a budgeted chunk and, when the
+  budget-th L2 miss falls mid-chunk, rolled back and re-applied over the
+  consumed prefix only (L1 evolution is independent of L2, so this is
+  bit-identical to walking both levels per reference);
 * ``stats`` tracks L2 activity, and :attr:`l1_stats` the filtered level.
+  Both levels record every consumed reference under the same tag, so per
+  tag the two levels' access totals must agree — an invariant the tests
+  check via :meth:`CacheStats.snapshot`/:meth:`CacheStats.merge`.
+
+Each level runs on the kernel backend selected by ``backend`` (or, by
+default, the L2 config's ``backend`` field) — see
+:mod:`repro.cache.kernels`. Write masks are ignored by this model (no
+dirty-line tracking across levels).
 
 The hierarchy bench shows the profiling techniques still rank the same
 objects when an L1 filter removes most hits from the monitored stream.
@@ -24,13 +33,20 @@ import numpy as np
 
 from repro.cache.base import AccessResult, CacheModel, CacheStats
 from repro.cache.config import CacheConfig
+from repro.cache.kernels import kernel_for_config, resolve_backend
 from repro.errors import CacheConfigError
 
 
 class TwoLevelCache(CacheModel):
-    """Non-inclusive L1 + L2 hierarchy, exact LRU at both levels."""
+    """Non-inclusive L1 + L2 hierarchy over pluggable kernels."""
 
-    def __init__(self, l1: CacheConfig, l2: CacheConfig) -> None:
+    def __init__(
+        self,
+        l1: CacheConfig,
+        l2: CacheConfig,
+        backend: str | None = None,
+        seed: int | None = None,
+    ) -> None:
         if l1.size >= l2.size:
             raise CacheConfigError(
                 f"L1 ({l1.size}) must be smaller than L2 ({l2.size})"
@@ -41,23 +57,33 @@ class TwoLevelCache(CacheModel):
         self.l1_config = l1
         self.l2_config = l2
         self.l1_stats = CacheStats()
-        self._l1_sets: list[list[int]] = [[] for _ in range(l1.n_sets)]
-        self._l2_sets: list[list[int]] = [[] for _ in range(l2.n_sets)]
+        self.backend = resolve_backend(
+            backend if backend is not None else l2.backend
+        )
+        # Distinct seeds keep the levels' RANDOM-eviction streams
+        # independent while staying deterministic.
+        self._l1 = kernel_for_config(
+            self.backend, l1, seed=None if seed is None else seed + 1
+        )
+        self._l2 = kernel_for_config(self.backend, l2, seed=seed)
 
     def reset(self) -> None:
-        self._l1_sets = [[] for _ in range(self.l1_config.n_sets)]
-        self._l2_sets = [[] for _ in range(self.l2_config.n_sets)]
+        self._l1.reset()
+        self._l2.reset()
 
     def contents_line_count(self) -> int:
         """Valid lines in the monitored (L2) level."""
-        return sum(len(s) for s in self._l2_sets)
+        return self._l2.contents_line_count()
 
     def l1_contents_line_count(self) -> int:
-        return sum(len(s) for s in self._l1_sets)
+        return self._l1.contents_line_count()
 
     def contains_addr(self, addr: int) -> bool:
-        line = addr >> self.config.line_bits
-        return line in self._l2_sets[line & self.l2_config.set_mask]
+        return self._l2.contains_line(addr >> self.config.line_bits)
+
+    def combined_stats(self) -> CacheStats:
+        """Both levels' totals merged into one fresh :class:`CacheStats`."""
+        return self.l1_stats.snapshot().merge(self.stats)
 
     def access(
         self,
@@ -69,54 +95,28 @@ class TwoLevelCache(CacheModel):
         n = len(addrs)
         if n == 0:
             return AccessResult(np.zeros(0, dtype=bool), 0)
-        lines = (np.asarray(addrs, dtype=np.uint64) >> self.config.line_bits).tolist()
-        l1_sets = self._l1_sets
-        l2_sets = self._l2_sets
-        l1_mask = self.l1_config.set_mask
-        l2_mask = self.l2_config.set_mask
-        l1_assoc = self.l1_config.assoc
-        l2_assoc = self.l2_config.assoc
+        addrs = np.asarray(addrs, dtype=np.uint64)
+        l1_snap = self._l1.snapshot() if miss_budget is not None else None
+        r1 = self._l1.access(addrs)
+        filtered = np.flatnonzero(r1.miss_mask)  # L1 misses probe L2
+        r2 = self._l2.access(addrs[filtered], miss_budget=miss_budget)
 
-        miss_flags = bytearray(n)
-        budget = miss_budget if miss_budget is not None else n + 1
-        l1_misses = 0
-        l2_misses = 0
         consumed = n
-        for i in range(n):
-            line = lines[i]
-            s1 = l1_sets[line & l1_mask]
-            if line in s1:
-                if s1[-1] != line:
-                    s1.remove(line)
-                    s1.append(line)
-                continue  # L1 hit: invisible to the monitored level
-            l1_misses += 1
-            # Fill L1.
-            if len(s1) >= l1_assoc:
-                s1.pop(0)
-            s1.append(line)
-            # Probe L2.
-            s2 = l2_sets[line & l2_mask]
-            if line in s2:
-                if s2[-1] != line:
-                    s2.remove(line)
-                    s2.append(line)
-            else:
-                miss_flags[i] = 1
-                l2_misses += 1
-                if len(s2) >= l2_assoc:
-                    s2.pop(0)
-                s2.append(line)
-                budget -= 1
-                if budget == 0:
-                    consumed = i + 1
-                    break
+        if miss_budget is not None and r2.misses >= miss_budget:
+            # Budget exhausted: the chunk ends at the reference whose L1
+            # miss produced the budget-th L2 miss. Trailing references —
+            # even L1 hits — are not consumed, exactly as a per-reference
+            # walk would stop.
+            consumed = int(filtered[r2.consumed - 1]) + 1
+            filtered = filtered[: r2.consumed]
+            if consumed < n:
+                self._l1.restore(l1_snap)
+                r1 = self._l1.access(addrs[:consumed])
 
-        miss_mask = np.frombuffer(bytes(miss_flags[:consumed]), dtype=np.uint8).astype(
-            bool
-        )
-        self.l1_stats.record(tag, consumed, l1_misses)
-        self.stats.record(tag, consumed, l2_misses)
+        miss_mask = np.zeros(consumed, dtype=bool)
+        miss_mask[filtered[r2.miss_mask]] = True
+        self.l1_stats.record(tag, consumed, r1.misses)
+        self.stats.record(tag, consumed, r2.misses)
         return AccessResult(miss_mask, consumed)
 
     def describe(self) -> str:  # pragma: no cover - cosmetic

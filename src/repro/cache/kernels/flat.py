@@ -1,0 +1,615 @@
+"""The "array" kernel: flat line-tag state with a vectorised fast path.
+
+State is held in preallocated flat arrays instead of per-set Python
+lists: a line-tag matrix of shape ``[n_sets, assoc]`` stored flat (slot
+``set*assoc + phys``), a per-set circular-buffer ``(head, cnt)`` pair
+encoding insertion/recency order, and a dirty bitmask of the same shape.
+Logical position ``k`` of a set (0 = oldest, ``cnt-1`` = most recent)
+lives at physical slot ``(head + k) % assoc``.  Invariant: ``head`` can
+only be non-zero for a *full* set (heads advance on evictions and batch
+wraps, both of which require fullness), so non-full sets always store
+their lines at physical slots ``0..cnt-1`` with empties after.
+
+The chunk fast path (no writes, no prefetch) layers three optimisations,
+all proven equivalent to the reference kernel by the differential and
+property tests:
+
+* **follower skip** — a reference whose immediately-preceding reference
+  touched the same line is a hit with zero state change (under LRU the
+  line is already most-recent; FIFO/RANDOM do nothing on hits).  The
+  sequential loop extends this with a per-set *last line* check that
+  also skips interleaved repeats (``a, b, a, b`` across sets).
+* **certified-hit runs** — a leading run of leaders that are all
+  resident must all hit: hits never change membership, so residency
+  computed once against the chunk-start tags stays valid for the whole
+  run.  FIFO/RANDOM hits are complete no-ops; LRU promotes are applied
+  wholesale with one ``argsort`` per touched set (untouched lines keep
+  their relative order, touched lines move above them ordered by last
+  touch).
+* **guaranteed-miss runs** (LRU/FIFO) — a leading run of distinct,
+  non-resident lines must all miss: evictions only *remove* lines, so
+  nothing processed earlier in the run can turn a later member into a
+  hit.  The whole run is applied with NumPy as circular-buffer appends:
+  the ``j``-th fill into a set lands at physical slot ``(head + cnt +
+  j) % assoc``, evicts iff ``cnt + j >= assoc``, and per-set
+  ``head``/``cnt`` advance in closed form.  RANDOM is never batched
+  (its eviction stream must consume the shared pool in exact reference
+  order).
+
+The two run kinds alternate against live NumPy state until the runs get
+too short to amortise.  A final **scattered certified-hit pass** then
+handles workloads whose hits are punctured by scattered misses: any
+remaining leader that is resident *and* positioned before its own set's
+first non-resident leader must hit (other sets' misses cannot evict
+it), so those leaders are promoted wholesale and dropped from the
+sequential tail.  With a miss budget the LRU variant of this pass is
+skipped: a mid-tail budget stop makes the caller replay leaders whose
+promotes were already applied.
+
+The sequential tail lazily converts each touched set into a small
+logical-order Python list (membership over at most ``assoc`` boxed
+ints, ``pop``/``append`` mutations, dirtiness tracked by line value in
+a set so LRU promotes never touch it — the same shapes that make the
+reference kernel fast) and writes the touched sets back to the flat
+state once at the end of the chunk.  The authoritative state between
+calls is plain Python lists, converted to arrays only while the
+vectorised phases run.
+
+When a write mask or the next-line prefetcher is active the kernel runs
+a full sequential mirror of the reference loop (same flat state, no
+skips): prefetch fills may touch neighbouring sets mid-chunk and dirty
+bits must be set in reference order, so none of the fast paths is sound.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.cache.kernels.base import KernelResult, SetKernel
+from repro.cache.policies import ReplacementPolicy
+
+#: Empty-slot sentinel; real line numbers are non-negative.
+_EMPTY = -1
+
+
+class ArrayKernel(SetKernel):
+    """Flat-array set-associative kernel, bit-identical to the reference."""
+
+    name = "array"
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        #: Enter the vectorised phases only when a chunk has enough
+        #: leaders to amortise converting the flat state to NumPy.
+        self._batch_min = max(64, (self.n_sets * self.assoc) // 8)
+        self._alloc()
+
+    def _alloc(self) -> None:
+        n_slots = self.n_sets * self.assoc
+        self._tags: list[int] = [_EMPTY] * n_slots
+        self._head: list[int] = [0] * self.n_sets
+        self._cnt: list[int] = [0] * self.n_sets
+        self._dirty: list[int] = [0] * n_slots
+        self._n_dirty = 0
+
+    # ------------------------------------------------------------ state API
+
+    def reset(self) -> None:
+        self._alloc()
+
+    def contents_line_count(self) -> int:
+        return sum(self._cnt)
+
+    def dirty_line_count(self) -> int:
+        return self._n_dirty
+
+    def lines_in_set(self, set_idx: int) -> list[int]:
+        assoc = self.assoc
+        base = set_idx * assoc
+        h = self._head[set_idx]
+        tags = self._tags
+        return [tags[base + (h + k) % assoc] for k in range(self._cnt[set_idx])]
+
+    def contains_line(self, line: int) -> bool:
+        base = (line & self.set_mask) * self.assoc
+        return line in self._tags[base : base + self.assoc]
+
+    def snapshot(self) -> object:
+        return (
+            list(self._tags),
+            list(self._head),
+            list(self._cnt),
+            list(self._dirty),
+            self._n_dirty,
+            list(self._rand_pool),
+            copy.deepcopy(self._rng.bit_generator.state),
+        )
+
+    def restore(self, state: object) -> None:
+        tags, head, cnt, dirty, n_dirty, pool, rng_state = state
+        self._tags = list(tags)
+        self._head = list(head)
+        self._cnt = list(cnt)
+        self._dirty = list(dirty)
+        self._n_dirty = n_dirty
+        self._rand_pool = list(pool)
+        self._rng.bit_generator.state = copy.deepcopy(rng_state)
+
+    # -------------------------------------------------------------- access
+
+    def access(
+        self,
+        addrs: np.ndarray,
+        miss_budget: int | None = None,
+        writes: np.ndarray | None = None,
+    ) -> KernelResult:
+        n = len(addrs)
+        if n == 0:
+            return KernelResult(np.zeros(0, dtype=bool), 0, 0, 0, 0)
+        lines_arr = np.asarray(addrs, dtype=np.uint64) >> self.line_bits
+        if self.policy is ReplacementPolicy.RANDOM:
+            self._ensure_rand_pool(n)
+        if writes is not None or self.prefetch_next_line:
+            return self._access_exact(lines_arr, miss_budget, writes)
+        return self._access_fast(lines_arr, miss_budget)
+
+    # ----------------------------------------------------- sequential mirror
+
+    def _access_exact(
+        self,
+        lines_arr: np.ndarray,
+        miss_budget: int | None,
+        writes: np.ndarray | None,
+    ) -> KernelResult:
+        """Per-reference mirror of the reference loop on flat state.
+
+        Used whenever writes or prefetching make the fast paths unsound;
+        every branch matches the reference kernel's ordering exactly.
+        """
+        n = len(lines_arr)
+        lines = lines_arr.tolist()
+        write_flags = writes.tolist() if writes is not None else None
+        set_mask = self.set_mask
+        assoc = self.assoc
+        tags = self._tags
+        head = self._head
+        cnt = self._cnt
+        dirty = self._dirty
+        lru = self.policy is ReplacementPolicy.LRU
+        random_policy = self.policy is ReplacementPolicy.RANDOM
+        prefetch = self.prefetch_next_line
+        rand_pool = self._rand_pool
+
+        miss_flags = bytearray(n)
+        budget = miss_budget if miss_budget is not None else n + 1
+        misses = 0
+        writebacks = 0
+        prefetches = 0
+        n_dirty = self._n_dirty
+        consumed = n
+        for i in range(n):
+            line = lines[i]
+            s = line & set_mask
+            base = s * assoc
+            bend = base + assoc
+            seg = tags[base:bend]
+            if line in seg:
+                p = base + seg.index(line)
+                if lru:
+                    h = head[s]
+                    mru = base + (h + cnt[s] - 1) % assoc
+                    if p != mru:
+                        k = (p - base - h) % assoc
+                        d = dirty[p]
+                        for j in range(k, cnt[s] - 1):
+                            dst = base + (h + j) % assoc
+                            src = base + (h + j + 1) % assoc
+                            tags[dst] = tags[src]
+                            dirty[dst] = dirty[src]
+                        tags[mru] = line
+                        dirty[mru] = d
+                        p = mru
+                if write_flags is not None and write_flags[i] and not dirty[p]:
+                    dirty[p] = 1
+                    n_dirty += 1
+            else:
+                miss_flags[i] = 1
+                misses += 1
+                h = head[s]
+                c = cnt[s]
+                if c >= assoc:
+                    if random_policy:
+                        r = rand_pool.pop()
+                        if dirty[base + (h + r) % assoc]:
+                            writebacks += 1
+                            n_dirty -= 1
+                        for j in range(r, assoc - 1):
+                            dst = base + (h + j) % assoc
+                            src = base + (h + j + 1) % assoc
+                            tags[dst] = tags[src]
+                            dirty[dst] = dirty[src]
+                        fp = base + (h + assoc - 1) % assoc
+                    else:
+                        fp = base + h  # LRU and FIFO both evict the head
+                        if dirty[fp]:
+                            writebacks += 1
+                            n_dirty -= 1
+                        head[s] = (h + 1) % assoc
+                else:
+                    fp = base + (h + c) % assoc
+                    cnt[s] = c + 1
+                tags[fp] = line
+                if write_flags is not None and write_flags[i]:
+                    dirty[fp] = 1  # write-allocate: filled dirty
+                    n_dirty += 1
+                else:
+                    dirty[fp] = 0
+                if prefetch:
+                    nxt = line + 1
+                    ps = nxt & set_mask
+                    pbase = ps * assoc
+                    if nxt not in tags[pbase : pbase + assoc]:
+                        prefetches += 1
+                        ph = head[ps]
+                        pc = cnt[ps]
+                        if pc >= assoc:
+                            if random_policy:
+                                r = rand_pool.pop()
+                                if dirty[pbase + (ph + r) % assoc]:
+                                    writebacks += 1
+                                    n_dirty -= 1
+                                for j in range(r, assoc - 1):
+                                    dst = pbase + (ph + j) % assoc
+                                    src = pbase + (ph + j + 1) % assoc
+                                    tags[dst] = tags[src]
+                                    dirty[dst] = dirty[src]
+                                pp = pbase + (ph + assoc - 1) % assoc
+                            else:
+                                pp = pbase + ph
+                                if dirty[pp]:
+                                    writebacks += 1
+                                    n_dirty -= 1
+                                head[ps] = (ph + 1) % assoc
+                        else:
+                            pp = pbase + (ph + pc) % assoc
+                            cnt[ps] = pc + 1
+                        tags[pp] = nxt
+                        dirty[pp] = 0
+                budget -= 1
+                if budget == 0:
+                    consumed = i + 1
+                    break
+
+        self._n_dirty = n_dirty
+        miss_mask = np.frombuffer(bytes(miss_flags[:consumed]), dtype=np.uint8).astype(
+            bool
+        )
+        return KernelResult(miss_mask, consumed, misses, writebacks, prefetches)
+
+    # ------------------------------------------------------------ fast path
+
+    def _access_fast(
+        self, lines_arr: np.ndarray, miss_budget: int | None
+    ) -> KernelResult:
+        """Follower skip + alternating hit/miss runs (no writes/prefetch)."""
+        n = len(lines_arr)
+        if n > 1:
+            leader_pos = np.flatnonzero(
+                np.concatenate(([True], lines_arr[1:] != lines_arr[:-1]))
+            )
+        else:
+            leader_pos = np.zeros(1, dtype=np.int64)
+        n_lead = len(leader_pos)
+
+        miss_flags = bytearray(n)
+        mf = np.frombuffer(miss_flags, dtype=np.uint8)
+        budget = miss_budget  # None = unlimited
+        misses = 0
+        writebacks = 0
+        consumed = n
+        set_mask = self.set_mask
+        assoc = self.assoc
+        lru = self.policy is ReplacementPolicy.LRU
+        random_policy = self.policy is ReplacementPolicy.RANDOM
+
+        # -------- vectorised phases: alternate certified-hit runs and
+        # guaranteed-miss runs against live NumPy state.
+        start = 0  # index into leader_pos of the first unprocessed leader
+        arrays = None
+        if n_lead >= self._batch_min:
+            leader_lines = lines_arr[leader_pos].astype(np.int64)
+            sets_all = leader_lines & set_mask
+            is_dup = None  # computed lazily, once per chunk
+            rounds = 0
+            while True:
+                rem = n_lead - start
+                if rem < 64 or rounds >= 8:
+                    break
+                rounds += 1
+                if arrays is None:
+                    tags2d = np.asarray(self._tags, dtype=np.int64).reshape(
+                        self.n_sets, assoc
+                    )
+                    dirty2d = np.asarray(self._dirty, dtype=np.int64).reshape(
+                        self.n_sets, assoc
+                    )
+                    head_np = np.asarray(self._head, dtype=np.int64)
+                    cnt_np = np.asarray(self._cnt, dtype=np.int64)
+                    arrays = (tags2d, dirty2d, head_np, cnt_np)
+                ll = leader_lines[start:]
+                ss = sets_all[start:]
+                resident = (tags2d[ss] == ll[:, None]).any(axis=1)
+                min_run = 64 if rem < 4096 else rem >> 6
+                if resident[0]:
+                    run = rem if resident.all() else int(np.argmin(resident))
+                    if run < min_run:
+                        break
+                    if lru:
+                        self._promote_run(arrays, ss[:run], ll[:run])
+                    start += run
+                else:
+                    if random_policy:
+                        break  # RANDOM misses must pop the pool in order
+                    stop = (
+                        int(np.argmax(resident)) if resident.any() else rem
+                    )
+                    if is_dup is None:
+                        # A leader repeating ANY earlier in-chunk leader
+                        # line may have been filled since chunk start, so
+                        # its fate is state-dependent: stop runs there.
+                        # (Chunk-global and so slightly conservative —
+                        # one sort per chunk instead of one per run.)
+                        sidx = np.argsort(leader_lines, kind="stable")
+                        slv = leader_lines[sidx]
+                        is_dup = np.zeros(n_lead, dtype=bool)
+                        is_dup[sidx[1:][slv[1:] == slv[:-1]]] = True
+                    dup_slice = is_dup[start : start + stop]
+                    m = (
+                        min(stop, int(np.argmax(dup_slice)))
+                        if dup_slice.any()
+                        else stop
+                    )
+                    if budget is not None:
+                        m = min(m, budget)
+                    if m < min_run:
+                        break
+                    wb = self._fill_run(arrays, ss[:m], ll[:m])
+                    mf[leader_pos[start : start + m]] = 1
+                    misses += m
+                    writebacks += wb
+                    self._n_dirty -= wb
+                    if budget is not None:
+                        budget -= m
+                        if budget == 0:
+                            consumed = int(leader_pos[start + m - 1]) + 1
+                            self._flush_arrays(arrays)
+                            miss_mask = np.frombuffer(
+                                bytes(miss_flags[:consumed]), dtype=np.uint8
+                            ).astype(bool)
+                            return KernelResult(
+                                miss_mask, consumed, misses, writebacks, 0
+                            )
+                    start += m
+            # Scattered certified-hit pass: after the contiguous runs
+            # stall, any remaining leader that is resident AND precedes
+            # its own set's first non-resident leader must hit — other
+            # sets' misses can't evict it. Promote those wholesale and
+            # drop them from the sequential tail. With a budget the LRU
+            # variant is unsound: a mid-tail stop makes the caller
+            # replay leaders whose promotes were already applied.
+            seq_leaders = None
+            rem = n_lead - start
+            if (
+                arrays is not None
+                and rem >= 256
+                and (budget is None or not lru)
+            ):
+                ll = leader_lines[start:]
+                ss = sets_all[start:]
+                resident = (tags2d[ss] == ll[:, None]).any(axis=1)
+                nonres = np.flatnonzero(~resident)
+                if nonres.size:
+                    first_miss = np.full(self.n_sets, rem, dtype=np.int64)
+                    np.minimum.at(first_miss, ss[nonres], nonres)
+                    certified = resident & (
+                        np.arange(rem) < first_miss[ss]
+                    )
+                else:
+                    certified = resident  # every remaining leader hits
+                if certified.any():
+                    if lru:
+                        self._promote_run(arrays, ss[certified], ll[certified])
+                    seq_leaders = (
+                        np.flatnonzero(~certified) + start
+                    ).tolist()
+            if arrays is not None:
+                self._flush_arrays(arrays)
+        else:
+            seq_leaders = None
+
+        if seq_leaders is None:
+            seq_leaders = range(start, n_lead)
+        if not seq_leaders:
+            miss_mask = np.frombuffer(
+                bytes(miss_flags[:consumed]), dtype=np.uint8
+            ).astype(bool)
+            return KernelResult(miss_mask, consumed, misses, writebacks, 0)
+
+        # -------- sequential tail: lazily materialise touched sets as
+        # small logical-order Python lists (membership over <= assoc
+        # boxed ints, pop/append mutations) with dirtiness tracked by
+        # line value — the same shapes the reference kernel uses, which
+        # beat flat-slice arithmetic ~3x on miss-heavy streams. Only
+        # touched sets pay conversion, and they are written back to the
+        # flat state once at the end of the chunk.
+        lines = lines_arr.tolist()
+        lp = leader_pos.tolist()
+        tags = self._tags
+        head = self._head
+        cnt = self._cnt
+        dirty = self._dirty
+        rand_pool = self._rand_pool
+        n_dirty = self._n_dirty
+        had_dirty = n_dirty > 0
+        last = [-1] * self.n_sets  # chunk-local; conservative and sound
+        slists = [None] * self.n_sets
+        touched = []  # set indices materialised in ``slists``
+        dirty_set = set()  # dirty line values of touched sets
+
+        for li in seq_leaders:
+            i = lp[li]
+            line = lines[i]
+            s_idx = line & set_mask
+            if last[s_idx] == line:
+                continue  # repeat of the set's most recent line: pure hit
+            last[s_idx] = line
+            s = slists[s_idx]
+            if s is None:
+                base = s_idx * assoc
+                h = head[s_idx]
+                if h:  # head != 0 implies a full set
+                    s = tags[base + h : base + assoc] + tags[base : base + h]
+                else:
+                    s = tags[base : base + cnt[s_idx]]
+                slists[s_idx] = s
+                touched.append(s_idx)
+                if had_dirty:
+                    for j in range(base, base + assoc):
+                        if dirty[j]:
+                            dirty_set.add(tags[j])
+            if line in s:
+                if lru and s[-1] != line:
+                    s.remove(line)
+                    s.append(line)
+            else:
+                miss_flags[i] = 1
+                misses += 1
+                if len(s) >= assoc:
+                    victim = s.pop(rand_pool.pop()) if random_policy else s.pop(0)
+                    if n_dirty and victim in dirty_set:
+                        writebacks += 1
+                        dirty_set.discard(victim)
+                        n_dirty -= 1
+                s.append(line)
+                if budget is not None:
+                    budget -= 1
+                    if budget == 0:
+                        consumed = i + 1
+                        break
+
+        # Write the touched sets back to the flat state (head normalised
+        # to 0, empty ways cleared and clean).
+        for s_idx in touched:
+            s = slists[s_idx]
+            base = s_idx * assoc
+            c = len(s)
+            tags[base : base + c] = s
+            for j in range(base + c, base + assoc):
+                tags[j] = _EMPTY
+            cnt[s_idx] = c
+            head[s_idx] = 0
+            if had_dirty:
+                for j, ln in enumerate(s):
+                    dirty[base + j] = 1 if ln in dirty_set else 0
+                for j in range(base + c, base + assoc):
+                    dirty[j] = 0
+
+        self._n_dirty = n_dirty
+        miss_mask = np.frombuffer(bytes(miss_flags[:consumed]), dtype=np.uint8).astype(
+            bool
+        )
+        return KernelResult(miss_mask, consumed, misses, writebacks, 0)
+
+    # --------------------------------------------------- vectorised phases
+
+    def _flush_arrays(self, arrays) -> None:
+        tags2d, dirty2d, head_np, cnt_np = arrays
+        self._tags = tags2d.ravel().tolist()
+        self._dirty = dirty2d.ravel().tolist()
+        self._head = head_np.tolist()
+        self._cnt = cnt_np.tolist()
+
+    def _promote_run(self, arrays, run_sets: np.ndarray, run_lines: np.ndarray) -> None:
+        """Apply a certified-hit run's LRU promotes wholesale.
+
+        After a sequence of hits, lines never hit keep their relative
+        recency order at the bottom and hit lines stack above them
+        ordered by *last* hit — so one stable argsort per touched set
+        reproduces the per-reference promote loop exactly. Last-touch
+        ranks come from a scatter (later writes win), so no sort over
+        the run itself is needed — only tiny per-set argsorts.
+        """
+        tags2d, dirty2d, head_np, _ = arrays
+        assoc = self.assoc
+        n_r = len(run_lines)
+        if n_r == 0:
+            return
+        phys = (tags2d[run_sets] == run_lines[:, None]).argmax(axis=1)
+        last_touch = np.full(self.n_sets * assoc, -1, dtype=np.int64)
+        last_touch[run_sets * assoc + phys] = np.arange(n_r)
+        touched = np.zeros(self.n_sets, dtype=bool)
+        touched[run_sets] = True
+        rows = np.flatnonzero(touched)
+        sub = tags2d[rows]
+        # Sort key per slot: untouched lines keep logical position,
+        # touched lines rank above by last touch, empties stay last.
+        key = (np.arange(assoc)[None, :] - head_np[rows][:, None]) % assoc
+        lt = last_touch.reshape(self.n_sets, assoc)[rows]
+        hitm = lt >= 0
+        key[hitm] = assoc + lt[hitm]
+        key[sub == _EMPTY] = assoc + n_r + 1
+        order = np.argsort(key, axis=1, kind="stable")
+        tags2d[rows] = np.take_along_axis(sub, order, axis=1)
+        dirty2d[rows] = np.take_along_axis(dirty2d[rows], order, axis=1)
+        head_np[rows] = 0
+
+    def _fill_run(self, arrays, cs: np.ndarray, cl: np.ndarray) -> int:
+        """Apply a guaranteed-miss run as vectorised circular appends.
+
+        ``cs``/``cl`` are the run's sets and (distinct, non-resident)
+        lines in chunk order; returns the number of dirty victims
+        written back. Only called for LRU/FIFO.
+        """
+        tags2d, dirty2d, head_np, cnt_np = arrays
+        assoc = self.assoc
+        m = len(cl)
+        order = np.argsort(cs, kind="stable")
+        s_sets = cs[order]
+        s_lines = cl[order]
+        # Per-set fill sequence number: position within the set's group.
+        first = np.ones(m, dtype=bool)
+        first[1:] = s_sets[1:] != s_sets[:-1]
+        grp_start = np.flatnonzero(first)
+        grp_sizes = np.diff(np.append(grp_start, m))
+        seq = np.arange(m, dtype=np.int64) - np.repeat(grp_start, grp_sizes)
+
+        c0s = cnt_np[s_sets]
+        t = c0s + seq  # logical tail index of each fill
+        phys = (head_np[s_sets] + t) % assoc
+        flat = s_sets * assoc + phys
+
+        # A fill evicts iff its set was full at fill time (t >= assoc);
+        # the victim predates the run — and so can be dirty — iff it
+        # was not itself filled by an earlier wrap (t < cnt0 + assoc).
+        dirty_flat = dirty2d.reshape(-1)
+        evict_pre = (t >= assoc) & (t < c0s + assoc)
+        wb = int(dirty_flat[flat[evict_pre]].sum())
+
+        # Only a set's last `assoc` fills survive, and together they hit
+        # every slot the set's earlier fills touched (same phys modulo
+        # assoc) — so scattering just those gives last-write-wins with
+        # unique slot indices, no sort needed.
+        fills = np.repeat(grp_sizes, grp_sizes)
+        final = seq >= fills - assoc
+        tags2d.reshape(-1)[flat[final]] = s_lines[final]
+        dirty_flat[flat[final]] = 0
+
+        fill_sets = s_sets[grp_start]
+        c0 = cnt_np[fill_sets]
+        cnt_np[fill_sets] = np.minimum(assoc, c0 + grp_sizes)
+        head_np[fill_sets] = (
+            head_np[fill_sets] + np.maximum(0, c0 + grp_sizes - assoc)
+        ) % assoc
+        return wb

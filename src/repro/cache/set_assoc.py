@@ -1,10 +1,13 @@
 """Exact set-associative cache with LRU/FIFO/random replacement.
 
-This is the reference model for all experiments — the paper simulates "a
-single-level set associative cache". Set state is a Python list of line
-numbers per set, ordered oldest-first, so LRU promotion and eviction are
-O(assoc) list operations; associativities in practice are 2-16, where a
-linear scan of a small list beats any fancier structure.
+This is the model for all experiments — the paper simulates "a
+single-level set associative cache". The hit/miss engine itself lives in
+:mod:`repro.cache.kernels` behind a pluggable *backend* selector:
+
+* ``"reference"`` — the original list-of-lists kernel, oldest-first per
+  set; its sequential loop defines the semantics;
+* ``"array"`` — flat-array state with vectorised fast paths for
+  streaming chunks, bit-identical to the reference kernel.
 
 Beyond the paper's model, two optional realism features are provided for
 the ablation benches:
@@ -18,12 +21,7 @@ the ablation benches:
   whenever line ``L`` misses, modelling a simple hardware prefetcher;
   used to show the profiling techniques' rankings survive prefetching.
 
-The access loop is the one inherently sequential kernel in the library
-(each reference's hit/miss depends on every prior reference mapping to the
-same set), so per the hpc-parallel guides it is written as a tight loop
-over pre-decomposed Python ints: the address arithmetic
-(``addr >> line_bits``) is vectorised in NumPy, ``ndarray.tolist()``
-converts once, and the loop body touches only local variables.
+Both features are honoured identically by every backend.
 """
 
 from __future__ import annotations
@@ -32,54 +30,49 @@ import numpy as np
 
 from repro.cache.base import AccessResult, CacheModel
 from repro.cache.config import CacheConfig
-from repro.cache.policies import ReplacementPolicy
-from repro.util.rng import make_rng
+from repro.cache.kernels import kernel_for_config, resolve_backend
 
 
 class SetAssociativeCache(CacheModel):
-    """Exact A-way set-associative cache."""
+    """Exact A-way set-associative cache over a pluggable kernel."""
 
     def __init__(
         self,
         config: CacheConfig,
         seed: int | None = None,
         prefetch_next_line: bool = False,
+        backend: str | None = None,
     ) -> None:
         super().__init__(config)
-        self._sets: list[list[int]] = [[] for _ in range(config.n_sets)]
-        #: Line numbers currently dirty (written since fill).
-        self._dirty: set[int] = set()
         self.prefetch_next_line = prefetch_next_line
-        self._rng = make_rng(seed)
-        # Pre-drawn random eviction indices for the RANDOM policy: drawing
-        # one random number per eviction inside the hot loop would dominate
-        # runtime, so a block is drawn at once and refilled as needed.
-        self._rand_pool: list[int] = []
+        #: Kernel backend in use; ``backend`` overrides ``config.backend``.
+        self.backend = resolve_backend(
+            backend if backend is not None else config.backend
+        )
+        self._kernel = kernel_for_config(
+            self.backend,
+            config,
+            seed=seed,
+            prefetch_next_line=prefetch_next_line,
+        )
 
     def reset(self) -> None:
-        self._sets = [[] for _ in range(self.config.n_sets)]
-        self._dirty = set()
+        self._kernel.reset()
 
     def contents_line_count(self) -> int:
-        return sum(len(s) for s in self._sets)
+        return self._kernel.contents_line_count()
 
     def dirty_line_count(self) -> int:
         """Number of resident dirty lines (write-back bookkeeping)."""
-        return len(self._dirty)
+        return self._kernel.dirty_line_count()
 
     def lines_in_set(self, set_idx: int) -> list[int]:
         """Line numbers resident in a set, oldest/least-recent first."""
-        return list(self._sets[set_idx])
+        return self._kernel.lines_in_set(set_idx)
 
     def contains_addr(self, addr: int) -> bool:
         """Whether the line holding byte ``addr`` is resident."""
-        line = addr >> self.config.line_bits
-        return line in self._sets[line & self.config.set_mask]
-
-    def _refill_rand_pool(self, n: int) -> None:
-        self._rand_pool = self._rng.integers(
-            0, self.config.assoc, size=max(n, 4096)
-        ).tolist()
+        return self._kernel.contains_line(addr >> self.config.line_bits)
 
     def access(
         self,
@@ -91,71 +84,8 @@ class SetAssociativeCache(CacheModel):
         n = len(addrs)
         if n == 0:
             return AccessResult(np.zeros(0, dtype=bool), 0)
-        lines = (np.asarray(addrs, dtype=np.uint64) >> self.config.line_bits).tolist()
-        write_flags = writes.tolist() if writes is not None else None
-        set_mask = self.config.set_mask
-        assoc = self.config.assoc
-        sets = self._sets
-        dirty = self._dirty
-        policy = self.config.policy
-        lru = policy is ReplacementPolicy.LRU
-        random_policy = policy is ReplacementPolicy.RANDOM
-        prefetch = self.prefetch_next_line
-        if random_policy and len(self._rand_pool) < 2 * n:
-            self._refill_rand_pool(2 * n)
-        rand_pool = self._rand_pool
-
-        miss_flags = bytearray(n)
-        budget = miss_budget if miss_budget is not None else n + 1
-        misses = 0
-        writebacks = 0
-        prefetches = 0
-        consumed = n
-        for i in range(n):
-            line = lines[i]
-            s = sets[line & set_mask]
-            if line in s:
-                if lru and s[-1] != line:
-                    s.remove(line)
-                    s.append(line)
-                if write_flags is not None and write_flags[i]:
-                    dirty.add(line)
-            else:
-                miss_flags[i] = 1
-                misses += 1
-                if len(s) >= assoc:
-                    if random_policy:
-                        victim = s.pop(rand_pool.pop())
-                    else:
-                        victim = s.pop(0)  # LRU and FIFO both evict the head
-                    if victim in dirty:
-                        dirty.discard(victim)
-                        writebacks += 1
-                s.append(line)
-                if write_flags is not None and write_flags[i]:
-                    dirty.add(line)  # write-allocate: filled dirty
-                if prefetch:
-                    nxt = line + 1
-                    ps = sets[nxt & set_mask]
-                    if nxt not in ps:
-                        prefetches += 1
-                        if len(ps) >= assoc:
-                            victim = ps.pop(
-                                rand_pool.pop() if random_policy else 0
-                            )
-                            if victim in dirty:
-                                dirty.discard(victim)
-                                writebacks += 1
-                        ps.append(nxt)
-                budget -= 1
-                if budget == 0:
-                    consumed = i + 1
-                    break
-
-        miss_mask = np.frombuffer(bytes(miss_flags[:consumed]), dtype=np.uint8).astype(
-            bool
-        )
-        self.stats.record(tag, consumed, misses)
-        self.stats.writebacks += writebacks
-        self.stats.prefetches += prefetches
-        return AccessResult(miss_mask, consumed)
+        res = self._kernel.access(addrs, miss_budget=miss_budget, writes=writes)
+        self.stats.record(tag, res.consumed, res.misses)
+        self.stats.writebacks += res.writebacks
+        self.stats.prefetches += res.prefetches
+        return AccessResult(res.miss_mask, res.consumed)

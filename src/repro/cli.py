@@ -24,6 +24,7 @@ import argparse
 import sys
 import time
 
+from repro.cache import KERNEL_BACKENDS
 from repro.experiments import (
     ExperimentRunner,
     run_continuation,
@@ -92,6 +93,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--quick", action="store_true", help="reduced workload sizes (faster)"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=list(KERNEL_BACKENDS),
+        default=None,
+        help="cache kernel backend (default: the config's 'reference'); "
+        "backends are bit-identical, 'array' is the fast path",
     )
     parser.add_argument("--seed", type=int, default=1234)
     parser.add_argument(
@@ -176,7 +184,7 @@ def main(argv: list[str] | None = None) -> int:
         return _cache_command(args)
 
     runner = ExperimentRunner(
-        RunnerConfig(seed=args.seed),
+        RunnerConfig(seed=args.seed, backend=args.backend),
         quick=args.quick,
         jobs=args.jobs,
         cache_dir=args.cache_dir,

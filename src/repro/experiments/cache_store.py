@@ -39,6 +39,7 @@ __all__ = [
     "canonical",
     "stable_hash",
     "code_version_tag",
+    "source_files",
 ]
 
 
@@ -86,7 +87,21 @@ def stable_hash(payload) -> str:
 
 #: Packages whose source defines simulation semantics; editing any file
 #: in them changes the version tag and invalidates every cache entry.
+#: Subpackages (e.g. ``cache/kernels``) are covered by the recursive glob.
 _CODE_PACKAGES = ("cache", "core", "hpm", "memory", "sim", "util", "workloads")
+
+
+def source_files() -> list[Path]:
+    """Every source file participating in :func:`code_version_tag`.
+
+    Exposed separately so tests can assert that semantics-bearing modules
+    (the cache kernels in particular) actually invalidate the cache.
+    """
+    root = Path(__file__).resolve().parent.parent
+    files: list[Path] = []
+    for package in _CODE_PACKAGES:
+        files.extend(sorted((root / package).rglob("*.py")))
+    return files
 
 
 @lru_cache(maxsize=1)
@@ -99,10 +114,9 @@ def code_version_tag() -> str:
     """
     root = Path(__file__).resolve().parent.parent
     digest = hashlib.sha256()
-    for package in _CODE_PACKAGES:
-        for path in sorted((root / package).rglob("*.py")):
-            digest.update(path.relative_to(root).as_posix().encode())
-            digest.update(path.read_bytes())
+    for path in source_files():
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(path.read_bytes())
     return digest.hexdigest()[:16]
 
 

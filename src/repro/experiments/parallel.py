@@ -51,7 +51,14 @@ __all__ = [
 
 @dataclass
 class SimSpec:
-    """Declarative :class:`~repro.sim.engine.Simulator` configuration."""
+    """Declarative :class:`~repro.sim.engine.Simulator` configuration.
+
+    The cache kernel backend rides along in ``cache.backend`` (and
+    ``l1.backend``): :func:`~repro.experiments.cache_store.canonical`
+    hashes dataclasses field-by-field, so backend choice is part of every
+    task's cache key even though backends are bit-identical — a cached
+    result therefore always records which kernel produced it.
+    """
 
     cache: CacheConfig = field(default_factory=CacheConfig)
     n_region_counters: int = 10

@@ -25,6 +25,7 @@ worker processes to populate both.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 from dataclasses import dataclass
@@ -64,10 +65,16 @@ class RunnerConfig:
     period_scale: float = 1.0
     #: Workload size knobs forwarded to each factory (quick mode shrinks).
     workload_kwargs: dict = None
+    #: Cache kernel backend override ("reference"/"array"); None keeps the
+    #: cache config's own selection. Backends are bit-identical, but the
+    #: choice is folded into ``cache`` so every TaskSpec key carries it.
+    backend: str = None
 
     def __post_init__(self) -> None:
         if self.cache is None:
             self.cache = CacheConfig()
+        if self.backend is not None:
+            self.cache = dataclasses.replace(self.cache, backend=self.backend)
         if self.workload_kwargs is None:
             self.workload_kwargs = {}
 

@@ -76,12 +76,16 @@ class Simulator:
         chunk_size: int = 1 << 15,
         l1_config: CacheConfig | None = None,
         prefetch_next_line: bool = False,
+        backend: str | None = None,
     ) -> None:
         if chunk_size <= 0:
             raise SimulationError("chunk_size must be positive")
         self.cache_config = cache_config or CacheConfig()
         self.l1_config = l1_config
         self.prefetch_next_line = prefetch_next_line
+        #: Cache kernel backend override; None defers to the config's
+        #: ``backend`` field. Backends are bit-identical (speed knob only).
+        self.backend = backend
         self.n_region_counters = n_region_counters
         self.multiplexed_counters = multiplexed_counters
         self.cost_model = cost_model or CostModel()
@@ -114,6 +118,7 @@ class Simulator:
             seed=self.seed,
             l1_config=self.l1_config,
             prefetch_next_line=self.prefetch_next_line,
+            backend=self.backend,
         )
         monitor = PerformanceMonitor(
             self.n_region_counters,
@@ -204,16 +209,23 @@ class Simulator:
                     tool_active = self._deliver(
                         InterruptKind.TIMER, tool, monitor, clock, cache, stats
                     )
-            clock.advance_app(block.extra_cycles)
+            if pos >= n:
+                # Fixed costs (loop control, non-memory arithmetic) are
+                # charged only when the block actually completed; a
+                # max_refs truncation mid-block must not inflate the
+                # "same number of application instructions" comparisons.
+                clock.advance_app(block.extra_cycles)
             if refs_left is not None and refs_left <= 0:
                 break
 
+        # Freeze the totals at stream end: tool teardown below must not be
+        # able to drift what this run reports as instrumentation activity.
+        cache_stats = cache.stats.snapshot()
         if tool is not None:
             tool.on_run_end(clock.now)
 
         stats.app_cycles = clock.app_cycles
         stats.instr_cycles = clock.instr_cycles
-        cache_stats = cache.stats
         stats.instr_refs = cache_stats.accesses_by_tag.get("instr", 0)
         stats.instr_misses = cache_stats.misses_by_tag.get("instr", 0)
 

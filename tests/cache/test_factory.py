@@ -57,3 +57,76 @@ class TestSimulatorValidation:
 
         sim = Simulator()
         assert sim.cache_config.size == 256 * 1024
+
+
+class TestBackendSelection:
+    """The backend knob threads from CacheConfig / make_cache overrides
+    down to the kernel actually instantiated."""
+
+    def test_registry_contents(self):
+        from repro.cache import KERNEL_BACKENDS, resolve_backend
+
+        assert KERNEL_BACKENDS == ("reference", "array")
+        assert resolve_backend(None) == "reference"
+        assert resolve_backend("array") == "array"
+
+    def test_unknown_backend_rejected(self):
+        from repro.cache import resolve_backend
+
+        with pytest.raises(CacheConfigError):
+            resolve_backend("turbo")
+        with pytest.raises(CacheConfigError):
+            CacheConfig(size=64 * 1024, backend="turbo")
+
+    def test_config_backend_reaches_kernel(self):
+        cfg = CacheConfig(size=64 * 1024, assoc=4, backend="array")
+        cache = make_cache(cfg)
+        assert isinstance(cache, SetAssociativeCache)
+        assert cache.backend == "array"
+        assert cache._kernel.name == "array"
+
+    def test_override_beats_config(self):
+        cfg = CacheConfig(size=64 * 1024, assoc=4, backend="reference")
+        cache = make_cache(cfg, backend="array")
+        assert cache.backend == "array"
+        assert cache._kernel.name == "array"
+
+    def test_direct_mapped_serves_both_backends(self):
+        for backend in ("reference", "array"):
+            cache = make_cache(
+                CacheConfig(size=64 * 1024, assoc=1), backend=backend
+            )
+            assert isinstance(cache, DirectMappedCache)
+            assert cache.backend == backend
+
+    def test_hierarchy_backend_propagates_to_both_levels(self):
+        cache = make_cache(
+            CacheConfig(size=64 * 1024, assoc=4),
+            l1_config=CacheConfig(size=8 * 1024, assoc=2),
+            backend="array",
+        )
+        assert isinstance(cache, TwoLevelCache)
+        assert cache.backend == "array"
+        assert cache._l1.name == "array"
+        assert cache._l2.name == "array"
+
+    def test_simulator_threads_backend(self):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator(CacheConfig(size=64 * 1024, assoc=4), backend="array")
+        assert sim.backend == "array"
+
+    def test_runner_config_applies_backend_to_cache(self):
+        from repro.experiments.runner import RunnerConfig
+
+        cfg = RunnerConfig(seed=1, backend="array")
+        assert cfg.cache.backend == "array"
+        assert RunnerConfig(seed=1).cache.backend == "reference"
+
+    def test_cli_exposes_backend_flag(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["table1", "--backend", "array"])
+        assert args.backend == "array"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--backend", "turbo"])

@@ -144,3 +144,57 @@ class TestEndToEnd:
         prof = gt.profile()
         assert prof.rank_of("A") == 1
         assert prof.share_of("A") == pytest.approx(0.7, abs=0.05)
+
+
+class TestStatsConsistency:
+    """L1/L2 tag accounting must stay in lockstep (stats snapshot/merge).
+
+    Every reference the hierarchy consumes is recorded at BOTH levels
+    under the same tag, so per-tag access totals can never drift between
+    ``l1_stats`` and ``stats`` — including when a miss budget cuts a
+    chunk short and the L1 model is rolled back and replayed.
+    """
+
+    def drive(self, h, budget=None):
+        rng = np.random.default_rng(7)
+        for k in range(8):
+            stream = addrs_of_lines(rng.integers(0, 2048, 1500))
+            tag = "app" if k % 2 == 0 else "instr"
+            pos = 0
+            while pos < len(stream):
+                res = h.access(stream[pos:], miss_budget=budget, tag=tag)
+                pos += res.consumed
+
+    def assert_consistent(self, h):
+        assert h.l1_stats.accesses == h.stats.accesses
+        assert h.l1_stats.accesses_by_tag == h.stats.accesses_by_tag
+        assert h.stats.misses <= h.l1_stats.misses  # L1 filters L2 traffic
+        for tag, l2_misses in h.stats.misses_by_tag.items():
+            assert l2_misses <= h.l1_stats.misses_by_tag[tag]
+
+    def test_tag_totals_agree_unbudgeted(self):
+        h = make_hierarchy()
+        self.drive(h)
+        self.assert_consistent(h)
+
+    def test_tag_totals_agree_with_budget_cuts(self):
+        h = make_hierarchy()
+        self.drive(h, budget=13)
+        self.assert_consistent(h)
+
+    def test_combined_stats_merges_levels(self):
+        h = make_hierarchy()
+        self.drive(h, budget=31)
+        combined = h.combined_stats()
+        assert combined.accesses == h.l1_stats.accesses + h.stats.accesses
+        assert combined.misses == h.l1_stats.misses + h.stats.misses
+        for tag in h.stats.accesses_by_tag:
+            assert combined.accesses_by_tag[tag] == (
+                h.l1_stats.accesses_by_tag[tag] + h.stats.accesses_by_tag[tag]
+            )
+        # combined_stats must be a snapshot: mutating it leaves the
+        # hierarchy's own counters alone.
+        before = h.l1_stats.accesses
+        combined.accesses += 1
+        combined.accesses_by_tag["app"] += 1
+        assert h.l1_stats.accesses == before

@@ -1,6 +1,15 @@
-"""Shared fixtures for the repro test suite."""
+"""Shared fixtures for the repro test suite.
+
+``REPRO_BACKEND=array`` (or ``reference``) reruns the suite with the
+shared fixtures on that cache kernel backend — the CI matrix uses this to
+prove the whole pipeline, golden outputs included, is backend-agnostic.
+Tests that pin a backend explicitly (the differential harness, the unit
+tests of one kernel) are unaffected.
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -8,6 +17,9 @@ import pytest
 from repro.cache import CacheConfig, SetAssociativeCache
 from repro.memory import AddressSpace, HeapAllocator, ObjectMap, SymbolTable
 from repro.sim.engine import Simulator
+
+#: Backend override for shared fixtures; None = the configs' default.
+ENV_BACKEND = os.environ.get("REPRO_BACKEND") or None
 
 
 @pytest.fixture
@@ -23,12 +35,14 @@ def small_cfg() -> CacheConfig:
 
 @pytest.fixture
 def small_cache(small_cfg) -> SetAssociativeCache:
-    return SetAssociativeCache(small_cfg)
+    return SetAssociativeCache(small_cfg, backend=ENV_BACKEND)
 
 
 @pytest.fixture
 def sim() -> Simulator:
-    return Simulator(CacheConfig(size=64 * 1024, assoc=4), seed=7)
+    return Simulator(
+        CacheConfig(size=64 * 1024, assoc=4), seed=7, backend=ENV_BACKEND
+    )
 
 
 @pytest.fixture
@@ -59,4 +73,6 @@ def quick_runner():
     """A shared quick-mode experiment runner (baselines cached)."""
     from repro.experiments.runner import ExperimentRunner, RunnerConfig
 
-    return ExperimentRunner(RunnerConfig(seed=99), quick=True)
+    return ExperimentRunner(
+        RunnerConfig(seed=99, backend=ENV_BACKEND), quick=True
+    )

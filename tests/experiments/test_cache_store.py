@@ -137,3 +137,24 @@ class TestManifest:
         assert rec["workload"] == "mgrid"
         assert rec["seed"] == 9
         assert rec["cached"] is False
+
+
+class TestCodeVersionTag:
+    def test_kernel_sources_participate_in_version_tag(self):
+        """Editing a cache kernel must invalidate cached results: every
+        kernels/*.py module has to appear in the hashed source set."""
+        from repro.experiments.cache_store import source_files
+
+        names = {p.as_posix() for p in source_files()}
+        for module in ("__init__", "base", "reference", "flat"):
+            assert any(
+                n.endswith(f"cache/kernels/{module}.py") for n in names
+            ), module
+
+    def test_backend_distinguishes_task_keys(self):
+        def key_for(backend):
+            cfg = CacheConfig(size=256 * 1024, assoc=4, backend=backend)
+            return TaskSpec(workload="swim", sim=SimSpec(cache=cfg)).key()
+
+        assert key_for("reference") != key_for("array")
+        assert key_for("array") == key_for("array")  # still deterministic

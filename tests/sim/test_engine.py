@@ -7,6 +7,7 @@ from repro.cache import CacheConfig
 from repro.core.profile import DataProfile
 from repro.sim.engine import Simulator
 from repro.sim.instrumentation import HandlerResult, InstrumentationTool
+from repro.workloads.base import Workload
 from repro.workloads.synthetic import SyntheticStreams
 
 
@@ -170,3 +171,47 @@ class TestPerturbation:
         tool = RecordingTool(period=16, mem_refs=refs)
         instr = Simulator(cfg, seed=1).run(make_wl(), tool=tool, max_refs=base.stats.app_refs)
         assert instr.stats.app_misses > base.stats.app_misses
+
+
+class TwoBlockWorkload(Workload):
+    """Two 100-ref blocks, each carrying 1000 fixed extra cycles."""
+
+    name = "two-block"
+    cycles_per_ref = 2.0
+
+    def _declare(self):
+        self._x = self.symbols.declare("X", 64 * 256)
+
+    def _generate(self):
+        base = self._x.base
+        addrs = np.arange(base, base + 64 * 100, 64, dtype=np.uint64)
+        yield self.block(addrs, label="first", extra_cycles=1000)
+        yield self.block(addrs, label="second", extra_cycles=1000)
+
+
+class TestExtraCyclesAccounting:
+    """Fixed block costs must be charged only for completed blocks.
+
+    Regression: a ``max_refs`` truncation mid-block used to charge the
+    block's ``extra_cycles`` anyway, inflating app_cycles in the
+    "same number of instructions" perturbation comparisons.
+    """
+
+    def run_cycles(self, max_refs=None):
+        sim = Simulator(CacheConfig(size=64 * 1024, assoc=4), seed=3)
+        return sim.run(TwoBlockWorkload(), max_refs=max_refs).stats.app_cycles
+
+    def test_full_run_charges_both_blocks(self):
+        # 2 blocks x (100 refs x 2 cycles + 1000 extra)
+        assert self.run_cycles() == 2400
+
+    def test_truncation_mid_block_skips_extra_cycles(self):
+        # Block 1 completes (200 + 1000); block 2 cut at 50 refs (100).
+        assert self.run_cycles(max_refs=150) == 1300
+
+    def test_truncation_at_block_boundary_still_charges(self):
+        # Refs run out exactly at the end of block 1: it did complete.
+        assert self.run_cycles(max_refs=100) == 1200
+
+    def test_truncation_at_stream_end_matches_full_run(self):
+        assert self.run_cycles(max_refs=200) == 2400
