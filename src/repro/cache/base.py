@@ -41,9 +41,24 @@ class CacheStats:
     def miss_ratio(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
 
-    def record(self, tag: str, accesses: int, misses: int) -> None:
+    def record(
+        self,
+        tag: str,
+        accesses: int,
+        misses: int,
+        writebacks: int = 0,
+        prefetches: int = 0,
+    ) -> None:
+        """Add one chunk's event counts (the only mutation entry point).
+
+        All counter movement goes through here (or :meth:`merge`) so the
+        per-tag attribution and :meth:`snapshot` semantics can't be
+        bypassed; reprolint's RPL401 enforces this statically.
+        """
         self.accesses += accesses
         self.misses += misses
+        self.writebacks += writebacks
+        self.prefetches += prefetches
         self.accesses_by_tag[tag] = self.accesses_by_tag.get(tag, 0) + accesses
         self.misses_by_tag[tag] = self.misses_by_tag.get(tag, 0) + misses
 

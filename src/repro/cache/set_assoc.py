@@ -85,7 +85,11 @@ class SetAssociativeCache(CacheModel):
         if n == 0:
             return AccessResult(np.zeros(0, dtype=bool), 0)
         res = self._kernel.access(addrs, miss_budget=miss_budget, writes=writes)
-        self.stats.record(tag, res.consumed, res.misses)
-        self.stats.writebacks += res.writebacks
-        self.stats.prefetches += res.prefetches
+        self.stats.record(
+            tag,
+            res.consumed,
+            res.misses,
+            writebacks=res.writebacks,
+            prefetches=res.prefetches,
+        )
         return AccessResult(res.miss_mask, res.consumed)

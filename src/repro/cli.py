@@ -8,6 +8,7 @@ Regenerates any of the paper's artifacts from the terminal::
     python -m repro all --quick --jobs 4 --cache-dir .repro-cache
     python -m repro cache --cache-dir .repro-cache          # inspect
     python -m repro cache --cache-dir .repro-cache --clear  # wipe
+    python -m repro lint src/                               # reprolint
 
 ``--quick`` runs reduced-size workloads (the same knobs the test suite
 uses); the default sizes match EXPERIMENTS.md. ``--jobs N`` pre-computes
@@ -76,7 +77,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=[*_EXPERIMENTS, "all", "profile", "cache"],
         help="which artifact to regenerate, 'profile' to profile one app, "
-        "or 'cache' to inspect/clear the result cache",
+        "or 'cache' to inspect/clear the result cache; 'repro lint' runs "
+        "the reprolint static checks (own options, see 'repro lint --help')",
     )
     parser.add_argument(
         "--apps",
@@ -177,6 +179,13 @@ def _cache_command(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        # The linter owns its own argument namespace (paths, --select,
+        # --format); delegate before the experiment parser sees it.
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     from repro.experiments.runner import RunnerConfig
 

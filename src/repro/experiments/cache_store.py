@@ -29,6 +29,7 @@ import tempfile
 import time
 from dataclasses import dataclass, field
 from functools import lru_cache
+from typing import Any
 from pathlib import Path
 
 __all__ = [
@@ -45,7 +46,7 @@ __all__ = [
 
 # --------------------------------------------------------------- hashing
 
-def canonical(value):
+def canonical(value: object) -> object:
     """Reduce ``value`` to a JSON-serialisable canonical form.
 
     Dataclasses become field dicts, enums their values, tuples lists and
@@ -77,7 +78,7 @@ def canonical(value):
         return repr(value)
 
 
-def stable_hash(payload) -> str:
+def stable_hash(payload: object) -> str:
     """Hex digest of the canonical JSON encoding of ``payload``."""
     encoded = json.dumps(
         canonical(payload), sort_keys=True, separators=(",", ":")
@@ -141,7 +142,7 @@ class ResultCache:
     removed, so a killed writer can never poison later runs.
     """
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    def __init__(self, root: str | os.PathLike[str]) -> None:
         self.root = Path(root)
         (self.root / "entries").mkdir(parents=True, exist_ok=True)
 
@@ -152,7 +153,7 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         return self.root / "entries" / key[:2] / f"{key}.pkl"
 
-    def get(self, key: str):
+    def get(self, key: str) -> Any:
         """The stored value for ``key``, or None on miss/corruption."""
         path = self.path_for(key)
         try:
@@ -164,7 +165,7 @@ class ResultCache:
             path.unlink(missing_ok=True)
             return None
 
-    def put(self, key: str, value) -> Path:
+    def put(self, key: str, value: object) -> Path:
         """Store ``value`` under ``key`` (atomic rename, last writer wins)."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -182,7 +183,7 @@ class ResultCache:
         return self.path_for(key).exists()
 
     def entries(self) -> list[CacheEntry]:
-        found = []
+        found: list[CacheEntry] = []
         for path in sorted((self.root / "entries").rglob("*.pkl")):
             stat = path.stat()
             found.append(
@@ -231,9 +232,11 @@ class TaskRecord:
     key: str            #: result-cache key (full hash)
     cached: bool        #: True = served from the result cache
     wall_s: float       #: wall-clock seconds spent (0 for hits)
-    when: float = field(default_factory=time.time)
+    #: Manifest telemetry (when the task ran), never read by any result
+    #: path — the one sanctioned wall-clock read in experiments/.
+    when: float = field(default_factory=time.time)  # reprolint: disable=RPL103
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)
 
 
@@ -290,9 +293,9 @@ class Manifest:
         )
 
     @staticmethod
-    def load(path: str | os.PathLike) -> list[dict]:
+    def load(path: str | os.PathLike[str]) -> list[dict[str, Any]]:
         """Parse a manifest JSONL back into dicts (for tooling/tests)."""
-        out = []
+        out: list[dict[str, Any]] = []
         with Path(path).open() as fh:
             for line in fh:
                 line = line.strip()

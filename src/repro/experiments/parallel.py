@@ -120,6 +120,14 @@ class ToolSpec:
         return factory(**self.kwargs)
 
 
+#: TaskSpec fields deliberately excluded from the result-cache key.
+#: Only display/bookkeeping fields belong here — anything that changes
+#: simulated behaviour MUST be hashed, and both reprolint (RPL201) and
+#: the runtime guard in :meth:`TaskSpec.key` cross-check this set
+#: against the dataclass fields.
+_KEY_EXEMPT_FIELDS = frozenset({"label"})
+
+
 @dataclass
 class TaskSpec:
     """One grid cell: everything needed to reproduce a single run."""
@@ -135,21 +143,37 @@ class TaskSpec:
     label: str = ""
 
     def key(self) -> str:
-        """Stable content hash identifying this cell's result."""
-        return stable_hash(
-            {
-                "workload": self.workload,
-                "workload_kwargs": self.workload_kwargs,
-                "seed": self.seed,
-                "tool": None
-                if self.tool is None
-                else {"kind": self.tool.kind, "kwargs": self.tool.kwargs},
-                "max_refs": self.max_refs,
-                "series_bucket_cycles": self.series_bucket_cycles,
-                "sim": self.sim,
-                "version": code_version_tag(),
-            }
+        """Stable content hash identifying this cell's result.
+
+        Refuses to hash a spec whose dataclass fields have drifted from
+        the payload below: a field that is neither hashed nor listed in
+        ``_KEY_EXEMPT_FIELDS`` would silently serve stale cached results
+        for every new value it takes.
+        """
+        payload = {
+            "workload": self.workload,
+            "workload_kwargs": self.workload_kwargs,
+            "seed": self.seed,
+            "tool": None
+            if self.tool is None
+            else {"kind": self.tool.kind, "kwargs": self.tool.kwargs},
+            "max_refs": self.max_refs,
+            "series_bucket_cycles": self.series_bucket_cycles,
+            "sim": self.sim,
+            "version": code_version_tag(),
+        }
+        unhashed = (
+            {f.name for f in dataclasses.fields(self)}
+            - payload.keys()
+            - _KEY_EXEMPT_FIELDS
         )
+        if unhashed:
+            raise SimulationError(
+                f"TaskSpec field(s) {sorted(unhashed)} are not part of the "
+                "result-cache key; add them to the key() payload or, if "
+                "they provably never affect results, to _KEY_EXEMPT_FIELDS"
+            )
+        return stable_hash(payload)
 
     def describe(self) -> str:
         if self.label:

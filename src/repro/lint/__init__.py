@@ -1,0 +1,42 @@
+"""``reprolint`` — AST-based invariant linter for this reproduction.
+
+The simulation's correctness rests on invariants the methodology demands
+but ordinary tests only probe: bit-for-bit determinism (sampled-vs-full
+comparisons are meaningless if reruns drift), content-addressed cache
+keys that cover every behaviour-affecting field, the bit-identity
+contract between cache-kernel backends, and single-writer statistics.
+``reprolint`` enforces the statically-checkable half of each, before
+anything runs::
+
+    python -m repro.lint src/            # or: repro lint src/
+    python -m repro.lint --format json src/
+    python -m repro.lint --list-rules
+
+Rule families: RPL1xx determinism, RPL2xx cache-key completeness,
+RPL3xx kernel-contract parity, RPL4xx stats purity. Suppress a
+deliberate exception with ``# reprolint: disable=RPLxxx`` on the line
+(or ``# reprolint: disable-file=RPLxxx`` for a whole file) — see
+DESIGN.md section 7 for the policy.
+"""
+
+from repro.lint.framework import (
+    ParsedModule,
+    Rule,
+    Violation,
+    all_rules,
+    collect_files,
+    format_human,
+    format_json,
+    run_lint,
+)
+
+__all__ = [
+    "ParsedModule",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "collect_files",
+    "format_human",
+    "format_json",
+    "run_lint",
+]

@@ -1,0 +1,17 @@
+"""Rule families of ``reprolint``.
+
+Importing this package registers every rule with the framework registry:
+
+* :mod:`repro.lint.rules.determinism` — RPL1xx, bit-for-bit
+  reproducibility of simulated results.
+* :mod:`repro.lint.rules.cachekey` — RPL2xx, result-cache key covers
+  every behaviour-affecting config field.
+* :mod:`repro.lint.rules.kernels` — RPL3xx, structural half of the
+  reference/array kernel bit-identity contract.
+* :mod:`repro.lint.rules.stats` — RPL4xx, CacheStats moves only through
+  its own methods.
+"""
+
+from repro.lint.rules import cachekey, determinism, kernels, stats
+
+__all__ = ["determinism", "cachekey", "kernels", "stats"]

@@ -1,0 +1,231 @@
+"""Cache-key completeness rules (RPL2xx).
+
+The on-disk result cache is only sound if the key hash covers *every*
+behaviour-affecting input: a dataclass field added to the task/sim specs
+but left out of the hash silently serves stale results for new
+configurations. These rules cross-reference the spec dataclasses against
+the key construction, statically:
+
+* ``RPL201`` — every ``TaskSpec`` field appears as a top-level key of
+  the ``stable_hash({...})`` payload in ``TaskSpec.key()``, unless the
+  module's ``_KEY_EXEMPT_FIELDS`` names it as deliberately excluded
+  (display-only fields like ``label``).
+* ``RPL202`` — every ``ToolSpec`` field appears somewhere in that
+  payload (the tool sub-dict), since tools are hashed by explicit
+  enumeration rather than dataclass recursion.
+* ``RPL203`` — ``canonical()`` (the hash encoder) recurses dataclasses
+  via ``dataclasses.fields``, which is what makes ``SimSpec`` /
+  ``CacheConfig`` fields — present and future — participate in the key
+  automatically. An encoder that enumerated field names by hand would
+  drop newly-added fields without failing.
+* ``RPL204`` — the key payload includes a ``"version"`` entry (the
+  source-code version tag) so edited simulation code invalidates old
+  entries.
+
+The rules are structural, not path-bound: any module defining a
+``TaskSpec`` with a ``key()`` method (or a ``canonical()`` function) is
+checked, which is what lets the test fixtures exercise the failure
+modes without touching the real tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.lint.framework import (
+    ParsedModule,
+    Rule,
+    Violation,
+    dotted_name,
+    iter_calls,
+    register,
+)
+
+#: Name of the module-level constant listing deliberately-unhashed fields.
+EXEMPT_CONSTANT = "_KEY_EXEMPT_FIELDS"
+
+
+def _class_def(tree: ast.Module, name: str) -> ast.ClassDef | None:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def dataclass_fields(cls: ast.ClassDef) -> list[tuple[str, ast.AnnAssign]]:
+    """(name, node) of every annotated field in a dataclass body."""
+    fields: list[tuple[str, ast.AnnAssign]] = []
+    for node in cls.body:
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            annotation = ast.unparse(node.annotation)
+            if annotation.startswith("ClassVar"):
+                continue
+            fields.append((node.target.id, node))
+    return fields
+
+
+def _method(cls: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    for node in cls.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _stable_hash_payload(func: ast.FunctionDef) -> ast.Dict | None:
+    """The literal dict passed to stable_hash(...) inside ``func``.
+
+    Handles both ``stable_hash({...})`` and the two-step
+    ``payload = {...}; stable_hash(payload)`` shape.
+    """
+    dict_bindings: dict[str, ast.Dict] = {}
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Dict)
+        ):
+            dict_bindings[node.targets[0].id] = node.value
+    for call in iter_calls(func):
+        name = dotted_name(call.func)
+        if name is not None and name.split(".")[-1] == "stable_hash" and call.args:
+            arg = call.args[0]
+            if isinstance(arg, ast.Dict):
+                return arg
+            if isinstance(arg, ast.Name) and arg.id in dict_bindings:
+                return dict_bindings[arg.id]
+    return None
+
+
+def _string_keys(payload: ast.Dict, *, recurse: bool) -> set[str]:
+    keys: set[str] = set()
+    for key_node, value in zip(payload.keys, payload.values):
+        if isinstance(key_node, ast.Constant) and isinstance(key_node.value, str):
+            keys.add(key_node.value)
+        if recurse:
+            for sub in ast.walk(value):
+                if isinstance(sub, ast.Dict):
+                    keys |= _string_keys(sub, recurse=False)
+    return keys
+
+
+def exempt_fields(tree: ast.Module) -> set[str]:
+    """String constants of the module-level ``_KEY_EXEMPT_FIELDS``."""
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == EXEMPT_CONSTANT:
+                value = node.value
+                assert value is not None
+                return {
+                    n.value
+                    for n in ast.walk(value)
+                    if isinstance(n, ast.Constant) and isinstance(n.value, str)
+                }
+    return set()
+
+
+@register
+class CacheKeyCompletenessRule(Rule):
+    code = "RPL201"
+    name = "cache-key-completeness"
+    description = (
+        "every TaskSpec/ToolSpec dataclass field must be hashed into the "
+        "result-cache key or listed in _KEY_EXEMPT_FIELDS"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterable[Violation]:
+        task_cls = _class_def(module.tree, "TaskSpec")
+        if task_cls is None:
+            return
+        key_method = _method(task_cls, "key")
+        if key_method is None:
+            yield module.violation(
+                task_cls,
+                "RPL201",
+                "TaskSpec defines no key() method; the result cache cannot "
+                "address its cells",
+            )
+            return
+        payload = _stable_hash_payload(key_method)
+        if payload is None:
+            yield module.violation(
+                key_method,
+                "RPL201",
+                "TaskSpec.key() does not hash a literal dict via "
+                "stable_hash({...}); completeness cannot be verified "
+                "statically",
+            )
+            return
+        exempt = exempt_fields(module.tree)
+        top_keys = _string_keys(payload, recurse=False)
+        for field_name, node in dataclass_fields(task_cls):
+            if field_name not in top_keys and field_name not in exempt:
+                yield module.violation(
+                    node,
+                    "RPL201",
+                    f"TaskSpec field '{field_name}' is not part of the "
+                    f"cache-key hash and not listed in {EXEMPT_CONSTANT}; "
+                    "stale cached results would be served for new values",
+                )
+        yield from self._check_toolspec(module, payload)
+        if "version" not in top_keys:
+            yield module.violation(
+                payload,
+                "RPL204",
+                "cache-key payload lacks the 'version' source-code tag; "
+                "edited simulation code would not invalidate old entries",
+            )
+
+    def _check_toolspec(
+        self, module: ParsedModule, payload: ast.Dict
+    ) -> Iterator[Violation]:
+        tool_cls = _class_def(module.tree, "ToolSpec")
+        if tool_cls is None:
+            return
+        all_keys = _string_keys(payload, recurse=True)
+        exempt = exempt_fields(module.tree)
+        for field_name, node in dataclass_fields(tool_cls):
+            if field_name not in all_keys and field_name not in exempt:
+                yield module.violation(
+                    node,
+                    "RPL202",
+                    f"ToolSpec field '{field_name}' never appears in the "
+                    "cache-key payload; tool configuration would not "
+                    "invalidate cached results",
+                )
+
+
+@register
+class CanonicalRecursionRule(Rule):
+    code = "RPL203"
+    name = "canonical-dataclass-recursion"
+    description = (
+        "canonical() must recurse dataclasses via dataclasses.fields so "
+        "new SimSpec/CacheConfig fields hash automatically"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterable[Violation]:
+        for node in module.tree.body:
+            if isinstance(node, ast.FunctionDef) and node.name == "canonical":
+                if not self._uses_dataclass_fields(node):
+                    yield module.violation(
+                        node,
+                        self.code,
+                        "canonical() does not iterate dataclasses.fields(); "
+                        "hand-enumerated fields silently drop additions from "
+                        "the cache key",
+                    )
+
+    @staticmethod
+    def _uses_dataclass_fields(func: ast.FunctionDef) -> bool:
+        for call in iter_calls(func):
+            name = dotted_name(call.func)
+            if name is not None and name.split(".")[-1] == "fields":
+                return True
+        return False

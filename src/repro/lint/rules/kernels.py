@@ -1,0 +1,234 @@
+"""Kernel-contract parity rules (RPL3xx).
+
+The ``array`` kernel is only usable because it is *bit-identical* to the
+``reference`` kernel; the differential tests prove behavioural equality,
+and these rules enforce the structural half of the contract before
+anything runs:
+
+* ``RPL301`` — every concrete ``SetKernel`` implementation exposes the
+  same public method names with the same signatures. A method added to
+  one backend only (or a signature drift) splits the API the cache
+  models program against.
+* ``RPL302`` — no float arithmetic on address/line/tag values in the
+  cache layer: true division coerces to float64, which silently loses
+  integer exactness above 2**53 and makes hit/miss classification
+  depend on rounding. Address math is shifts, masks and floor division.
+* ``RPL303`` — no narrowing NumPy integer dtypes applied to
+  address/line/tag arrays in the kernels: byte addresses are uint64;
+  an int32/uint32 cast wraps silently on large traces.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable
+
+from repro.lint.framework import (
+    ParsedModule,
+    Rule,
+    Violation,
+    dotted_name,
+    register,
+)
+
+#: Identifier shapes that carry addresses, line numbers or tags.
+#: Count-style names (n_lines, num_tags, ...) are scalars, not addresses.
+_ADDRY = re.compile(
+    r"^(?!n_|num_|count_)"
+    r"((addr|addrs|line|lines|tag|tags|nxt|victim)$"
+    r"|(addr|line|tag)_"
+    r"|.*_(addr|addrs|line|lines|tag|tags)$)"
+)
+
+_NARROW_INT = {"int8", "int16", "int32", "uint8", "uint16", "uint32"}
+
+
+def _identifiers(node: ast.AST) -> set[str]:
+    out: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            out.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            out.add(sub.attr)
+    return out
+
+
+def _addry(node: ast.AST) -> set[str]:
+    return {name for name in _identifiers(node) if _ADDRY.search(name)}
+
+
+def _signature(func: ast.FunctionDef) -> tuple:
+    """Comparable shape of a method signature (names, defaults, types)."""
+    args = func.args
+
+    def ann(a: ast.arg) -> str:
+        return ast.unparse(a.annotation) if a.annotation is not None else ""
+
+    return (
+        tuple((a.arg, ann(a)) for a in args.posonlyargs),
+        tuple((a.arg, ann(a)) for a in args.args),
+        len(args.defaults),
+        (args.vararg.arg if args.vararg else None),
+        tuple((a.arg, ann(a)) for a in args.kwonlyargs),
+        tuple(d is not None for d in args.kw_defaults),
+        (args.kwarg.arg if args.kwarg else None),
+        ast.unparse(func.returns) if func.returns is not None else "",
+    )
+
+
+class _KernelClass:
+    def __init__(self, module: ParsedModule, node: ast.ClassDef) -> None:
+        self.module = module
+        self.node = node
+        self.name = node.name
+        self.methods: dict[str, tuple[tuple, ast.FunctionDef]] = {
+            item.name: (_signature(item), item)
+            for item in node.body
+            if isinstance(item, ast.FunctionDef)
+            and not item.name.startswith("_")
+        }
+
+
+@register
+class KernelParityRule(Rule):
+    code = "RPL301"
+    name = "kernel-contract-parity"
+    description = (
+        "all SetKernel backends must expose identical public method "
+        "names and signatures"
+    )
+
+    def __init__(self) -> None:
+        self._impls: list[_KernelClass] = []
+        self._base_methods: set[str] = set()
+
+    def check_module(self, module: ParsedModule) -> Iterable[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            base_names = {
+                dotted_name(b).split(".")[-1]  # type: ignore[union-attr]
+                for b in node.bases
+                if dotted_name(b) is not None
+            }
+            if node.name == "SetKernel":
+                self._base_methods |= {
+                    item.name
+                    for item in node.body
+                    if isinstance(item, ast.FunctionDef)
+                }
+            elif "SetKernel" in base_names:
+                self._impls.append(_KernelClass(module, node))
+        return ()
+
+    def finalize(self) -> Iterable[Violation]:
+        if len(self._impls) < 2:
+            return
+        public = {name for impl in self._impls for name in impl.methods}
+        for name in sorted(public):
+            have = [impl for impl in self._impls if name in impl.methods]
+            missing = [impl for impl in self._impls if name not in impl.methods]
+            # A method defined by one backend only is fine when the shared
+            # base provides it (the others inherit); otherwise the public
+            # API has diverged.
+            if missing and name not in self._base_methods:
+                for impl in missing:
+                    yield impl.module.violation(
+                        impl.node,
+                        self.code,
+                        f"kernel {impl.name} lacks public method '{name}' "
+                        f"defined by "
+                        f"{', '.join(i.name for i in have)} and absent from "
+                        "the SetKernel base: backend APIs have diverged",
+                    )
+            reference_sig, _ = have[0].methods[name]
+            for impl in have[1:]:
+                sig, func = impl.methods[name]
+                if sig != reference_sig:
+                    yield impl.module.violation(
+                        func,
+                        self.code,
+                        f"kernel {impl.name}.{name} signature differs from "
+                        f"{have[0].name}.{name}; backends must be "
+                        "drop-in interchangeable",
+                    )
+
+
+@register
+class FloatOnAddressRule(Rule):
+    code = "RPL302"
+    name = "float-on-address"
+    description = (
+        "float arithmetic on address/line/tag values in the cache layer; "
+        "use //, shifts and masks"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterable[Violation]:
+        if not module.in_packages("kernels", "cache"):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                involved = _addry(node.left) | _addry(node.right)
+                if involved:
+                    yield module.violation(
+                        node,
+                        self.code,
+                        f"true division on address-carrying value(s) "
+                        f"{sorted(involved)}; use // to stay in exact "
+                        "integer arithmetic",
+                    )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "float"
+                and node.args
+            ):
+                involved = _addry(node.args[0])
+                if involved:
+                    yield module.violation(
+                        node,
+                        self.code,
+                        f"float() applied to address-carrying value(s) "
+                        f"{sorted(involved)}",
+                    )
+
+
+@register
+class NarrowDtypeRule(Rule):
+    code = "RPL303"
+    name = "narrow-int-dtype"
+    description = (
+        "narrowing NumPy integer dtype applied to address/line/tag "
+        "arrays in a kernel; addresses are uint64"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterable[Violation]:
+        if not module.in_packages("kernels"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            narrow = {
+                name.split(".")[-1]
+                for sub in ast.walk(node)
+                if isinstance(sub, ast.Attribute)
+                and (name := dotted_name(sub)) is not None
+                and name.split(".")[0] in ("np", "numpy")
+                and name.split(".")[-1] in _NARROW_INT
+            }
+            if not narrow:
+                continue
+            involved = set()
+            for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                involved |= _addry(arg)
+            if isinstance(node.func, ast.Attribute):
+                involved |= _addry(node.func.value)
+            if involved:
+                yield module.violation(
+                    node,
+                    self.code,
+                    f"narrow dtype {sorted(narrow)} applied to "
+                    f"address-carrying value(s) {sorted(involved)}; line/tag "
+                    "state must stay int64/uint64",
+                )

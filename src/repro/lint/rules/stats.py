@@ -1,0 +1,100 @@
+"""Stats-purity rules (RPL4xx).
+
+``CacheStats`` is the ledger every experiment ultimately reads; the
+paper's overhead and perturbation numbers are differences between these
+counters, so they must only move through the class's own audited methods
+(``record``, ``merge``). An ad-hoc ``stats.misses += ...`` scattered in
+engine or tool code bypasses the per-tag bookkeeping (app vs instr
+attribution — the heart of the paper's accounting) and breaks the
+``snapshot``/``merge`` invariants the hierarchy relies on.
+
+* ``RPL401`` — assignment or augmented assignment to a ``CacheStats``
+  counter field (or a write into its per-tag dicts) from outside the
+  ``CacheStats`` class itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.lint.framework import ParsedModule, Rule, Violation, register
+
+#: CacheStats counter fields that may only move via its methods.
+_STAT_FIELDS = {
+    "accesses",
+    "misses",
+    "writebacks",
+    "prefetches",
+    "accesses_by_tag",
+    "misses_by_tag",
+}
+_DICT_FIELDS = {"accesses_by_tag", "misses_by_tag"}
+
+
+def _is_stats_object(node: ast.AST) -> bool:
+    """Whether an expression plausibly denotes a CacheStats instance."""
+    if isinstance(node, ast.Name):
+        return node.id == "stats" or node.id.endswith("_stats")
+    if isinstance(node, ast.Attribute):
+        return node.attr == "stats" or node.attr.endswith("_stats")
+    return False
+
+
+def _walk_outside_cachestats(tree: ast.Module) -> Iterator[ast.AST]:
+    """ast.walk, pruning the body of any class named CacheStats."""
+    stack: list[ast.AST] = [tree]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef) and child.name == "CacheStats":
+                continue
+            stack.append(child)
+
+
+@register
+class StatsPurityRule(Rule):
+    code = "RPL401"
+    name = "stats-purity"
+    description = (
+        "CacheStats counters mutated outside CacheStats methods; route "
+        "updates through record()/merge()"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterable[Violation]:
+        for node in _walk_outside_cachestats(module.tree):
+            targets: list[ast.expr]
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                field = self._stats_field_written(target)
+                if field is not None:
+                    yield module.violation(
+                        node,
+                        self.code,
+                        f"direct write to CacheStats.{field} outside "
+                        "CacheStats; use record()/merge() so per-tag "
+                        "attribution and snapshots stay consistent",
+                    )
+
+    @staticmethod
+    def _stats_field_written(target: ast.expr) -> str | None:
+        # stats.misses = / += ...
+        if isinstance(target, ast.Attribute) and target.attr in _STAT_FIELDS:
+            if _is_stats_object(target.value):
+                return target.attr
+        # stats.accesses_by_tag[tag] = ...
+        if isinstance(target, ast.Subscript):
+            value = target.value
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr in _DICT_FIELDS
+                and _is_stats_object(value.value)
+            ):
+                return value.attr
+        return None

@@ -59,7 +59,7 @@ class Applu(Workload):
             cursor[name] += n_lines
             return addrs
 
-        for iteration in range(self.n_iterations):
+        for _iteration in range(self.n_iterations):
             # --- Jacobian phase: a, b, c interleaved, d and u alongside.
             # Emit in a few chunks so sample intervals can fall inside it.
             chunks = 4

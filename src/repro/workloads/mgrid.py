@@ -48,7 +48,7 @@ class Mgrid(Workload):
         # sampling interval sees the cycle's full array mix rather than a
         # single kernel; applu, not mgrid, is the phase showcase.
         slices = 8
-        for cycle in range(self.n_vcycles):
+        for _cycle in range(self.n_vcycles):
             fine = self.fine_lines // slices
             touch = self.fine_lines // 40 // slices
             v_lines = int(self.fine_lines * 0.86) // slices

@@ -56,7 +56,7 @@ class Swim(Workload):
         line = 64
         cursor = {name: 0 for name in _ARRAYS}
         chunk = 400  # lines per array per emitted block
-        for step in range(self.n_steps):
+        for _step in range(self.n_steps):
             remaining = self.lines_per_array_per_step
             while remaining > 0:
                 take = min(chunk, remaining)

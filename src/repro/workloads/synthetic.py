@@ -14,7 +14,7 @@
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import ClassVar, Iterator
 
 import numpy as np
 
@@ -104,7 +104,7 @@ class FigureTwoLayout(Workload):
     name = "figure2"
     cycles_per_ref = 4.0
 
-    SHARES = {"A": 18, "B": 12, "C": 20, "D": 10, "E": 35, "F": 5}
+    SHARES: ClassVar[dict[str, int]] = {"A": 18, "B": 12, "C": 20, "D": 10, "E": 35, "F": 5}
 
     def __init__(
         self,

@@ -63,7 +63,7 @@ class Tomcatv(Workload):
         line = 64
         cursor = {name: 0 for name in ("RX", "RY", "AA", "DD", "X", "Y", "D")}
 
-        for step in range(self.n_steps):
+        for _step in range(self.n_steps):
             for row in range(self.rows_per_step):
                 # Residual sweep: RX and RY strictly interleaved.
                 half = _ROW_LINES["RXRY"] // 2

@@ -1,0 +1,58 @@
+"""CacheStats.record() as the single mutation entry point (RPL401).
+
+Regression tests for routing writeback/prefetch counts through
+``record()`` instead of ad-hoc ``stats.writebacks += ...`` in the cache
+models: the per-tag ledgers must stay consistent with the totals no
+matter which events a chunk produced.
+"""
+
+import numpy as np
+
+from repro.cache.base import CacheStats
+from repro.cache.config import CacheConfig
+from repro.cache.set_assoc import SetAssociativeCache
+
+
+def addrs_of_lines(line_numbers, line_size=64):
+    return np.asarray(line_numbers, dtype=np.uint64) * np.uint64(line_size)
+
+
+class TestRecord:
+    def test_record_moves_every_counter(self):
+        stats = CacheStats()
+        stats.record("app", 10, 3, writebacks=2, prefetches=1)
+        assert stats.accesses == 10
+        assert stats.misses == 3
+        assert stats.writebacks == 2
+        assert stats.prefetches == 1
+        assert stats.accesses_by_tag == {"app": 10}
+        assert stats.misses_by_tag == {"app": 3}
+
+    def test_writebacks_default_to_zero(self):
+        stats = CacheStats()
+        stats.record("instr", 5, 1)
+        assert stats.writebacks == 0
+        assert stats.prefetches == 0
+
+    def test_snapshot_carries_writebacks(self):
+        stats = CacheStats()
+        stats.record("app", 4, 2, writebacks=1, prefetches=3)
+        snap = stats.snapshot()
+        stats.record("app", 1, 1, writebacks=1)
+        assert snap.writebacks == 1
+        assert snap.prefetches == 3
+
+
+class TestSetAssocAttribution:
+    def test_per_tag_ledgers_match_totals_with_writebacks(self):
+        cfg = CacheConfig(size=64 * 2 * 4, line_size=64, assoc=2)
+        cache = SetAssociativeCache(cfg)
+        n = 64
+        addrs = addrs_of_lines(np.arange(n))
+        cache.access(addrs, tag="app", writes=np.ones(n, dtype=bool))
+        cache.access(addrs_of_lines([0, 8]), tag="instr")
+        stats = cache.stats
+        assert stats.writebacks > 0  # dirty evictions happened
+        assert sum(stats.accesses_by_tag.values()) == stats.accesses
+        assert sum(stats.misses_by_tag.values()) == stats.misses
+        assert stats.accesses_by_tag["instr"] == 2

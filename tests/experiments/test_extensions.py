@@ -75,7 +75,7 @@ class TestSweepDriver:
         )
         assert report.values["stable_top"]
         assert report.values["reference_top"] == "U"
-        for key, vals in report.values.items():
+        for _key, vals in report.values.items():
             if isinstance(vals, dict):
                 assert vals["top_sampled"] == pytest.approx(
                     vals["top_share"], abs=0.05

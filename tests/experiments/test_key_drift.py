@@ -1,0 +1,42 @@
+"""Runtime half of the cache-key drift guard.
+
+reprolint's RPL201 catches key/field drift statically; ``TaskSpec.key()``
+additionally refuses at runtime to hash a spec whose dataclass fields
+have drifted from its payload. Together they make "add a field, forget
+the key" fail loudly instead of silently serving stale cached results.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments.parallel import TaskSpec
+
+
+@dataclass
+class DriftedSpec(TaskSpec):
+    """TaskSpec plus a field that key() knows nothing about."""
+
+    mystery_knob: int = 0
+
+
+def test_unhashed_field_is_refused_at_runtime():
+    with pytest.raises(SimulationError, match="mystery_knob"):
+        DriftedSpec(workload="tomcatv").key()
+
+
+def test_error_points_at_both_remedies():
+    with pytest.raises(SimulationError, match="_KEY_EXEMPT_FIELDS"):
+        DriftedSpec(workload="tomcatv").key()
+
+
+def test_baseline_spec_hashes_cleanly():
+    key = TaskSpec(workload="tomcatv").key()
+    assert isinstance(key, str) and len(key) == 64
+
+
+def test_exempt_label_does_not_change_the_key():
+    a = TaskSpec(workload="tomcatv", label="")
+    b = TaskSpec(workload="tomcatv", label="grid cell 7")
+    assert a.key() == b.key()

@@ -121,7 +121,7 @@ class TestParallelEqualsSerial:
 class TestRunnerIntegration:
     """ExperimentRunner wired through the cache: warm + serial drivers."""
 
-    @pytest.fixture()
+    @pytest.fixture
     def cache_dir(self, tmp_path):
         return tmp_path / "results"
 

@@ -1,0 +1,30 @@
+"""Bad: spec fields missing from the cache-key payload, no version tag."""
+
+from dataclasses import dataclass, field
+
+
+def stable_hash(payload):
+    return str(payload)
+
+
+@dataclass
+class ToolSpec:
+    kind: str
+    kwargs: dict = field(default_factory=dict)
+    budget: int = 0  # RPL202: never hashed anywhere in the payload
+
+
+@dataclass
+class TaskSpec:
+    workload: str
+    seed: int = 0
+    chunk: int = 1  # RPL201: neither hashed nor exempt
+
+    def key(self):
+        return stable_hash(
+            {
+                "workload": self.workload,
+                "seed": self.seed,
+                "tool": {"kind": "x", "kwargs": {}},
+            }  # RPL204: no "version" entry
+        )

@@ -1,0 +1,37 @@
+"""Good: complete key payload with an exemption and a version tag.
+
+Builds the payload through a local variable (``payload = {...}``), the
+same shape the real ``TaskSpec.key()`` uses for its runtime drift guard,
+so this fixture also pins the rule's one-level indirection resolution.
+"""
+
+from dataclasses import dataclass, field
+
+
+def stable_hash(payload):
+    return str(payload)
+
+
+_KEY_EXEMPT_FIELDS = frozenset({"label"})
+
+
+@dataclass
+class ToolSpec:
+    kind: str
+    kwargs: dict = field(default_factory=dict)
+
+
+@dataclass
+class TaskSpec:
+    workload: str
+    seed: int = 0
+    label: str = ""
+
+    def key(self):
+        payload = {
+            "workload": self.workload,
+            "seed": self.seed,
+            "tool": {"kind": "x", "kwargs": {}},
+            "version": "tag",
+        }
+        return stable_hash(payload)

@@ -1,0 +1,8 @@
+"""Bad: TaskSpec without key() — the cache cannot address its results."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TaskSpec:
+    workload: str

@@ -1,0 +1,7 @@
+"""Bad: hand-enumerated canonical() silently drops future fields."""
+
+
+def canonical(value):
+    if hasattr(value, "workload"):
+        return {"workload": value.workload, "seed": value.seed}
+    return value

@@ -1,0 +1,12 @@
+"""Good: canonical() recurses dataclasses via dataclasses.fields."""
+
+import dataclasses
+
+
+def canonical(value):
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    return value

@@ -1,0 +1,16 @@
+"""Bad: process-global randomness and builtin hash()."""
+
+import random  # RPL101
+
+import numpy as np
+
+
+def draw():
+    a = random.random()  # RPL101: process-global RNG
+    b = np.random.rand(4)  # RPL101: NumPy legacy global RNG
+    rng = np.random.default_rng()  # RPL101: entropy-seeded
+    return a, b, rng
+
+
+def index_for(name):
+    return hash(name) % 16  # RPL102: PYTHONHASHSEED-randomised

@@ -1,0 +1,10 @@
+"""Bad: float arithmetic and narrowing dtypes on address values."""
+
+import numpy as np
+
+
+def split(addr, line_bits):
+    line = addr / (1 << line_bits)  # RPL302: true division
+    frac = float(line)  # RPL302: float() coercion
+    lines = np.asarray([line], dtype=np.int32)  # RPL303: narrowing dtype
+    return frac, lines

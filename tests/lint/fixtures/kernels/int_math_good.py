@@ -1,0 +1,10 @@
+"""Good: shifts, masks and floor division keep address math exact."""
+
+import numpy as np
+
+
+def split(addr, line_bits, n_sets):
+    line = addr >> line_bits
+    set_idx = line % n_sets
+    lines = np.asarray([line], dtype=np.uint64)
+    return set_idx, lines

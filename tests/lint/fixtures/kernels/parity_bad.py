@@ -1,0 +1,28 @@
+"""Bad: kernel backends with diverged public APIs."""
+
+
+class SetKernel:
+    def access(self, addrs, miss_budget=None):
+        raise NotImplementedError
+
+    def reset(self):
+        raise NotImplementedError
+
+
+class ReferenceKernel(SetKernel):
+    def access(self, addrs, miss_budget=None):
+        return 0
+
+    def reset(self):
+        pass
+
+    def drain(self):  # RPL301: not on ArrayKernel, absent from the base
+        pass
+
+
+class ArrayKernel(SetKernel):
+    def access(self, addrs, budget=None):  # RPL301: signature drift
+        return 0
+
+    def reset(self):
+        pass

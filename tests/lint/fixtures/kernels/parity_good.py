@@ -1,0 +1,19 @@
+"""Good: backends expose identical public methods and signatures."""
+
+
+class SetKernel:
+    def access(self, addrs, miss_budget=None):
+        raise NotImplementedError
+
+
+class ReferenceKernel(SetKernel):
+    def access(self, addrs, miss_budget=None):
+        return 0
+
+    def _scan(self):  # private helpers are exempt from parity
+        pass
+
+
+class ArrayKernel(SetKernel):
+    def access(self, addrs, miss_budget=None):
+        return 0

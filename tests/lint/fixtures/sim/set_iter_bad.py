@@ -1,0 +1,11 @@
+"""Bad: nondeterministic set / .keys() iteration in a result path."""
+
+
+def collect(mapping):
+    seen = {1, 2, 3}
+    out = [x * 2 for x in seen]  # RPL104: set-typed name
+    for key in mapping.keys():  # RPL104: .keys()
+        out.append(key)
+    for item in {"a", "b"}:  # RPL104: set literal
+        out.append(item)
+    return out

@@ -1,0 +1,9 @@
+"""Good: sorted iteration and membership tests on sets."""
+
+
+def collect(mapping):
+    seen = {1, 2, 3}
+    out = [x * 2 for x in sorted(seen)]
+    for key in mapping:  # mappings iterate in insertion order
+        out.append(key)
+    return out, 2 in seen

@@ -1,0 +1,10 @@
+"""Bad: wall-clock reads inside a result-scoped package (sim/)."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    started = time.time()  # RPL103
+    label = datetime.now().isoformat()  # RPL103
+    return started, label

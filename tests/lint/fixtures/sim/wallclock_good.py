@@ -1,0 +1,5 @@
+"""Good: simulated behaviour depends only on virtual time."""
+
+
+def advance(clock_cycles, delta_cycles):
+    return clock_cycles + delta_cycles

@@ -1,0 +1,7 @@
+"""A wall-clock read carrying an explicit, targeted suppression."""
+
+import time
+
+
+def telemetry_stamp():
+    return time.time()  # reprolint: disable=RPL103

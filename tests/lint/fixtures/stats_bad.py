@@ -1,0 +1,10 @@
+"""Bad: CacheStats counters mutated outside the class itself."""
+
+
+class Engine:
+    def __init__(self, stats):
+        self.stats = stats
+
+    def bump(self, tag):
+        self.stats.misses += 1  # RPL401: bypasses per-tag attribution
+        self.stats.accesses_by_tag[tag] = 1  # RPL401: dict write

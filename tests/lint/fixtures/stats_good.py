@@ -1,0 +1,19 @@
+"""Good: counters move only through CacheStats' own methods."""
+
+
+class CacheStats:
+    def __init__(self):
+        self.accesses = 0
+        self.misses = 0
+
+    def record(self, tag, accesses, misses):
+        self.accesses += accesses
+        self.misses += misses
+
+
+class Engine:
+    def __init__(self, stats):
+        self.stats = stats
+
+    def bump(self, tag, n, m):
+        self.stats.record(tag, n, m)

@@ -1,0 +1,6 @@
+"""A file-wide suppression of one code silences every hit of it."""
+# reprolint: disable-file=RPL102
+
+
+def mix(a, b):
+    return hash(a) ^ hash(b)

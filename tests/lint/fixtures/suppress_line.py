@@ -1,0 +1,7 @@
+"""A targeted line suppression silences exactly one violation."""
+
+
+def mix(a, b):
+    x = hash(a)  # reprolint: disable=RPL102
+    y = hash(b)
+    return x ^ y

@@ -1,0 +1,62 @@
+"""RPL2xx cache-key completeness rules, including the drift regression.
+
+The drift regression is the acceptance check for this rule family:
+textually removing a field from the *real* ``TaskSpec.key()`` payload
+must make RPL201 fire on the modified source.
+"""
+
+from collections import Counter
+from pathlib import Path
+
+import repro.experiments.parallel as parallel_mod
+from repro.lint import run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def counts(*paths):
+    return Counter(v.code for v in run_lint(list(paths)))
+
+
+class TestFixtures:
+    def test_bad_fixture_flags_all_three_codes(self):
+        got = counts(FIXTURES / "cachekey_bad.py")
+        assert got == {"RPL201": 1, "RPL202": 1, "RPL204": 1}
+
+    def test_bad_fixture_names_the_missing_fields(self):
+        messages = " ".join(
+            v.message for v in run_lint([FIXTURES / "cachekey_bad.py"])
+        )
+        assert "'chunk'" in messages  # TaskSpec field (RPL201)
+        assert "'budget'" in messages  # ToolSpec field (RPL202)
+
+    def test_good_fixture_with_payload_variable(self):
+        # Also pins the `payload = {...}; stable_hash(payload)` resolution.
+        assert counts(FIXTURES / "cachekey_good.py") == {}
+
+    def test_taskspec_without_key_method(self):
+        assert counts(FIXTURES / "cachekey_missing_key.py") == {"RPL201": 1}
+
+    def test_canonical_fixtures(self):
+        assert counts(FIXTURES / "canonical_bad.py") == {"RPL203": 1}
+        assert counts(FIXTURES / "canonical_good.py") == {}
+
+
+class TestDriftRegression:
+    def test_removing_a_field_from_the_real_key_fails_lint(self, tmp_path):
+        source = Path(parallel_mod.__file__).read_text()
+        dropped = "\n".join(
+            line
+            for line in source.splitlines()
+            if '"max_refs": self.max_refs' not in line
+        )
+        assert dropped != source, "payload line not found in parallel.py"
+        mutated = tmp_path / "parallel.py"
+        mutated.write_text(dropped)
+        violations = [v for v in run_lint([mutated]) if v.code == "RPL201"]
+        assert violations, "RPL201 must fire when a field leaves the key"
+        assert any("max_refs" in v.message for v in violations)
+
+    def test_real_parallel_module_is_clean(self):
+        real = Path(parallel_mod.__file__)
+        assert counts(real) == {}

@@ -1,0 +1,66 @@
+"""RPL1xx determinism rules against good/bad fixture pairs."""
+
+import shutil
+from collections import Counter
+from pathlib import Path
+
+from repro.lint import run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def counts(*paths):
+    return Counter(v.code for v in run_lint(list(paths)))
+
+
+class TestUnseededRandomAndHash:
+    def test_bad_fixture(self):
+        got = counts(FIXTURES / "determinism_bad.py")
+        assert got == {"RPL101": 4, "RPL102": 1}
+
+    def test_good_fixture(self):
+        assert counts(FIXTURES / "determinism_good.py") == {}
+
+    def test_seeded_default_rng_is_allowed_anywhere(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text("import numpy as np\nrng = np.random.default_rng(7)\n")
+        assert counts(mod) == {}
+
+
+class TestWallClock:
+    def test_bad_fixture_in_scope(self):
+        got = counts(FIXTURES / "sim" / "wallclock_bad.py")
+        assert got == {"RPL103": 2}
+
+    def test_good_fixture(self):
+        assert counts(FIXTURES / "sim" / "wallclock_good.py") == {}
+
+    def test_out_of_scope_path_is_ignored(self, tmp_path):
+        # The identical source outside sim/cache/... packages is telemetry
+        # territory and must not be flagged.
+        copy = tmp_path / "wallclock_bad.py"
+        shutil.copyfile(FIXTURES / "sim" / "wallclock_bad.py", copy)
+        assert counts(copy) == {}
+
+
+class TestUnsortedSetIteration:
+    def test_bad_fixture_in_scope(self):
+        got = counts(FIXTURES / "sim" / "set_iter_bad.py")
+        assert got == {"RPL104": 3}
+
+    def test_good_fixture(self):
+        assert counts(FIXTURES / "sim" / "set_iter_good.py") == {}
+
+    def test_self_attribute_taint_tracks_aliases(self, tmp_path):
+        scoped = tmp_path / "core"
+        scoped.mkdir()
+        mod = scoped / "mod.py"
+        mod.write_text(
+            "class T:\n"
+            "    def __init__(self):\n"
+            "        self.live = set()\n"
+            "    def drain(self):\n"
+            "        pending = self.live\n"
+            "        return [x for x in pending]\n"
+        )
+        assert counts(mod) == {"RPL104": 1}

@@ -1,0 +1,78 @@
+"""Framework behaviour: suppressions, selection, output, parse errors."""
+
+import json
+from pathlib import Path
+
+from repro.lint import collect_files, format_human, format_json, run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+class TestSuppressions:
+    def test_line_suppression_silences_one_hit(self):
+        violations = run_lint([FIXTURES / "suppress_line.py"])
+        assert codes(violations) == ["RPL102"]
+        # The surviving hit is the *unsuppressed* second hash() call.
+        assert violations[0].line == 6
+
+    def test_file_suppression_silences_every_hit(self):
+        assert run_lint([FIXTURES / "suppress_file.py"]) == []
+
+    def test_scoped_rule_suppression(self):
+        path = FIXTURES / "sim" / "wallclock_suppressed.py"
+        assert run_lint([path]) == []
+
+
+class TestSelection:
+    def test_select_by_exact_code(self):
+        violations = run_lint(
+            [FIXTURES / "determinism_bad.py"], select=["RPL102"]
+        )
+        assert codes(violations) == ["RPL102"]
+
+    def test_select_by_family_prefix(self):
+        violations = run_lint(
+            [FIXTURES / "determinism_bad.py"], select=["RPL1"]
+        )
+        assert violations and all(c.startswith("RPL1") for c in codes(violations))
+
+
+class TestOutput:
+    def test_json_payload_shape(self):
+        violations = run_lint([FIXTURES / "determinism_bad.py"])
+        payload = json.loads(format_json(violations, files_checked=1))
+        assert payload["files_checked"] == 1
+        assert payload["counts"] == {"RPL101": 4, "RPL102": 1}
+        first = payload["violations"][0]
+        assert set(first) == {"path", "line", "col", "code", "message"}
+
+    def test_human_render_includes_position_and_code(self):
+        violations = run_lint([FIXTURES / "suppress_line.py"])
+        text = format_human(violations, files_checked=1)
+        assert "suppress_line.py:6:" in text
+        assert "RPL102" in text
+        assert "1 violation(s) in 1 file(s)" in text
+
+    def test_human_clean_summary(self):
+        assert format_human([], files_checked=3) == "clean: 3 file(s), 0 violations"
+
+
+class TestCollection:
+    def test_parse_error_reports_rpl001(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        assert codes(run_lint([tmp_path])) == ["RPL001"]
+
+    def test_collect_files_deduplicates_overlapping_paths(self):
+        files = collect_files([FIXTURES, FIXTURES / "determinism_bad.py"])
+        resolved = [f.resolve() for f in files]
+        assert len(resolved) == len(set(resolved))
+
+    def test_collect_files_skips_non_python(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("not python")
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        assert [f.name for f in collect_files([tmp_path])] == ["mod.py"]

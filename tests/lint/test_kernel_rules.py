@@ -1,0 +1,47 @@
+"""RPL3xx kernel-contract parity rules against fixture pairs."""
+
+import shutil
+from collections import Counter
+from pathlib import Path
+
+from repro.lint import run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def counts(*paths):
+    return Counter(v.code for v in run_lint(list(paths)))
+
+
+class TestKernelParity:
+    def test_diverged_backends(self):
+        violations = run_lint([FIXTURES / "kernels" / "parity_bad.py"])
+        got = Counter(v.code for v in violations)
+        assert got == {"RPL301": 2}
+        messages = " ".join(v.message for v in violations)
+        assert "drain" in messages  # method on one backend only
+        assert "signature differs" in messages  # access() drift
+
+    def test_identical_backends(self):
+        assert counts(FIXTURES / "kernels" / "parity_good.py") == {}
+
+
+class TestFloatOnAddress:
+    def test_bad_fixture(self):
+        got = counts(FIXTURES / "kernels" / "float_addr_bad.py")
+        assert got == {"RPL302": 2, "RPL303": 1}
+
+    def test_good_fixture(self):
+        assert counts(FIXTURES / "kernels" / "int_math_good.py") == {}
+
+    def test_out_of_scope_path_is_ignored(self, tmp_path):
+        copy = tmp_path / "float_addr_bad.py"
+        shutil.copyfile(FIXTURES / "kernels" / "float_addr_bad.py", copy)
+        assert counts(copy) == {}
+
+    def test_count_style_names_are_not_addresses(self, tmp_path):
+        scoped = tmp_path / "cache"
+        scoped.mkdir()
+        mod = scoped / "mod.py"
+        mod.write_text("def frac(used, n_lines):\n    return used / n_lines\n")
+        assert counts(mod) == {}

@@ -1,0 +1,30 @@
+"""RPL401 stats purity against fixture pairs."""
+
+from collections import Counter
+from pathlib import Path
+
+from repro.lint import run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def counts(*paths):
+    return Counter(v.code for v in run_lint(list(paths)))
+
+
+def test_direct_counter_writes_are_flagged():
+    got = counts(FIXTURES / "stats_bad.py")
+    assert got == {"RPL401": 2}
+
+
+def test_mutation_inside_cachestats_is_allowed():
+    assert counts(FIXTURES / "stats_good.py") == {}
+
+
+def test_local_stats_variable_is_tracked(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "def tally(run_stats):\n"
+        "    run_stats.accesses = 0\n"
+    )
+    assert counts(mod) == {"RPL401": 1}

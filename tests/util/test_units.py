@@ -7,7 +7,7 @@ from repro.util.units import KiB, MiB, fmt_bytes, fmt_count, fmt_cycles, fmt_pct
 
 class TestParseSize:
     @pytest.mark.parametrize(
-        "text,expected",
+        ("text", "expected"),
         [
             ("64", 64),
             ("2K", 2 * KiB),
