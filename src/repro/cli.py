@@ -122,23 +122,91 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="cache subcommand: remove every cached result",
     )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="checkpoint simulations mid-run and resume interrupted cells "
+        "on the next invocation (requires --cache-dir; see EXPERIMENTS.md)",
+    )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="profile subcommand: stream live miss-rate / interrupt-rate "
+        "metrics while the profiled run executes",
+    )
     return parser
 
 
-def _profile_app(runner: ExperimentRunner, app: str, tool_name: str) -> None:
-    """The `profile` subcommand: one app, one technique, full report."""
+def _build_profile_tool(runner: ExperimentRunner, app: str, tool_name: str):
+    """A live tool instance for the profile subcommand's technique."""
     from repro.core.adaptive import AdaptiveSamplingProfiler
+    from repro.core.sampling import SamplingProfiler
+    from repro.core.search import NWaySearch
+
+    if tool_name == "search":
+        return NWaySearch(n=10, interval_cycles=runner.search_interval(app))
+    if tool_name == "adaptive":
+        return AdaptiveSamplingProfiler(
+            initial_period=runner.scaled_sampling_period(app),
+            target_overhead=0.01,
+            seed=runner.config.seed,
+        )
+    return SamplingProfiler(
+        period=runner.scaled_sampling_period(app),
+        schedule="prime",
+        seed=runner.config.seed,
+    )
+
+
+def _live_profile(runner: ExperimentRunner, app: str, tool_name: str):
+    """Drive one profiled run through a session with streaming observers."""
+    from repro.sim import InterruptRateObserver, MissRateObserver, ProgressObserver
+
+    bucket = max(1, runner.baseline(app).stats.app_cycles // 24)
+    miss_rate = MissRateObserver(bucket_cycles=bucket)
+    irq_rate = InterruptRateObserver()
+
+    def report(refs: int, cycle: int) -> None:
+        rates = miss_rate.rates()
+        latest = rates[-1][1] if rates else 0.0
+        print(
+            f"  [live] {refs:>12,} refs @ cycle {cycle:>14,}  "
+            f"miss-rate {latest:6.2%}  interrupts {irq_rate.total}"
+        )
+
+    progress = ProgressObserver(every_refs=1 << 18, on_progress=report)
+    session = runner.simulator.start_session(
+        runner.make(app),
+        tool=_build_profile_tool(runner, app, tool_name),
+        observers=[miss_rate, irq_rate, progress],
+    )
+    while session.step():
+        pass
+    result = session.finalize()
+    rates = miss_rate.rates()
+    stride = max(1, len(rates) // 24)
+    print(
+        "  [live] miss-rate trajectory: "
+        + " ".join(f"{rate:.2%}" for _, rate in rates[::stride])
+    )
+    return result
+
+
+def _profile_app(
+    runner: ExperimentRunner, app: str, tool_name: str, live: bool = False
+) -> None:
+    """The `profile` subcommand: one app, one technique, full report."""
     from repro.core.report import comparison_table
 
     base = runner.baseline(app)
-    if tool_name == "search":
+    if live:
+        run = _live_profile(runner, app, tool_name)
+    elif tool_name == "search":
         run = runner.with_search(app, n=10)
     elif tool_name == "adaptive":
-        period = runner.scaled_sampling_period(app)
-        tool = AdaptiveSamplingProfiler(
-            initial_period=period, target_overhead=0.01, seed=runner.config.seed
+        run = runner.simulator.run(
+            runner.make(app), tool=_build_profile_tool(runner, app, tool_name)
         )
-        run = runner.simulator.run(runner.make(app), tool=tool)
     else:
         run = runner.with_sampling(app, schedule="prime")
     print(comparison_table(base.actual, [run.measured], title=f"profile: {app}"))
@@ -192,16 +260,20 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "cache":
         return _cache_command(args)
 
+    if args.resume and not args.cache_dir:
+        print("--resume requires --cache-dir", file=sys.stderr)
+        return 2
     runner = ExperimentRunner(
         RunnerConfig(seed=args.seed, backend=args.backend),
         quick=args.quick,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        resume=args.resume,
     )
     if args.experiment == "profile":
         apps = args.apps or ["tomcatv"]
         for app in apps:
-            _profile_app(runner, app, args.tool)
+            _profile_app(runner, app, args.tool, live=args.live)
         return 0
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.jobs > 1 or args.cache_dir:

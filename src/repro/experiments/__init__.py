@@ -17,6 +17,7 @@ from repro.experiments.records import (
 )
 from repro.experiments.cache_store import Manifest, ResultCache
 from repro.experiments.parallel import (
+    CheckpointPolicy,
     ParallelRunner,
     SimSpec,
     TaskSpec,
@@ -50,6 +51,7 @@ from repro.experiments.extensions import (
 __all__ = [
     "ExperimentRunner",
     "ExperimentReport",
+    "CheckpointPolicy",
     "ParallelRunner",
     "ResultCache",
     "Manifest",

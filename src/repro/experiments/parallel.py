@@ -19,9 +19,12 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import os
+import pickle
+import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.cache import CacheConfig
 from repro.errors import SimulationError
@@ -33,12 +36,14 @@ from repro.experiments.cache_store import (
 )
 from repro.hpm.interrupts import CostModel
 from repro.sim.engine import RunResult, Simulator
+from repro.sim.session import SNAPSHOT_VERSION, SessionSnapshot, SimulationSession
 from repro.workloads.registry import make_workload
 
 __all__ = [
     "SimSpec",
     "ToolSpec",
     "TaskSpec",
+    "CheckpointPolicy",
     "ParallelRunner",
     "execute_task",
     "derive_task_seed",
@@ -243,33 +248,141 @@ def expand_grid(
     return specs
 
 
+# ------------------------------------------------------------ checkpoints
+
+@dataclass
+class CheckpointPolicy:
+    """Where and how often workers persist mid-run session snapshots.
+
+    One checkpoint file per grid cell, named by the cell's result-cache
+    key, so checkpoint identity inherits everything the result key
+    covers — spec contents *and* the code version tag (which itself
+    covers ``sim/session.py``, so a snapshot-format change can never be
+    resumed by incompatible code). Each file additionally embeds the key,
+    tag and :data:`~repro.sim.session.SNAPSHOT_VERSION` and is silently
+    discarded on any mismatch or corruption: a stale checkpoint degrades
+    to recomputation, never to a wrong result.
+    """
+
+    root: Path
+    #: Application references simulated between checkpoint writes.
+    every_refs: int = 1 << 21
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        if self.every_refs <= 0:
+            raise SimulationError("every_refs must be positive")
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.ckpt"
+
+    def save(self, key: str, snapshot: SessionSnapshot) -> Path:
+        """Persist one snapshot atomically (rename-into-place)."""
+        payload = {
+            "task_key": key,
+            "code_version": code_version_tag(),
+            "snapshot_version": SNAPSHOT_VERSION,
+            "snapshot": snapshot,
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            Path(tmp).unlink(missing_ok=True)
+            raise
+        return path
+
+    def load(self, key: str) -> SessionSnapshot | None:
+        """The resumable snapshot for ``key``, or None (stale/corrupt
+        files are deleted so they are only ever probed once)."""
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as fh:
+                payload = pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            path.unlink(missing_ok=True)
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("task_key") != key
+            or payload.get("code_version") != code_version_tag()
+            or payload.get("snapshot_version") != SNAPSHOT_VERSION
+            or not isinstance(payload.get("snapshot"), SessionSnapshot)
+        ):
+            path.unlink(missing_ok=True)
+            return None
+        return payload["snapshot"]
+
+    def discard(self, key: str) -> None:
+        self.path_for(key).unlink(missing_ok=True)
+
+
 # -------------------------------------------------------------- execution
 
 def strip_result(result: RunResult) -> RunResult:
     """A cacheable copy of ``result``: drop the live ground-truth and
     tool objects (they hold simulator internals), keep every field the
     experiment drivers read (stats, actual/measured profiles, series)."""
-    return dataclasses.replace(result, ground_truth=None, tool=None)
+    return dataclasses.replace(result, ground_truth=None, tool=None, tools=None)
 
 
-def execute_task(spec: TaskSpec) -> RunResult:
-    """Run one grid cell to completion (pure function of the spec)."""
-    simulator = spec.sim.build(spec.seed)
+def execute_task(
+    spec: TaskSpec, checkpoint: CheckpointPolicy | None = None
+) -> RunResult:
+    """Run one grid cell to completion (pure function of the spec).
+
+    With a :class:`CheckpointPolicy`, the run resumes from the cell's
+    checkpoint when a valid one exists (a preempted or crashed worker
+    left it behind), writes fresh checkpoints every ``every_refs``
+    simulated references, and removes the file once the cell completes —
+    results are bit-identical either way.
+    """
     workload = make_workload(spec.workload, seed=spec.seed, **spec.workload_kwargs)
-    tool = spec.tool.build() if spec.tool is not None else None
-    result = simulator.run(
-        workload,
-        tool=tool,
-        series_bucket_cycles=spec.series_bucket_cycles,
-        max_refs=spec.max_refs,
-    )
+    session: SimulationSession | None = None
+    key = spec.key() if checkpoint is not None else None
+    if checkpoint is not None:
+        snapshot = checkpoint.load(key)
+        if snapshot is not None:
+            try:
+                session = SimulationSession.restore(snapshot, workload)
+            except SimulationError:
+                checkpoint.discard(key)
+                session = None
+    if session is None:
+        simulator = spec.sim.build(spec.seed)
+        tool = spec.tool.build() if spec.tool is not None else None
+        session = simulator.start_session(
+            workload,
+            tool=tool,
+            series_bucket_cycles=spec.series_bucket_cycles,
+            max_refs=spec.max_refs,
+        )
+    if checkpoint is not None:
+        session.run(
+            checkpoint_every_refs=checkpoint.every_refs,
+            on_checkpoint=lambda snap: checkpoint.save(key, snap),
+        )
+    else:
+        while session.step():
+            pass
+    result = session.finalize()
+    if checkpoint is not None:
+        checkpoint.discard(key)
     return strip_result(result)
 
 
-def _timed_execute(spec: TaskSpec) -> tuple[RunResult, float]:
+def _timed_execute(
+    spec: TaskSpec, checkpoint: CheckpointPolicy | None = None
+) -> tuple[RunResult, float]:
     """Worker entry point: execute and report wall-clock seconds."""
     t0 = time.perf_counter()
-    result = execute_task(spec)
+    result = execute_task(spec, checkpoint)
     return result, time.perf_counter() - t0
 
 
@@ -291,10 +404,13 @@ class ParallelRunner:
         jobs: int | None = None,
         cache: ResultCache | None = None,
         manifest: Manifest | None = None,
+        checkpoints: CheckpointPolicy | None = None,
     ) -> None:
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.cache = cache
         self.manifest = manifest if manifest is not None else Manifest()
+        #: When set, workers checkpoint mid-run and resume preempted cells.
+        self.checkpoints = checkpoints
 
     def run(self, specs: list[TaskSpec]) -> list[RunResult]:
         results: list[RunResult | None] = [None] * len(specs)
@@ -316,7 +432,7 @@ class ParallelRunner:
             self._run_pool(unique, pending, results)
         else:
             for key, spec in unique:
-                result, wall = _timed_execute(spec)
+                result, wall = _timed_execute(spec, self.checkpoints)
                 self._finish(key, spec, result, wall, pending, results)
         return results  # type: ignore[return-value]
 
@@ -326,7 +442,7 @@ class ParallelRunner:
         workers = min(self.jobs, len(unique))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(_timed_execute, spec): (key, spec)
+                pool.submit(_timed_execute, spec, self.checkpoints): (key, spec)
                 for key, spec in unique
             }
             outstanding = set(futures)

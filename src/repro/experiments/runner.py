@@ -34,6 +34,7 @@ from repro.cache import CacheConfig
 from repro.core.sampling import PeriodSchedule
 from repro.experiments.cache_store import Manifest, ResultCache
 from repro.experiments.parallel import (
+    CheckpointPolicy,
     ParallelRunner,
     SimSpec,
     TaskSpec,
@@ -94,6 +95,8 @@ class ExperimentRunner:
         quick: bool = False,
         jobs: int = 1,
         cache_dir: "str | os.PathLike | ResultCache | None" = None,
+        resume: bool = False,
+        checkpoint_every_refs: int | None = None,
     ) -> None:
         self.config = config or RunnerConfig()
         self.quick = quick
@@ -104,6 +107,24 @@ class ExperimentRunner:
             self.result_cache = ResultCache(cache_dir)
         else:
             self.result_cache = None
+        #: Mid-run checkpointing (EXPERIMENTS.md "Resuming interrupted
+        #: grids"): requires the persistent cache, whose directory also
+        #: hosts the checkpoint files.
+        self.checkpoints: CheckpointPolicy | None = None
+        if resume:
+            if self.result_cache is None:
+                raise ValueError(
+                    "resume=True requires cache_dir (checkpoints live "
+                    "under the result-cache directory)"
+                )
+            kwargs = (
+                {"every_refs": checkpoint_every_refs}
+                if checkpoint_every_refs is not None
+                else {}
+            )
+            self.checkpoints = CheckpointPolicy(
+                self.result_cache.root / "checkpoints", **kwargs
+            )
         # "is not None", not truthiness: ResultCache defines __len__, so a
         # fresh (empty) cache directory is falsy.
         self.manifest = Manifest(
@@ -185,7 +206,7 @@ class ExperimentRunner:
                 )
                 return cached
         t0 = time.perf_counter()
-        result = execute_task(spec)
+        result = execute_task(spec, self.checkpoints)
         wall = time.perf_counter() - t0
         self._memo[key] = result
         if self.result_cache is not None:
@@ -358,7 +379,10 @@ class ExperimentRunner:
         ]
         jobs = max(1, jobs or self.jobs)
         pool = ParallelRunner(
-            jobs=jobs, cache=self.result_cache, manifest=self.manifest
+            jobs=jobs,
+            cache=self.result_cache,
+            manifest=self.manifest,
+            checkpoints=self.checkpoints,
         )
 
         base_specs = [self.task(app, label=f"{app}/baseline") for app in apps]

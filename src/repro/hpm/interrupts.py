@@ -32,6 +32,7 @@ class InterruptRecord:
     cycle: int              #: virtual time at delivery
     handler_cycles: int     #: cycles the handler itself executed
     delivery_cycles: int    #: OS/hardware delivery cost charged
+    tool: str = ""          #: name of the tool the interrupt was routed to
 
     @property
     def total_cycles(self) -> int:

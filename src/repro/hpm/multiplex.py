@@ -75,14 +75,22 @@ class MultiplexedRegionBank(RegionCounterBank):
         self._total_misses = 0
 
     def read_all(self) -> list[int]:
-        """Extrapolated counts: raw * (total elapsed / time observed)."""
+        """Extrapolated counts: raw * (total elapsed / time observed).
+
+        A region whose slice never came up (``slices_observed == 0`` —
+        possible whenever fewer than ``n`` slices elapsed before a read,
+        e.g. a short estimation round over many programmed regions) has
+        no observation window to extrapolate from; its raw count is
+        reported as-is (zero in normal operation) rather than dividing
+        by zero or fabricating a scaled estimate.
+        """
         out: list[int] = []
         for i, counter in enumerate(self.counters):
             if not counter.enabled:
                 continue
             observed = self._observed_misses[i]
-            if observed == 0:
-                out.append(0)
+            if observed <= 0:
+                out.append(counter.value)
             else:
                 out.append(round(counter.value * self._total_misses / observed))
         return out

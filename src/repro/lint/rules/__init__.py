@@ -10,8 +10,11 @@ Importing this package registers every rule with the framework registry:
   reference/array kernel bit-identity contract.
 * :mod:`repro.lint.rules.stats` — RPL4xx, CacheStats moves only through
   its own methods.
+* :mod:`repro.lint.rules.snapshots` — RPL5xx, the session snapshot
+  payload covers every SessionSnapshot field (checkpoint/resume
+  bit-identity).
 """
 
-from repro.lint.rules import cachekey, determinism, kernels, stats
+from repro.lint.rules import cachekey, determinism, kernels, snapshots, stats
 
-__all__ = ["determinism", "cachekey", "kernels", "stats"]
+__all__ = ["determinism", "cachekey", "kernels", "snapshots", "stats"]

@@ -146,6 +146,21 @@ class ObjectMap:
             + self._stack.reset_probe_count()
         )
 
+    def adopt_probe_counts(self, other: "ObjectMap") -> None:
+        """Copy pending probe accumulators from ``other``.
+
+        Session restore rebuilds this map by replaying the workload's
+        deterministic stream, which performs the same membership
+        operations as the original run but *not* the same interleaving of
+        handler lookups and ``consume_probe_count`` drains. The pending
+        counts are real run state (the next handler is charged for them),
+        so the restored map must adopt them from the snapshotted map for
+        handler costs to stay bit-identical.
+        """
+        self._globals.probe_count = other._globals.probe_count
+        self._heap.probe_count = other._heap.probe_count
+        self._stack.probe_count = other._stack.probe_count
+
     def all_objects(self) -> list[MemoryObject]:
         """Every live object in address order."""
         objs = (

@@ -12,6 +12,21 @@ from repro.sim.clock import VirtualClock
 from repro.sim.blocks import ReferenceBlock
 from repro.sim.events import RunStats
 from repro.sim.instrumentation import HandlerResult, InstrumentationTool, ToolContext
+from repro.sim.observers import (
+    ChunkEvent,
+    InterruptEvent,
+    InterruptRateObserver,
+    MissRateObserver,
+    ProgressObserver,
+    SessionObserver,
+    ToolCycleShareObserver,
+)
+from repro.sim.session import (
+    SNAPSHOT_VERSION,
+    SessionSnapshot,
+    SimulationSession,
+    ToolDispatcher,
+)
 from repro.sim.engine import RunResult, Simulator
 from repro.sim.trace_io import load_trace, save_trace
 
@@ -22,6 +37,17 @@ __all__ = [
     "HandlerResult",
     "InstrumentationTool",
     "ToolContext",
+    "ChunkEvent",
+    "InterruptEvent",
+    "SessionObserver",
+    "MissRateObserver",
+    "InterruptRateObserver",
+    "ToolCycleShareObserver",
+    "ProgressObserver",
+    "SNAPSHOT_VERSION",
+    "SessionSnapshot",
+    "SimulationSession",
+    "ToolDispatcher",
     "RunResult",
     "Simulator",
     "save_trace",

@@ -56,6 +56,16 @@ class VirtualClock:
     def clear_deadline(self) -> None:
         self._deadline = None
 
+    def sync_deadline(self, cycle: int | None) -> None:
+        """Program the timer without the future-only check.
+
+        Used by the session's tool dispatcher when multiplexing several
+        virtual per-tool deadlines onto this single hardware timer: after
+        one tool's handler runs, another tool's deadline may already lie
+        in the past and must still be programmed so it fires next.
+        """
+        self._deadline = cycle
+
     @property
     def deadline(self) -> int | None:
         return self._deadline

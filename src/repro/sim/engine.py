@@ -9,28 +9,30 @@ overflows or the timer expires, the instrumentation tool's handler runs
 memory references go through the same cache, so both overhead (Figure 4)
 and perturbation (Figure 3) are measurable.
 
-The engine is exact about interrupt points: the cache's ``miss_budget``
-stops processing at the precise reference whose miss overflows the
-counter, so the monitor's last-miss-address register holds the true
-triggering address when the sampling handler reads it.
+The run loop itself lives in :class:`~repro.sim.session.SimulationSession`
+(which is exact about interrupt points: the cache's ``miss_budget`` stops
+processing at the precise reference whose miss overflows the counter, so
+the monitor's last-miss-address register holds the true triggering
+address). :class:`Simulator` is the thin configuration-holding driver:
+it builds the cache/monitor pair for its configured geometry, opens a
+session, steps it to completion and finalizes. Callers that need
+pause/resume, multiple tools or live observers use
+:meth:`Simulator.start_session` and drive the session themselves.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
-
-import numpy as np
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.cache import CacheConfig, GroundTruth, make_cache
-from repro.cache.base import CacheModel
 from repro.errors import SimulationError
-from repro.hpm.interrupts import CostModel, InterruptKind, InterruptRecord
+from repro.hpm.interrupts import CostModel
 from repro.hpm.monitor import PerformanceMonitor
-from repro.memory.allocator import HeapAllocator
-from repro.sim.clock import VirtualClock
 from repro.sim.events import RunStats
-from repro.sim.instrumentation import HandlerResult, InstrumentationTool, ToolContext
+from repro.sim.instrumentation import InstrumentationTool
+from repro.sim.observers import SessionObserver
+from repro.sim.session import SimulationSession
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cache.attribution import MissSeries
@@ -49,7 +51,10 @@ class RunResult:
     measured: "DataProfile | None" = None
     series: "MissSeries | None" = None
     ground_truth: GroundTruth | None = None
+    #: The primary (first-attached) tool — the single-tool API surface.
     tool: InstrumentationTool | None = None
+    #: Every attached tool in attach order (None for uninstrumented runs).
+    tools: "list[InstrumentationTool] | None" = None
 
     @property
     def total_cycles(self) -> int:
@@ -92,27 +97,25 @@ class Simulator:
         self.seed = seed
         self.chunk_size = chunk_size
 
-    # ------------------------------------------------------------------- run
+    # --------------------------------------------------------------- session
 
-    def run(
+    def start_session(
         self,
         workload: "Workload",
-        tool: InstrumentationTool | None = None,
+        tool: "InstrumentationTool | Iterable[InstrumentationTool] | None" = None,
         ground_truth: bool = True,
         series_bucket_cycles: int | None = None,
         max_refs: int | None = None,
-    ) -> RunResult:
-        """Simulate ``workload`` (optionally under ``tool``) to completion.
+        observers: Sequence[SessionObserver] = (),
+    ) -> SimulationSession:
+        """Open a :class:`SimulationSession` for this simulator's geometry.
 
-        ``ground_truth`` enables the exact per-object attribution (the
-        "Actual" column — zero simulated cost, it lives below the
-        architectural level). ``series_bucket_cycles`` additionally records
-        the Figure-5 time series. ``max_refs`` truncates the run after that
-        many application references, which is how the paper compares
-        instrumented and uninstrumented runs over "the same number of
-        application instructions".
+        Builds a fresh cache and monitor, prepares the workload (resetting
+        it first if a previous run consumed its stream) and attaches the
+        given tool(s). The caller drives the session — ``step()`` /
+        ``run()`` / ``snapshot()`` — and calls ``finalize()`` for the
+        :class:`RunResult`.
         """
-        workload.prepare()
         cache = make_cache(
             self.cache_config,
             seed=self.seed,
@@ -124,172 +127,51 @@ class Simulator:
             self.n_region_counters,
             multiplexed=self.multiplexed_counters,
         )
-        clock = VirtualClock()
-        stats = RunStats()
-        gt: GroundTruth | None = None
-        series = None
-        if ground_truth:
-            gt = GroundTruth(workload.object_map)
-            if series_bucket_cycles is not None:
-                series = gt.enable_series(series_bucket_cycles)
+        session = SimulationSession.start(
+            workload,
+            cache=cache,
+            monitor=monitor,
+            cost_model=self.cost_model,
+            chunk_size=self.chunk_size,
+            ground_truth=ground_truth,
+            series_bucket_cycles=series_bucket_cycles,
+            max_refs=max_refs,
+            observers=observers,
+        )
+        session.attach(tool)
+        return session
 
-        tool_active = False
-        if tool is not None:
-            instr_alloc = HeapAllocator(workload.address_space.instr)
-            ctx = ToolContext(
-                object_map=workload.object_map,
-                monitor=monitor,
-                cost_model=self.cost_model,
-                address_space=workload.address_space,
-                cache=cache,
-                instr_allocator=instr_alloc,
-            )
-            tool.ctx = ctx
-            init = tool.attach(ctx)
-            tool_active = not init.done
-            self._apply_handler_result(init, monitor, clock, cache, stats)
+    # ------------------------------------------------------------------- run
 
-        cycle_carry = 0.0
-        refs_left = max_refs if max_refs is not None else None
+    def run(
+        self,
+        workload: "Workload",
+        tool: "InstrumentationTool | Iterable[InstrumentationTool] | None" = None,
+        ground_truth: bool = True,
+        series_bucket_cycles: int | None = None,
+        max_refs: int | None = None,
+        observers: Sequence[SessionObserver] = (),
+    ) -> RunResult:
+        """Simulate ``workload`` (optionally under ``tool``) to completion.
 
-        for block in workload.blocks():
-            addrs = block.addrs
-            n = len(addrs)
-            pos = 0
-            while pos < n:
-                if refs_left is not None and refs_left <= 0:
-                    break
-                cap = min(n - pos, self.chunk_size)
-                if refs_left is not None:
-                    cap = min(cap, refs_left)
-                until_deadline = clock.cycles_until_deadline()
-                if until_deadline is not None and tool_active:
-                    if until_deadline <= 0:
-                        tool_active = self._deliver(
-                            InterruptKind.TIMER, tool, monitor, clock, cache, stats
-                        )
-                        continue
-                    cap = min(cap, block.refs_within_cycles(until_deadline))
-                miss_budget = monitor.misses_until_overflow() if tool_active else None
-                if miss_budget is not None and miss_budget <= 0:
-                    # Overflow already pending (e.g. from handler pollution).
-                    tool_active = self._deliver(
-                        InterruptKind.MISS_OVERFLOW, tool, monitor, clock, cache, stats
-                    )
-                    continue
-
-                chunk = addrs[pos : pos + cap]
-                chunk_writes = (
-                    block.writes[pos : pos + cap] if block.writes is not None else None
-                )
-                result = cache.access(
-                    chunk, miss_budget=miss_budget, tag="app", writes=chunk_writes
-                )
-                consumed = result.consumed
-                miss_addrs = chunk[:consumed][result.miss_mask]
-                monitor.observe(miss_addrs)
-                if gt is not None:
-                    gt.observe(miss_addrs, cycle=clock.now)
-
-                exact = consumed * block.cycles_per_ref + cycle_carry
-                cycles = int(exact)
-                cycle_carry = exact - cycles
-                clock.advance_app(cycles)
-                stats.app_refs += consumed
-                stats.app_misses += result.n_misses
-                pos += consumed
-                if refs_left is not None:
-                    refs_left -= consumed
-
-                if tool_active and monitor.overflow_pending:
-                    tool_active = self._deliver(
-                        InterruptKind.MISS_OVERFLOW, tool, monitor, clock, cache, stats
-                    )
-                if tool_active and clock.timer_expired:
-                    tool_active = self._deliver(
-                        InterruptKind.TIMER, tool, monitor, clock, cache, stats
-                    )
-            if pos >= n:
-                # Fixed costs (loop control, non-memory arithmetic) are
-                # charged only when the block actually completed; a
-                # max_refs truncation mid-block must not inflate the
-                # "same number of application instructions" comparisons.
-                clock.advance_app(block.extra_cycles)
-            if refs_left is not None and refs_left <= 0:
-                break
-
-        # Freeze the totals at stream end: tool teardown below must not be
-        # able to drift what this run reports as instrumentation activity.
-        cache_stats = cache.stats.snapshot()
-        if tool is not None:
-            tool.on_run_end(clock.now)
-
-        stats.app_cycles = clock.app_cycles
-        stats.instr_cycles = clock.instr_cycles
-        stats.instr_refs = cache_stats.accesses_by_tag.get("instr", 0)
-        stats.instr_misses = cache_stats.misses_by_tag.get("instr", 0)
-
-        return RunResult(
-            workload_name=workload.name,
-            cache_config=self.cache_config,
-            stats=stats,
-            actual=gt.profile() if gt is not None else None,
-            measured=tool.profile() if tool is not None else None,
-            series=series,
-            ground_truth=gt,
+        ``ground_truth`` enables the exact per-object attribution (the
+        "Actual" column — zero simulated cost, it lives below the
+        architectural level). ``series_bucket_cycles`` additionally records
+        the Figure-5 time series. ``max_refs`` truncates the run after that
+        many application references, which is how the paper compares
+        instrumented and uninstrumented runs over "the same number of
+        application instructions". ``tool`` may be a single tool or an
+        iterable of tools sharing the run (see DESIGN.md section 8 for the
+        arbitration rules).
+        """
+        session = self.start_session(
+            workload,
             tool=tool,
+            ground_truth=ground_truth,
+            series_bucket_cycles=series_bucket_cycles,
+            max_refs=max_refs,
+            observers=observers,
         )
-
-    # ------------------------------------------------------------ interrupts
-
-    def _deliver(
-        self,
-        kind: InterruptKind,
-        tool: InstrumentationTool,
-        monitor: PerformanceMonitor,
-        clock: VirtualClock,
-        cache: CacheModel,
-        stats: RunStats,
-    ) -> bool:
-        """Deliver one interrupt; returns whether the tool remains active."""
-        if kind is InterruptKind.MISS_OVERFLOW:
-            monitor.overflow_counter.disarm()
-            result = tool.on_miss_overflow(clock.now)
-        else:
-            clock.clear_deadline()
-            result = tool.on_timer(clock.now)
-
-        delivery = self.cost_model.interrupt_delivery_cycles
-        clock.advance_instr(delivery + result.handler_cycles)
-        stats.interrupts.append(
-            InterruptRecord(
-                kind=kind,
-                cycle=clock.now,
-                handler_cycles=result.handler_cycles,
-                delivery_cycles=delivery,
-            )
-        )
-        self._apply_handler_result(result, monitor, clock, cache, stats)
-        return not result.done
-
-    def _apply_handler_result(
-        self,
-        result: HandlerResult,
-        monitor: PerformanceMonitor,
-        clock: VirtualClock,
-        cache: CacheModel,
-        stats: RunStats,
-    ) -> None:
-        """Run handler memory refs through the cache and apply arming."""
-        if result.mem_refs is not None and len(result.mem_refs):
-            refs = np.ascontiguousarray(result.mem_refs, dtype=np.uint64)
-            access = cache.access(refs, tag="instr")
-            # Instrumentation misses pollute the hardware counters exactly
-            # as they would on real hardware; ground truth (below the
-            # architecture) excludes them by construction.
-            instr_misses = refs[access.miss_mask]
-            monitor.observe(instr_misses)
-        if result.rearm_overflow is not None:
-            monitor.overflow_counter.arm_overflow(result.rearm_overflow)
-        if result.next_timer_in is not None:
-            clock.set_deadline(clock.now + max(1, result.next_timer_in))
+        while session.step():
+            pass
+        return session.finalize()

@@ -26,6 +26,10 @@ class RunStats:
     app_cycles: int = 0
     instr_cycles: int = 0
     interrupts: InterruptLog = field(default_factory=InterruptLog)
+    #: Instrumentation cycles (delivery + handler) attributed per attached
+    #: tool name; empty for uninstrumented runs. Sums to at most
+    #: ``instr_cycles`` (attach-time arming is charged to no tool).
+    instr_cycles_by_tool: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_cycles(self) -> int:

@@ -1,0 +1,223 @@
+"""Streaming observers: live, per-chunk visibility into a running session.
+
+The Figure-5 miss series used to be the engine's only mid-run signal.
+Observers generalise it: any number of :class:`SessionObserver` instances
+can ride along on a :class:`~repro.sim.session.SimulationSession`,
+receiving a :class:`ChunkEvent` after every simulated chunk of
+application references and an :class:`InterruptEvent` after every
+interrupt delivery. Unlike :class:`~repro.sim.instrumentation.InstrumentationTool`
+they live *outside* the simulated machine — they cost zero virtual
+cycles, perturb nothing, and are therefore also excluded from snapshots
+(re-attach them when restoring).
+
+Built-in observers cover the metrics the experiments and CLI consume:
+
+* :class:`MissRateObserver` — miss-rate over virtual time, bucketed;
+* :class:`InterruptRateObserver` — interrupt arrival rate and cost mix;
+* :class:`ToolCycleShareObserver` — per-tool share of instrumentation
+  cycles as the run progresses (the multi-tool Figure-4 view);
+* :class:`ProgressObserver` — reference/interrupt totals for drivers
+  that report liveness (e.g. the parallel runner's checkpoint cadence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.hpm.interrupts import InterruptKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.session import SimulationSession
+
+__all__ = [
+    "ChunkEvent",
+    "InterruptEvent",
+    "SessionObserver",
+    "MissRateObserver",
+    "InterruptRateObserver",
+    "ToolCycleShareObserver",
+    "ProgressObserver",
+]
+
+
+@dataclass(frozen=True)
+class ChunkEvent:
+    """One simulated chunk of application references."""
+
+    cycle: int                 #: virtual time after the chunk
+    app_refs: int              #: references simulated in this chunk
+    n_misses: int              #: application misses in this chunk
+    miss_addrs: np.ndarray     #: the missing addresses (app refs only)
+    block_label: str           #: label of the originating ReferenceBlock
+    total_app_refs: int        #: cumulative references so far
+
+
+@dataclass(frozen=True)
+class InterruptEvent:
+    """One delivered interrupt, as seen from outside the machine."""
+
+    cycle: int
+    kind: InterruptKind
+    tool: str
+    handler_cycles: int
+    delivery_cycles: int
+
+
+class SessionObserver:
+    """Base class; override any subset of the hooks."""
+
+    def on_attach(self, session: "SimulationSession") -> None:
+        """Called when tools attach (before the first chunk)."""
+
+    def on_chunk(self, event: ChunkEvent) -> None:
+        """Called after every simulated chunk of application references."""
+
+    def on_interrupt(self, event: InterruptEvent) -> None:
+        """Called after every interrupt delivery."""
+
+    def on_finalize(self, session: "SimulationSession") -> None:
+        """Called once when the session is finalized."""
+
+
+class MissRateObserver(SessionObserver):
+    """Miss rate over virtual time, bucketed by ``bucket_cycles``.
+
+    Generalises the Figure-5 series to a live metric: each bucket
+    accumulates (refs, misses) and :meth:`rates` yields the per-bucket
+    miss ratio — the phase-transition view of a run without waiting for
+    it to finish.
+    """
+
+    def __init__(self, bucket_cycles: int = 1_000_000) -> None:
+        if bucket_cycles <= 0:
+            raise ValueError("bucket_cycles must be positive")
+        self.bucket_cycles = bucket_cycles
+        self.refs_by_bucket: dict[int, int] = {}
+        self.misses_by_bucket: dict[int, int] = {}
+
+    def on_chunk(self, event: ChunkEvent) -> None:
+        bucket = event.cycle // self.bucket_cycles
+        self.refs_by_bucket[bucket] = (
+            self.refs_by_bucket.get(bucket, 0) + event.app_refs
+        )
+        self.misses_by_bucket[bucket] = (
+            self.misses_by_bucket.get(bucket, 0) + event.n_misses
+        )
+
+    def rates(self) -> list[tuple[int, float]]:
+        """(bucket index, miss rate) for every bucket with references."""
+        out: list[tuple[int, float]] = []
+        for bucket in sorted(self.refs_by_bucket):
+            refs = self.refs_by_bucket[bucket]
+            misses = self.misses_by_bucket.get(bucket, 0)
+            out.append((bucket, misses / refs if refs else 0.0))
+        return out
+
+    @property
+    def total_refs(self) -> int:
+        return sum(self.refs_by_bucket.values())
+
+    @property
+    def total_misses(self) -> int:
+        return sum(self.misses_by_bucket.values())
+
+
+class InterruptRateObserver(SessionObserver):
+    """Interrupt arrival rate and per-kind cycle totals, live."""
+
+    def __init__(self) -> None:
+        self.n_by_kind: dict[InterruptKind, int] = {}
+        self.cycles_by_kind: dict[InterruptKind, int] = {}
+        self.first_cycle: int | None = None
+        self.last_cycle: int | None = None
+
+    def on_interrupt(self, event: InterruptEvent) -> None:
+        self.n_by_kind[event.kind] = self.n_by_kind.get(event.kind, 0) + 1
+        self.cycles_by_kind[event.kind] = (
+            self.cycles_by_kind.get(event.kind, 0)
+            + event.handler_cycles
+            + event.delivery_cycles
+        )
+        if self.first_cycle is None:
+            self.first_cycle = event.cycle
+        self.last_cycle = event.cycle
+
+    @property
+    def total(self) -> int:
+        return sum(self.n_by_kind.values())
+
+    def per_gcycle(self) -> float:
+        """Arrival rate over the observed window (section 3.3's unit)."""
+        if self.total < 2 or self.first_cycle is None or self.last_cycle is None:
+            return 0.0
+        span = self.last_cycle - self.first_cycle
+        if span <= 0:
+            return 0.0
+        return self.total / (span / 1e9)
+
+
+class ToolCycleShareObserver(SessionObserver):
+    """Per-tool instrumentation-cycle shares as the run progresses."""
+
+    def __init__(self) -> None:
+        self.cycles_by_tool: dict[str, int] = {}
+        self.interrupts_by_tool: dict[str, int] = {}
+
+    def on_interrupt(self, event: InterruptEvent) -> None:
+        cost = event.handler_cycles + event.delivery_cycles
+        self.cycles_by_tool[event.tool] = (
+            self.cycles_by_tool.get(event.tool, 0) + cost
+        )
+        self.interrupts_by_tool[event.tool] = (
+            self.interrupts_by_tool.get(event.tool, 0) + 1
+        )
+
+    def shares(self) -> dict[str, float]:
+        """tool name -> fraction of delivered instrumentation cycles."""
+        total = sum(self.cycles_by_tool.values())
+        if total == 0:
+            return {name: 0.0 for name in self.cycles_by_tool}
+        return {
+            name: cycles / total
+            for name, cycles in sorted(self.cycles_by_tool.items())
+        }
+
+
+class ProgressObserver(SessionObserver):
+    """Lightweight liveness counters, with an optional callback.
+
+    ``on_progress(total_app_refs, cycle)`` is invoked at most once per
+    ``every_refs`` simulated references — the hook CLI drivers use for
+    status lines without touching simulation internals.
+    """
+
+    def __init__(
+        self,
+        every_refs: int = 1 << 20,
+        on_progress: Callable[[int, int], None] | None = None,
+    ) -> None:
+        if every_refs <= 0:
+            raise ValueError("every_refs must be positive")
+        self.every_refs = every_refs
+        self.on_progress = on_progress
+        self.app_refs = 0
+        self.app_misses = 0
+        self.interrupts = 0
+        self.last_cycle = 0
+        self._next_report = every_refs
+
+    def on_chunk(self, event: ChunkEvent) -> None:
+        self.app_refs = event.total_app_refs
+        self.app_misses += event.n_misses
+        self.last_cycle = event.cycle
+        if self.app_refs >= self._next_report:
+            if self.on_progress is not None:
+                self.on_progress(self.app_refs, event.cycle)
+            self._next_report = self.app_refs + self.every_refs
+
+    def on_interrupt(self, event: InterruptEvent) -> None:
+        self.interrupts += 1
+        self.last_cycle = event.cycle

@@ -1,0 +1,731 @@
+"""Resumable simulation sessions: the stateful core of the engine.
+
+The paper's apparatus interleaves three things — application execution,
+counter-overflow/timer interrupts, and the instrumentation code that runs
+*inside* the simulation (§3). :class:`SimulationSession` makes that
+interleaving an explicit object with a stepwise lifecycle::
+
+    session = SimulationSession.start(workload, cache=..., monitor=...)
+    session.attach([sampler, search])      # tools share the counter bank
+    while session.step():                  # one chunk or one interrupt
+        ...
+    result = session.finalize()
+
+Because every piece of run state (cache, monitor, clock, stats, ground
+truth, tool state, stream cursor) lives on the session rather than in
+engine locals, a run can be paused, serialised with :meth:`snapshot` and
+continued later — on another process or after a crash — with
+:meth:`restore`, producing results bit-identical to an uninterrupted
+run. :class:`~repro.sim.engine.Simulator` is now a thin driver over this
+class.
+
+Multi-tool arbitration (§2.2's counter-resource trade-offs):
+
+* the single *overflow counter* is exclusively owned — the first tool to
+  arm it keeps it until it stops re-arming; a second tool arming while
+  it is owned raises :class:`~repro.errors.CounterError` (there is only
+  one such counter to give);
+* the single hardware *timer* is time-multiplexed: the session keeps one
+  virtual deadline per tool and programs the clock with the earliest,
+  so a sampling profiler (overflow-driven) and an n-way search
+  (timer-driven) can share one monitor;
+* the region counter bank is shared cooperatively — tools program the
+  counters they were told to use (``n`` for the search), exactly as
+  §3.4's resource accounting assumes.
+
+Snapshot invariants: the reference stream itself is *not* serialised —
+workload generators are deterministic functions of their seed, so
+:meth:`restore` rebuilds the workload and fast-forwards its block stream
+to the recorded cursor, replaying allocation/free side effects into the
+fresh object map. ``reprolint`` rule RPL501 cross-checks the snapshot
+payload against :class:`SessionSnapshot`'s fields so the two cannot
+drift apart silently.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.cache import GroundTruth
+from repro.cache.base import CacheModel
+from repro.errors import CounterError, SimulationError
+from repro.hpm.interrupts import CostModel, InterruptKind, InterruptRecord
+from repro.hpm.monitor import PerformanceMonitor
+from repro.memory.allocator import HeapAllocator
+from repro.sim.clock import VirtualClock
+from repro.sim.events import RunStats
+from repro.sim.instrumentation import HandlerResult, InstrumentationTool, ToolContext
+from repro.sim.observers import ChunkEvent, InterruptEvent, SessionObserver
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.blocks import ReferenceBlock
+    from repro.workloads.base import Workload
+
+#: Version stamp embedded in every snapshot; bumped whenever the payload
+#: layout changes so stale checkpoint files are refused, not misread.
+SNAPSHOT_VERSION = 1
+
+
+# ------------------------------------------------------------- dispatcher
+
+class ToolDispatcher:
+    """Arbitrates interrupt delivery and counter resources among tools.
+
+    One dispatcher per session. Tools are indexed in attach order, which
+    is also the tie-break order for simultaneous timer deadlines, so
+    delivery is deterministic regardless of how many tools are attached.
+    """
+
+    def __init__(self) -> None:
+        self.tools: list[InstrumentationTool] = []
+        #: Whether each tool still receives interrupts (False after done).
+        self.active: list[bool] = []
+        #: Per-tool virtual timer deadline (None = that tool's timer off).
+        self.deadlines: list[int | None] = []
+        #: Index of the tool currently owning the overflow counter.
+        self.overflow_owner: int | None = None
+        #: Instrumentation cycles (delivery + handler) charged per tool.
+        self.cycles_by_tool: dict[str, int] = {}
+
+    def add(self, tool: InstrumentationTool) -> int:
+        self.tools.append(tool)
+        self.active.append(True)
+        self.deadlines.append(None)
+        self.cycles_by_tool.setdefault(tool.name, 0)
+        return len(self.tools) - 1
+
+    @property
+    def any_active(self) -> bool:
+        return any(self.active)
+
+    def earliest_deadline(self) -> tuple[int, int] | None:
+        """(deadline, tool index) of the next timer firing, or None."""
+        best: tuple[int, int] | None = None
+        for idx, deadline in enumerate(self.deadlines):
+            if deadline is None or not self.active[idx]:
+                continue
+            if best is None or deadline < best[0]:
+                best = (deadline, idx)
+        return best
+
+    def set_deadline(self, idx: int, cycle: int) -> None:
+        self.deadlines[idx] = cycle
+
+    def clear_deadline(self, idx: int) -> None:
+        self.deadlines[idx] = None
+
+    def claim_overflow(self, idx: int) -> None:
+        """Grant the overflow counter to ``idx`` (exclusive, §2.2)."""
+        if self.overflow_owner is not None and self.overflow_owner != idx:
+            owner = self.tools[self.overflow_owner].name
+            raise CounterError(
+                f"overflow-counter contention: tool "
+                f"{self.tools[idx].name!r} armed the overflow counter "
+                f"while {owner!r} owns it (one conditional overflow "
+                "counter exists; see DESIGN.md section 8)"
+            )
+        self.overflow_owner = idx
+
+    def deactivate(self, idx: int, monitor: PerformanceMonitor) -> None:
+        """Tool finished: stop delivery and release its counter resources."""
+        self.active[idx] = False
+        self.deadlines[idx] = None
+        if self.overflow_owner == idx:
+            monitor.overflow_counter.disarm()
+            self.overflow_owner = None
+
+    def charge(self, idx: int, cycles: int) -> None:
+        name = self.tools[idx].name
+        self.cycles_by_tool[name] = self.cycles_by_tool.get(name, 0) + cycles
+
+
+# --------------------------------------------------------------- snapshot
+
+@dataclass
+class SessionSnapshot:
+    """Serialized mid-run state of one :class:`SimulationSession`.
+
+    Everything needed to continue the run is here *except* the reference
+    stream: ``blocks_fetched``/``block_pos`` are the cursor into the
+    workload's deterministic block generator, which :meth:`SimulationSession.restore`
+    replays. The live objects (cache, monitor, clock, ground truth,
+    dispatcher with its tools) are pickled as one graph so shared
+    references — e.g. a tool context pointing at the session's cache —
+    survive the round trip intact.
+    """
+
+    version: int
+    workload_name: str
+    blocks_fetched: int
+    block_pos: int | None
+    cycle_carry: float
+    refs_left: int | None
+    chunk_size: int
+    cost_model: CostModel
+    clock: VirtualClock
+    stats: RunStats
+    cache: CacheModel
+    monitor: PerformanceMonitor
+    ground_truth: GroundTruth | None
+    dispatcher: ToolDispatcher | None
+
+    # ------------------------------------------------------------ storage
+
+    def save(self, path: str | os.PathLike[str]) -> Path:
+        """Write the snapshot to ``path`` atomically (rename-into-place)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(self, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, target)
+        except BaseException:
+            Path(tmp).unlink(missing_ok=True)
+            raise
+        return target
+
+    @staticmethod
+    def load(path: str | os.PathLike[str]) -> "SessionSnapshot":
+        """Read a snapshot back; raises SimulationError on bad contents."""
+        with Path(path).open("rb") as fh:
+            loaded = pickle.load(fh)
+        if not isinstance(loaded, SessionSnapshot):
+            raise SimulationError(f"{path} does not contain a SessionSnapshot")
+        if loaded.version != SNAPSHOT_VERSION:
+            raise SimulationError(
+                f"snapshot version {loaded.version} incompatible with "
+                f"current format {SNAPSHOT_VERSION}"
+            )
+        return loaded
+
+
+# ---------------------------------------------------------------- session
+
+class SimulationSession:
+    """One in-progress simulated run, stepwise and serialisable."""
+
+    def __init__(
+        self,
+        workload: "Workload",
+        *,
+        cache: CacheModel,
+        monitor: PerformanceMonitor,
+        clock: VirtualClock | None = None,
+        stats: RunStats | None = None,
+        cost_model: CostModel | None = None,
+        chunk_size: int = 1 << 15,
+        ground_truth: GroundTruth | None = None,
+        max_refs: int | None = None,
+        observers: Sequence[SessionObserver] = (),
+    ) -> None:
+        if chunk_size <= 0:
+            raise SimulationError("chunk_size must be positive")
+        self.workload = workload
+        self.cache = cache
+        self.monitor = monitor
+        self.clock = clock if clock is not None else VirtualClock()
+        self.stats = stats if stats is not None else RunStats()
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.chunk_size = chunk_size
+        self.ground_truth = ground_truth
+        #: Observers are transient by design: they are not serialised in
+        #: snapshots and must be re-attached after restore.
+        self.observers: list[SessionObserver] = list(observers)
+        self.dispatcher: ToolDispatcher | None = None
+
+        self._blocks: Iterator["ReferenceBlock"] | None = None
+        self._block: "ReferenceBlock | None" = None
+        self._blocks_fetched = 0
+        self._pos = 0
+        self._cycle_carry = 0.0
+        self._refs_left = max_refs if max_refs is not None else None
+        self._exhausted = False
+        self._finalized = False
+        self._shared_ctx: ToolContext | None = None
+
+    # ------------------------------------------------------------ creation
+
+    @classmethod
+    def start(
+        cls,
+        workload: "Workload",
+        *,
+        cache: CacheModel,
+        monitor: PerformanceMonitor,
+        cost_model: CostModel | None = None,
+        chunk_size: int = 1 << 15,
+        ground_truth: bool = True,
+        series_bucket_cycles: int | None = None,
+        max_refs: int | None = None,
+        observers: Sequence[SessionObserver] = (),
+    ) -> "SimulationSession":
+        """Begin a fresh run: prepare the workload and open its stream.
+
+        A workload whose stream was already consumed by an earlier run is
+        reset first, so back-to-back runs over one instance are
+        deterministic (each sees a freshly built substrate).
+        """
+        if workload.consumed:
+            workload.reset()
+        workload.prepare()
+        gt: GroundTruth | None = None
+        if ground_truth:
+            gt = GroundTruth(workload.object_map)
+            if series_bucket_cycles is not None:
+                gt.enable_series(series_bucket_cycles)
+        session = cls(
+            workload,
+            cache=cache,
+            monitor=monitor,
+            cost_model=cost_model,
+            chunk_size=chunk_size,
+            ground_truth=gt,
+            max_refs=max_refs,
+            observers=observers,
+        )
+        session._blocks = workload.blocks()
+        return session
+
+    # -------------------------------------------------------------- attach
+
+    def attach(
+        self, tools: "InstrumentationTool | Iterable[InstrumentationTool] | None"
+    ) -> None:
+        """Attach instrumentation tools (in delivery-priority order).
+
+        Each tool gets the shared :class:`ToolContext` (one monitor, one
+        cache, one instrumentation-segment allocator) and its ``attach``
+        arming requests are applied through the dispatcher's arbitration
+        rules. Attaching after the run has started is an error — the
+        paper's tools install themselves before the application runs.
+        """
+        if tools is None:
+            return
+        if isinstance(tools, InstrumentationTool):
+            tools = [tools]
+        tools = list(tools)
+        if not tools:
+            return
+        if self.stats.app_refs > 0 or self._blocks_fetched > 0:
+            raise SimulationError("tools must attach before the run starts")
+        if self.dispatcher is None:
+            self.dispatcher = ToolDispatcher()
+        if self._shared_ctx is None:
+            instr_alloc = HeapAllocator(self.workload.address_space.instr)
+            self._shared_ctx = ToolContext(
+                object_map=self.workload.object_map,
+                monitor=self.monitor,
+                cost_model=self.cost_model,
+                address_space=self.workload.address_space,
+                cache=self.cache,
+                instr_allocator=instr_alloc,
+            )
+        for observer in self.observers:
+            observer.on_attach(self)
+        for tool in tools:
+            idx = self.dispatcher.add(tool)
+            tool.ctx = self._shared_ctx
+            init = tool.attach(self._shared_ctx)
+            self._apply_handler_result(idx, init, account=False)
+
+    def add_observer(self, observer: SessionObserver) -> None:
+        self.observers.append(observer)
+
+    # ------------------------------------------------------------- running
+
+    @property
+    def finished(self) -> bool:
+        """True once the stream is exhausted or ``max_refs`` was reached."""
+        return self._exhausted or (
+            self._refs_left is not None and self._refs_left <= 0
+        )
+
+    def step(self) -> bool:
+        """Advance by one unit — one cache chunk or one interrupt delivery.
+
+        Returns False once the application stream is done (after which
+        :meth:`finalize` produces the :class:`~repro.sim.engine.RunResult`).
+        """
+        if self._finalized:
+            raise SimulationError("session already finalized")
+        # --- stream cursor bookkeeping -------------------------------
+        # Mirrors the monolithic loop exactly: a completed block charges
+        # its fixed extra_cycles *before* the max_refs cut is evaluated,
+        # and a mid-block cut never charges them; the next block is only
+        # fetched (running generator side effects like heap churn) when
+        # the run is actually going to execute it.
+        while True:
+            if self._block is not None and self._pos >= len(self._block.addrs):
+                self.clock.advance_app(self._block.extra_cycles)
+                self._block = None
+            if self._refs_left is not None and self._refs_left <= 0:
+                return False
+            if self._block is None:
+                if self._blocks is None:
+                    raise SimulationError(
+                        "session has no open stream (use start/restore)"
+                    )
+                try:
+                    self._block = next(self._blocks)
+                except StopIteration:
+                    self._exhausted = True
+                    return False
+                self._blocks_fetched += 1
+                self._pos = 0
+                continue
+            break
+        self._process_chunk()
+        return True
+
+    def run(
+        self,
+        max_steps: int | None = None,
+        checkpoint_every_refs: int | None = None,
+        on_checkpoint=None,
+    ) -> bool:
+        """Drive :meth:`step` until done (or for ``max_steps`` units).
+
+        ``checkpoint_every_refs`` invokes ``on_checkpoint(snapshot)``
+        each time that many further application references have been
+        simulated — the hook :class:`~repro.experiments.parallel.ParallelRunner`
+        uses to persist worker progress. Returns True when the run is
+        complete.
+        """
+        steps = 0
+        next_ckpt = (
+            self.stats.app_refs + checkpoint_every_refs
+            if checkpoint_every_refs
+            else None
+        )
+        while max_steps is None or steps < max_steps:
+            if not self.step():
+                return True
+            steps += 1
+            if next_ckpt is not None and self.stats.app_refs >= next_ckpt:
+                on_checkpoint(self.snapshot())
+                next_ckpt = self.stats.app_refs + checkpoint_every_refs
+        return self.finished
+
+    # ---------------------------------------------------------- chunk body
+
+    def _process_chunk(self) -> None:
+        """Simulate one chunk of application references, or deliver the
+        interrupt that precedes it; the exact transcription of the
+        original engine loop body (interrupt points must stay precise)."""
+        block = self._block
+        assert block is not None
+        addrs = block.addrs
+        n = len(addrs)
+        dispatcher = self.dispatcher
+        tool_active = dispatcher is not None and dispatcher.any_active
+
+        cap = min(n - self._pos, self.chunk_size)
+        if self._refs_left is not None:
+            cap = min(cap, self._refs_left)
+        until_deadline = self.clock.cycles_until_deadline()
+        if until_deadline is not None and tool_active:
+            if until_deadline <= 0:
+                self._deliver(InterruptKind.TIMER)
+                return
+            cap = min(cap, block.refs_within_cycles(until_deadline))
+        miss_budget = self.monitor.misses_until_overflow() if tool_active else None
+        if miss_budget is not None and miss_budget <= 0:
+            # Overflow already pending (e.g. from handler pollution).
+            self._deliver(InterruptKind.MISS_OVERFLOW)
+            return
+
+        chunk = addrs[self._pos : self._pos + cap]
+        chunk_writes = (
+            block.writes[self._pos : self._pos + cap]
+            if block.writes is not None
+            else None
+        )
+        result = self.cache.access(
+            chunk, miss_budget=miss_budget, tag="app", writes=chunk_writes
+        )
+        consumed = result.consumed
+        miss_addrs = chunk[:consumed][result.miss_mask]
+        self.monitor.observe(miss_addrs)
+        if self.ground_truth is not None:
+            self.ground_truth.observe(miss_addrs, cycle=self.clock.now)
+
+        exact = consumed * block.cycles_per_ref + self._cycle_carry
+        cycles = int(exact)
+        self._cycle_carry = exact - cycles
+        self.clock.advance_app(cycles)
+        self.stats.app_refs += consumed
+        self.stats.app_misses += result.n_misses
+        self._pos += consumed
+        if self._refs_left is not None:
+            self._refs_left -= consumed
+
+        if self.observers:
+            event = ChunkEvent(
+                cycle=self.clock.now,
+                app_refs=consumed,
+                n_misses=result.n_misses,
+                miss_addrs=miss_addrs,
+                block_label=block.label,
+                total_app_refs=self.stats.app_refs,
+            )
+            for observer in self.observers:
+                observer.on_chunk(event)
+
+        # Both deliveries can follow one chunk (an overflow handler can run
+        # the clock past a pending deadline) — sequential ifs, not elif.
+        if dispatcher is not None and dispatcher.any_active and self.monitor.overflow_pending:
+            self._deliver(InterruptKind.MISS_OVERFLOW)
+        if dispatcher is not None and dispatcher.any_active and self.clock.timer_expired:
+            self._deliver(InterruptKind.TIMER)
+
+    # ------------------------------------------------------------ interrupts
+
+    def _deliver(self, kind: InterruptKind) -> None:
+        """Deliver one interrupt to the tool the dispatcher selects."""
+        dispatcher = self.dispatcher
+        assert dispatcher is not None
+        if kind is InterruptKind.MISS_OVERFLOW:
+            idx = dispatcher.overflow_owner
+            if idx is None:
+                raise SimulationError(
+                    "overflow pending but no tool owns the overflow counter"
+                )
+            self.monitor.overflow_counter.disarm()
+            dispatcher.overflow_owner = None
+            tool = dispatcher.tools[idx]
+            result = tool.on_miss_overflow(self.clock.now)
+        else:
+            expired = dispatcher.earliest_deadline()
+            if expired is None:
+                raise SimulationError("timer expired but no tool deadline set")
+            _, idx = expired
+            dispatcher.clear_deadline(idx)
+            self._sync_clock_deadline()
+            tool = dispatcher.tools[idx]
+            result = tool.on_timer(self.clock.now)
+
+        delivery = self.cost_model.interrupt_delivery_cycles
+        self.clock.advance_instr(delivery + result.handler_cycles)
+        dispatcher.charge(idx, delivery + result.handler_cycles)
+        self.stats.interrupts.append(
+            InterruptRecord(
+                kind=kind,
+                cycle=self.clock.now,
+                handler_cycles=result.handler_cycles,
+                delivery_cycles=delivery,
+                tool=tool.name,
+            )
+        )
+        self._apply_handler_result(idx, result)
+        if self.observers:
+            event = InterruptEvent(
+                cycle=self.clock.now,
+                kind=kind,
+                tool=tool.name,
+                handler_cycles=result.handler_cycles,
+                delivery_cycles=delivery,
+            )
+            for observer in self.observers:
+                observer.on_interrupt(event)
+
+    def _apply_handler_result(
+        self, idx: int, result: HandlerResult, account: bool = True
+    ) -> None:
+        """Run handler memory refs through the cache and apply arming.
+
+        ``account=False`` is the attach path: arming requests apply but
+        no interrupt is recorded (nothing was delivered yet).
+        """
+        del account  # both paths apply identically; kept for call-site intent
+        dispatcher = self.dispatcher
+        assert dispatcher is not None
+        if result.mem_refs is not None and len(result.mem_refs):
+            refs = np.ascontiguousarray(result.mem_refs, dtype=np.uint64)
+            access = self.cache.access(refs, tag="instr")
+            # Instrumentation misses pollute the hardware counters exactly
+            # as they would on real hardware; ground truth (below the
+            # architecture) excludes them by construction.
+            instr_misses = refs[access.miss_mask]
+            self.monitor.observe(instr_misses)
+        if result.rearm_overflow is not None:
+            dispatcher.claim_overflow(idx)
+            self.monitor.overflow_counter.arm_overflow(result.rearm_overflow)
+        if result.next_timer_in is not None:
+            dispatcher.set_deadline(
+                idx, self.clock.now + max(1, result.next_timer_in)
+            )
+        if result.done:
+            dispatcher.deactivate(idx, self.monitor)
+        self._sync_clock_deadline()
+
+    def _sync_clock_deadline(self) -> None:
+        """Program the single hardware timer with the earliest deadline."""
+        if self.dispatcher is None:
+            return
+        earliest = self.dispatcher.earliest_deadline()
+        self.clock.sync_deadline(earliest[0] if earliest is not None else None)
+
+    # ------------------------------------------------------------- finalize
+
+    def finalize(self):
+        """Close the run and assemble the :class:`~repro.sim.engine.RunResult`."""
+        from repro.sim.engine import RunResult
+
+        if self._finalized:
+            raise SimulationError("session already finalized")
+        self._finalized = True
+        # Freeze the totals at stream end: tool teardown below must not be
+        # able to drift what this run reports as instrumentation activity.
+        cache_stats = self.cache.stats.snapshot()
+        tools = self.dispatcher.tools if self.dispatcher is not None else []
+        for tool in tools:
+            tool.on_run_end(self.clock.now)
+
+        self.stats.app_cycles = self.clock.app_cycles
+        self.stats.instr_cycles = self.clock.instr_cycles
+        self.stats.instr_refs = cache_stats.accesses_by_tag.get("instr", 0)
+        self.stats.instr_misses = cache_stats.misses_by_tag.get("instr", 0)
+        if self.dispatcher is not None:
+            self.stats.instr_cycles_by_tool = dict(
+                self.dispatcher.cycles_by_tool
+            )
+
+        for observer in self.observers:
+            observer.on_finalize(self)
+
+        gt = self.ground_truth
+        primary = tools[0] if tools else None
+        return RunResult(
+            workload_name=self.workload.name,
+            cache_config=self.cache.config,
+            stats=self.stats,
+            actual=gt.profile() if gt is not None else None,
+            measured=primary.profile() if primary is not None else None,
+            series=gt.series if gt is not None else None,
+            ground_truth=gt,
+            tool=primary,
+            tools=list(tools) if tools else None,
+        )
+
+    # ------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> SessionSnapshot:
+        """Serialisable copy of the complete mid-run state.
+
+        The returned snapshot is detached (pickle round-trip), so the
+        live session can keep running without mutating it. RPL501
+        guards this payload against drifting from the dataclass.
+        """
+        if self._finalized:
+            raise SimulationError("cannot snapshot a finalized session")
+        if self._exhausted:
+            raise SimulationError("cannot snapshot an exhausted session")
+        payload = {
+            "version": SNAPSHOT_VERSION,
+            "workload_name": self.workload.name,
+            "blocks_fetched": self._blocks_fetched,
+            "block_pos": self._pos if self._block is not None else None,
+            "cycle_carry": self._cycle_carry,
+            "refs_left": self._refs_left,
+            "chunk_size": self.chunk_size,
+            "cost_model": self.cost_model,
+            "clock": self.clock,
+            "stats": self.stats,
+            "cache": self.cache,
+            "monitor": self.monitor,
+            "ground_truth": self.ground_truth,
+            "dispatcher": self.dispatcher,
+        }
+        snap = SessionSnapshot(**payload)
+        return pickle.loads(pickle.dumps(snap, protocol=pickle.HIGHEST_PROTOCOL))
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: "SessionSnapshot | str | os.PathLike[str]",
+        workload: "Workload",
+        observers: Sequence[SessionObserver] = (),
+    ) -> "SimulationSession":
+        """Rebuild a running session from a snapshot and an equivalent
+        workload instance (same name/construction parameters/seed).
+
+        The workload's deterministic block stream is regenerated and
+        fast-forwarded to the snapshot's cursor — replaying any mid-run
+        allocation churn into the fresh object map — then the restored
+        ground truth and tool contexts are re-bound to that live map so
+        later allocations keep flowing into attribution.
+        """
+        if not isinstance(snapshot, SessionSnapshot):
+            snapshot = SessionSnapshot.load(snapshot)
+        if workload.name != snapshot.workload_name:
+            raise SimulationError(
+                f"snapshot is for workload {snapshot.workload_name!r}, "
+                f"got {workload.name!r}"
+            )
+        if workload.consumed:
+            workload.reset()
+        workload.prepare()
+
+        session = cls(
+            workload,
+            cache=snapshot.cache,
+            monitor=snapshot.monitor,
+            clock=snapshot.clock,
+            stats=snapshot.stats,
+            cost_model=snapshot.cost_model,
+            chunk_size=snapshot.chunk_size,
+            ground_truth=snapshot.ground_truth,
+            observers=observers,
+        )
+        session.dispatcher = snapshot.dispatcher
+        session._cycle_carry = snapshot.cycle_carry
+        session._refs_left = snapshot.refs_left
+
+        blocks = workload.blocks()
+        block = None
+        for _ in range(snapshot.blocks_fetched):
+            try:
+                block = next(blocks)
+            except StopIteration:
+                raise SimulationError(
+                    "snapshot cursor is beyond the regenerated stream; "
+                    "workload parameters differ from the snapshotted run"
+                ) from None
+        session._blocks = blocks
+        session._blocks_fetched = snapshot.blocks_fetched
+        if snapshot.block_pos is not None:
+            session._block = block
+            session._pos = snapshot.block_pos
+
+        # Re-bind attribution and tool contexts to the regenerated live
+        # substrate (the pickled copies froze at snapshot time and would
+        # miss post-restore alloc/free events), carrying over the pending
+        # probe counts — ephemeral map state the next handler is charged
+        # for — from the snapshotted map.
+        old_map = None
+        if session.ground_truth is not None:
+            old_map = session.ground_truth.object_map
+            session.ground_truth.object_map = workload.object_map
+        if session.dispatcher is not None:
+            rebound: set[int] = set()
+            for tool in session.dispatcher.tools:
+                ctx = tool.ctx
+                if ctx is not None and id(ctx) not in rebound:
+                    rebound.add(id(ctx))
+                    if old_map is None:
+                        old_map = ctx.object_map
+                    ctx.object_map = workload.object_map
+                    ctx.address_space = workload.address_space
+                if tool.ctx is not None and session._shared_ctx is None:
+                    session._shared_ctx = tool.ctx
+        if old_map is not None:
+            workload.object_map.adopt_probe_counts(old_map)
+        return session

@@ -43,6 +43,7 @@ class Workload(abc.ABC):
         self.scale = scale
         self.seed = seed
         self._prepared = False
+        self._consumed = False
         self.address_space: AddressSpace | None = None
         self.symbols: SymbolTable | None = None
         self.object_map: ObjectMap | None = None
@@ -67,9 +68,37 @@ class Workload(abc.ABC):
         self._prepared = True
 
     def blocks(self) -> Iterator[ReferenceBlock]:
-        """The application's reference stream (prepares on first use)."""
+        """The application's reference stream (prepares on first use).
+
+        Opening the stream marks the instance *consumed*: generators may
+        mutate the substrate as they run (heap churn, cursor state), so a
+        second run over the same instance must :meth:`reset` first to see
+        the same stream again. The engine does this automatically.
+        """
         self.prepare()
+        self._consumed = True
         return self._generate()
+
+    @property
+    def consumed(self) -> bool:
+        """True once :meth:`blocks` has been opened since the last reset."""
+        return self._consumed
+
+    def reset(self) -> None:
+        """Tear down the substrate so the next run is a deterministic replay.
+
+        Rebuilding from scratch (rather than trying to undo generator side
+        effects) guarantees run-twice == run-once-twice: every run sees a
+        freshly declared address space, heap and object map.
+        """
+        self._prepared = False
+        self._consumed = False
+        self.address_space = None
+        self.symbols = None
+        self.object_map = None
+        self.heap = None
+        self.stack = None
+        self._on_reset()
 
     # ------------------------------------------------------------- subclass
 
@@ -80,6 +109,10 @@ class Workload(abc.ABC):
     @abc.abstractmethod
     def _generate(self) -> Iterator[ReferenceBlock]:
         """Yield the reference stream."""
+
+    def _on_reset(self) -> None:
+        """Hook for subclasses holding state outside the substrate
+        (e.g. lists of heap handles) to clear it on :meth:`reset`."""
 
     # --------------------------------------------------------------- helpers
 

@@ -177,6 +177,10 @@ class TreeChaser(Workload):
             site = sites[i % 3]
             self._nodes.append(self.heap.malloc(self.node_size, alloc_site=site))
 
+    def _on_reset(self) -> None:
+        # Handles point into the torn-down heap; _declare refills them.
+        self._nodes.clear()
+
     def _generate(self) -> Iterator[ReferenceBlock]:
         rng = make_rng(self.seed)
         root = self.symbols["root_table"]

@@ -47,6 +47,35 @@ class TestMultiplexedBank:
         assert got[0] > 0
         assert got[1] == 0 and got[2] == 0
 
+    def test_read_all_more_regions_than_slices(self):
+        """Regression: more programmed regions than elapsed slices.
+
+        With 6 regions but only enough misses for two slices, regions
+        2..5 never get an observation window (``slices_observed == 0``).
+        ``read_all`` must still return one entry per region — the raw
+        (zero) count — instead of dividing by zero or fabricating a
+        scaled estimate.
+        """
+        bank = MultiplexedRegionBank(6, slice_misses=8)
+        bank.program([Interval(i * 10, i * 10 + 10) for i in range(6)])
+        # 16 misses = exactly 2 slices: regions 0 and 1 observed, rest never.
+        bank.observe(np.full(16, 5, dtype=np.uint64))
+        got = bank.read_all()
+        assert len(got) == 6
+        assert got[0] >= 0 and got[1] >= 0
+        assert got[2:] == [0, 0, 0, 0]
+
+    def test_read_all_single_partial_slice(self):
+        """Fewer misses than one slice: only region 0 ever active; the
+        remaining regions report 0, not an extrapolation artifact."""
+        bank = MultiplexedRegionBank(4, slice_misses=100)
+        bank.program([Interval(0, 10)] + [Interval(10, 20)] * 3)
+        bank.observe(np.full(7, 5, dtype=np.uint64))
+        got = bank.read_all()
+        assert len(got) == 4
+        assert got[0] == 7  # raw count scaled by 7/7 == itself
+        assert got[1:] == [0, 0, 0]
+
     def test_bad_slice(self):
         with pytest.raises(ValueError):
             MultiplexedRegionBank(2, slice_misses=0)

@@ -1,0 +1,24 @@
+"""Bad: one field never written, one dead payload key, no version field.
+
+Expected RPL501 violations:
+* SessionSnapshot has no ``version`` field;
+* field ``cycle_carry`` missing from the payload (restores to default);
+* payload key ``cycle_cary`` (typo) is not a dataclass field.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SessionSnapshot:
+    workload_name: str
+    cycle_carry: float = 0.0
+
+
+class SimulationSession:
+    def snapshot(self):
+        payload = {
+            "workload_name": "x",
+            "cycle_cary": 0.0,
+        }
+        return SessionSnapshot(**payload)

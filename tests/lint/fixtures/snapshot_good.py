@@ -1,0 +1,20 @@
+"""Good: snapshot() payload and SessionSnapshot fields match exactly."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SessionSnapshot:
+    version: int
+    workload_name: str
+    cycle_carry: float
+
+
+class SimulationSession:
+    def snapshot(self):
+        payload = {
+            "version": 1,
+            "workload_name": "x",
+            "cycle_carry": 0.0,
+        }
+        return SessionSnapshot(**payload)

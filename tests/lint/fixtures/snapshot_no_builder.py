@@ -1,0 +1,9 @@
+"""Bad: SessionSnapshot defined, but nothing constructs it statically."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SessionSnapshot:
+    version: int
+    workload_name: str

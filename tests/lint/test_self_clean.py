@@ -16,6 +16,7 @@ EXPECTED_CODES = {
     "RPL201", "RPL203",
     "RPL301", "RPL302", "RPL303",
     "RPL401",
+    "RPL501",
 }
 
 

@@ -1,0 +1,181 @@
+"""Streaming observer tests: live metrics without perturbing the run."""
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.core.sampling import SamplingProfiler
+from repro.hpm.interrupts import InterruptKind
+from repro.sim.engine import Simulator
+from repro.sim.observers import (
+    ChunkEvent,
+    InterruptEvent,
+    InterruptRateObserver,
+    MissRateObserver,
+    ProgressObserver,
+    SessionObserver,
+    ToolCycleShareObserver,
+)
+from repro.workloads.synthetic import SyntheticStreams
+
+CFG = CacheConfig(size=64 * 1024, assoc=2)
+
+
+def make_workload():
+    return SyntheticStreams(
+        {"A": (256 * 1024, 60), "B": (256 * 1024, 40)},
+        rounds=4,
+        lines_per_round=4000,
+        seed=3,
+    )
+
+
+def run_with(observers, tool=None):
+    session = Simulator(CFG, seed=5).start_session(
+        make_workload(), tool=tool, observers=observers
+    )
+    while session.step():
+        pass
+    return session.finalize()
+
+
+class Recorder(SessionObserver):
+    def __init__(self):
+        self.attached = 0
+        self.finalized = 0
+        self.chunks = []
+        self.interrupts = []
+
+    def on_attach(self, session):
+        self.attached += 1
+
+    def on_chunk(self, event):
+        self.chunks.append(event)
+
+    def on_interrupt(self, event):
+        self.interrupts.append(event)
+
+    def on_finalize(self, session):
+        self.finalized += 1
+
+
+class TestObserverHooks:
+    def test_lifecycle_hooks_fire(self):
+        rec = Recorder()
+        result = run_with([rec], tool=SamplingProfiler(period=701))
+        assert rec.attached == 1
+        assert rec.finalized == 1
+        assert len(rec.chunks) > 0
+        assert len(rec.interrupts) == len(result.stats.interrupts)
+
+    def test_chunk_events_cover_all_refs(self):
+        rec = Recorder()
+        result = run_with([rec])
+        assert sum(e.app_refs for e in rec.chunks) == result.stats.app_refs
+        assert sum(e.n_misses for e in rec.chunks) == result.stats.app_misses
+        assert rec.chunks[-1].total_app_refs == result.stats.app_refs
+        # Cumulative count is monotone and cycle never goes backwards.
+        totals = [e.total_app_refs for e in rec.chunks]
+        cycles = [e.cycle for e in rec.chunks]
+        assert totals == sorted(totals)
+        assert cycles == sorted(cycles)
+
+    def test_interrupt_events_match_records(self):
+        rec = Recorder()
+        result = run_with([rec], tool=SamplingProfiler(period=701))
+        got = [(e.cycle, e.kind, e.tool, e.handler_cycles) for e in rec.interrupts]
+        want = [
+            (r.cycle, r.kind, r.tool, r.handler_cycles)
+            for r in result.stats.interrupts.records
+        ]
+        assert got == want
+
+    def test_observers_do_not_perturb_run(self):
+        """Observers live outside the machine: zero virtual cycles."""
+        plain = run_with([], tool=SamplingProfiler(period=701))
+        observed = run_with(
+            [Recorder(), MissRateObserver(10_000), InterruptRateObserver()],
+            tool=SamplingProfiler(period=701),
+        )
+        assert plain.stats.app_cycles == observed.stats.app_cycles
+        assert plain.stats.instr_cycles == observed.stats.instr_cycles
+        assert plain.stats.app_misses == observed.stats.app_misses
+
+
+class TestMissRateObserver:
+    def test_rates_and_totals(self):
+        obs = MissRateObserver(bucket_cycles=10_000)
+        result = run_with([obs])
+        assert obs.total_refs == result.stats.app_refs
+        assert obs.total_misses == result.stats.app_misses
+        rates = obs.rates()
+        assert len(rates) > 1
+        assert all(0.0 <= rate <= 1.0 for _, rate in rates)
+        assert [b for b, _ in rates] == sorted(b for b, _ in rates)
+
+    def test_bad_bucket(self):
+        with pytest.raises(ValueError):
+            MissRateObserver(bucket_cycles=0)
+
+
+class TestInterruptRateObserver:
+    def test_counts_by_kind(self):
+        obs = InterruptRateObserver()
+        result = run_with([obs], tool=SamplingProfiler(period=701))
+        assert obs.total == len(result.stats.interrupts)
+        assert obs.n_by_kind[InterruptKind.MISS_OVERFLOW] == obs.total
+        assert (
+            obs.cycles_by_kind[InterruptKind.MISS_OVERFLOW]
+            == result.stats.instr_cycles
+        )
+        assert obs.per_gcycle() > 0.0
+
+    def test_empty_rate(self):
+        obs = InterruptRateObserver()
+        run_with([obs])  # uninstrumented: no interrupts
+        assert obs.total == 0
+        assert obs.per_gcycle() == 0.0
+
+
+class TestToolCycleShareObserver:
+    def test_single_tool_full_share(self):
+        obs = ToolCycleShareObserver()
+        run_with([obs], tool=SamplingProfiler(period=701))
+        assert obs.shares() == {"sampling": 1.0}
+
+    def test_manual_events_split_share(self):
+        obs = ToolCycleShareObserver()
+        obs.on_interrupt(
+            InterruptEvent(10, InterruptKind.MISS_OVERFLOW, "a", 300, 100)
+        )
+        obs.on_interrupt(InterruptEvent(20, InterruptKind.TIMER, "b", 100, 100))
+        obs.on_interrupt(InterruptEvent(30, InterruptKind.TIMER, "b", 100, 100))
+        shares = obs.shares()
+        assert shares == {"a": 0.5, "b": 0.5}
+        assert obs.interrupts_by_tool == {"a": 1, "b": 2}
+
+
+class TestProgressObserver:
+    def test_callback_cadence(self):
+        reports = []
+        obs = ProgressObserver(
+            every_refs=4000, on_progress=lambda refs, cycle: reports.append(refs)
+        )
+        result = run_with([obs], tool=SamplingProfiler(period=701))
+        assert obs.app_refs == result.stats.app_refs
+        assert obs.interrupts == len(result.stats.interrupts)
+        assert len(reports) >= 2
+        # Reports are at least every_refs apart.
+        assert all(b - a >= 4000 for a, b in zip(reports, reports[1:]))
+
+    def test_bad_cadence(self):
+        with pytest.raises(ValueError):
+            ProgressObserver(every_refs=0)
+
+
+class TestChunkEventShape:
+    def test_frozen(self):
+        import numpy as np
+
+        event = ChunkEvent(1, 2, 3, np.array([], dtype=np.uint64), "x", 2)
+        with pytest.raises(AttributeError):
+            event.cycle = 5
