@@ -1,0 +1,68 @@
+"""Environment metadata stamped into benchmark JSON baselines.
+
+Throughput baselines are only comparable when they come from the same
+interpreter, numpy build and CPU; a baseline recorded on one machine and
+replayed on another flags "regressions" that are really hardware drift.
+Every benchmark script embeds :func:`environment` into its JSON payload,
+and ``compare_bench.py`` downgrades failures to warnings whenever the
+recorded environment differs from the current one.
+
+Not collected by pytest (no test_ prefix).
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+
+import numpy as np
+
+
+def _cpu_model() -> str:
+    """Best-effort CPU model string, portable across Linux/macOS."""
+    model = platform.processor() or platform.machine()
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    model = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    return model
+
+
+def environment() -> dict:
+    """Python/numpy/CPU facts that make throughput numbers comparable."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": np.__version__,
+        "cpu": _cpu_model(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+    }
+
+
+def environment_drift(recorded: dict | None, current: dict | None = None) -> list[str]:
+    """Names of environment fields that differ between two recordings.
+
+    A missing/empty ``recorded`` block (old baseline format) counts as
+    drift on every field, so comparisons against pre-metadata baselines
+    warn instead of failing.
+    """
+    if current is None:
+        current = environment()
+    if not recorded:
+        return sorted(current)
+    return sorted(
+        key
+        for key in current
+        if recorded.get(key) != current[key]
+    )
+
+
+if __name__ == "__main__":
+    for key, value in environment().items():
+        print(f"{key}: {value}")
+    sys.exit(0)

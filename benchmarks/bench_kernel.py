@@ -23,6 +23,8 @@ from pathlib import Path
 
 import numpy as np
 
+from bench_env import environment
+
 from repro.cache.config import CacheConfig
 from repro.cache.kernels import KERNEL_BACKENDS
 from repro.cache.set_assoc import SetAssociativeCache
@@ -112,6 +114,7 @@ def main(argv: list[str] | None = None) -> int:
         "benchmark": "cache-kernel-backends",
         "config": {"size": cfg.size, "assoc": cfg.assoc, "chunk": CHUNK},
         "repeats": args.repeats,
+        "environment": environment(),
         "cases": results,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")

@@ -29,7 +29,8 @@ class CacheConfig:
     line_size: int = 64
     assoc: int = 4
     policy: ReplacementPolicy = field(default=ReplacementPolicy.LRU)
-    #: Kernel backend executing the access loop ("reference" or "array");
+    #: Kernel backend executing the access loop ("reference", "array" or
+    #: "auto", which picks between them from observed miss density);
     #: backends are bit-identical, so this is purely a speed knob — but it
     #: still participates in result-cache keys (see experiments/) because
     #: the config is hashed field-by-field.

@@ -16,6 +16,11 @@ name:
   miss masks, same ``miss_budget`` early-exit points, same
   writeback/prefetch counts, same seeded RANDOM-eviction stream
   (enforced by tests/cache/test_backend_equivalence.py).
+* ``"auto"`` — starts on the array kernel, watches the first ~64 Ki
+  references, and transplants the state into the reference kernel iff
+  the policy is RANDOM and the observed miss density is high (the one
+  regime where the array kernel's sequential fallback loses). Either
+  way the results are bit-identical; only throughput changes.
 
 Kernels take plain geometry integers rather than a
 :class:`~repro.cache.config.CacheConfig` so that ``config.py`` can
@@ -24,6 +29,7 @@ import the backend registry without a cycle.
 
 from __future__ import annotations
 
+from repro.cache.kernels.auto import AutoKernel
 from repro.cache.kernels.base import KernelResult, SetKernel
 from repro.cache.kernels.flat import ArrayKernel
 from repro.cache.kernels.reference import ReferenceKernel
@@ -36,19 +42,21 @@ __all__ = [
     "SetKernel",
     "ReferenceKernel",
     "ArrayKernel",
+    "AutoKernel",
     "make_kernel",
     "kernel_for_config",
     "resolve_backend",
 ]
 
 #: Registered kernel backends, in preference order for documentation.
-KERNEL_BACKENDS = ("reference", "array")
+KERNEL_BACKENDS = ("reference", "array", "auto")
 
 DEFAULT_BACKEND = "reference"
 
 _KERNELS: dict[str, type[SetKernel]] = {
     "reference": ReferenceKernel,
     "array": ArrayKernel,
+    "auto": AutoKernel,
 }
 
 

@@ -1,14 +1,17 @@
-"""The "array" kernel: flat line-tag state with a vectorised fast path.
+"""The "array" kernel: NumPy-resident state with a vectorised fast path.
 
-State is held in preallocated flat arrays instead of per-set Python
-lists: a line-tag matrix of shape ``[n_sets, assoc]`` stored flat (slot
-``set*assoc + phys``), a per-set circular-buffer ``(head, cnt)`` pair
-encoding insertion/recency order, and a dirty bitmask of the same shape.
-Logical position ``k`` of a set (0 = oldest, ``cnt-1`` = most recent)
-lives at physical slot ``(head + k) % assoc``.  Invariant: ``head`` can
-only be non-zero for a *full* set (heads advance on evictions and batch
-wraps, both of which require fullness), so non-full sets always store
-their lines at physical slots ``0..cnt-1`` with empties after.
+State lives permanently in preallocated NumPy arrays: a line-tag matrix
+of shape ``[n_sets, assoc]``, a per-set circular-buffer ``(head, cnt)``
+pair encoding insertion/recency order, and a dirty bitmask of the same
+shape.  Logical position ``k`` of a set (0 = oldest, ``cnt-1`` = most
+recent) lives at physical slot ``(head + k) % assoc``.  Invariant:
+``head`` can only be non-zero for a *full* set (heads advance on
+evictions and batch wraps, both of which require fullness), so non-full
+sets always store their lines at physical slots ``0..cnt-1`` with
+empties after.  Keeping the authoritative state in arrays — rather than
+converting Python lists to arrays per chunk — is what lets small
+per-block chunks use the vectorised phases without paying a conversion
+that used to dominate their runtime.
 
 The chunk fast path (no writes, no prefetch) layers three optimisations,
 all proven equivalent to the reference kernel by the differential and
@@ -16,49 +19,35 @@ property tests:
 
 * **follower skip** — a reference whose immediately-preceding reference
   touched the same line is a hit with zero state change (under LRU the
-  line is already most-recent; FIFO/RANDOM do nothing on hits).  The
-  sequential loop extends this with a per-set *last line* check that
-  also skips interleaved repeats (``a, b, a, b`` across sets).
-* **certified-hit runs** — a leading run of leaders that are all
-  resident must all hit: hits never change membership, so residency
-  computed once against the chunk-start tags stays valid for the whole
-  run.  FIFO/RANDOM hits are complete no-ops; LRU promotes are applied
-  wholesale with one ``argsort`` per touched set (untouched lines keep
-  their relative order, touched lines move above them ordered by last
-  touch).
-* **guaranteed-miss runs** (LRU/FIFO) — a leading run of distinct,
-  non-resident lines must all miss: evictions only *remove* lines, so
-  nothing processed earlier in the run can turn a later member into a
-  hit.  The whole run is applied with NumPy as circular-buffer appends:
-  the ``j``-th fill into a set lands at physical slot ``(head + cnt +
-  j) % assoc``, evicts iff ``cnt + j >= assoc``, and per-set
-  ``head``/``cnt`` advance in closed form.  RANDOM is never batched
-  (its eviction stream must consume the shared pool in exact reference
-  order).
+  line is already most-recent; FIFO/RANDOM do nothing on hits).
+* **certified-hit / guaranteed-miss runs** — a leading run of leaders
+  that are all resident must all hit (hits never change membership), and
+  a leading run of distinct non-resident lines must all miss (evictions
+  only remove lines).  Hit runs apply LRU promotes wholesale with one
+  ``argsort`` per touched set; miss runs apply as closed-form circular
+  appends.  RANDOM misses are never batched (the eviction stream must
+  consume the shared pool in exact reference order).
+* **per-set rounds** — once the contiguous runs stall, the remaining
+  leaders are grouped by set and replayed round by round: round ``r``
+  applies every touched set's ``r``-th remaining reference in one
+  gather/hit-test/scatter pass over ``[k, assoc]`` sub-matrices.  Sets
+  are independent, so reordering *across* sets while preserving order
+  *within* each set is exact — this replaces the old sequential
+  per-set Python tail for LRU/FIFO whole-chunk calls and is what fixed
+  the scattered-miss regression on conflict-heavy streams.
 
-The two run kinds alternate against live NumPy state until the runs get
-too short to amortise.  A final **scattered certified-hit pass** then
-handles workloads whose hits are punctured by scattered misses: any
-remaining leader that is resident *and* positioned before its own set's
-first non-resident leader must hit (other sets' misses cannot evict
-it), so those leaders are promoted wholesale and dropped from the
-sequential tail.  With a miss budget the LRU variant of this pass is
-skipped: a mid-tail budget stop makes the caller replay leaders whose
-promotes were already applied.
-
-The sequential tail lazily converts each touched set into a small
-logical-order Python list (membership over at most ``assoc`` boxed
-ints, ``pop``/``append`` mutations, dirtiness tracked by line value in
-a set so LRU promotes never touch it — the same shapes that make the
-reference kernel fast) and writes the touched sets back to the flat
-state once at the end of the chunk.  The authoritative state between
-calls is plain Python lists, converted to arrays only while the
-vectorised phases run.
+The rounds pass cannot express a global miss-budget cut (the cut point
+depends on the interleaved global miss order) or RANDOM eviction (pool
+pops happen in global miss order), so those cases fall back to the
+sequential tail: touched sets are materialised lazily as small
+logical-order Python lists and written back to the arrays at the end of
+the chunk.
 
 When a write mask or the next-line prefetcher is active the kernel runs
-a full sequential mirror of the reference loop (same flat state, no
-skips): prefetch fills may touch neighbouring sets mid-chunk and dirty
-bits must be set in reference order, so none of the fast paths is sound.
+a full sequential mirror of the reference loop over a flat list copy of
+the state: prefetch fills may touch neighbouring sets mid-chunk and
+dirty bits must be set in reference order, so none of the fast paths is
+sound.
 """
 
 from __future__ import annotations
@@ -73,6 +62,23 @@ from repro.cache.policies import ReplacementPolicy
 #: Empty-slot sentinel; real line numbers are non-negative.
 _EMPTY = -1
 
+#: The chunk-scoped mutable state bundle threaded through the fast
+#: paths: (tags2d, dirty2d, head, cnt).
+_Arrays = tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+def _radix_key(values: np.ndarray, maxval: int) -> np.ndarray:
+    """Narrow a non-negative grouping key so stable argsort picks radix.
+
+    NumPy's ``kind="stable"`` sort is radix for <= 16-bit integers but
+    timsort for wider ones — several times slower on the chunk-sized set
+    and sequence keys sorted here. The key is only used for ordering, so
+    narrowing is safe whenever the value range fits.
+    """
+    if maxval < 1 << 16:
+        return values.astype(np.uint16)
+    return values
+
 
 class ArrayKernel(SetKernel):
     """Flat-array set-associative kernel, bit-identical to the reference."""
@@ -81,17 +87,20 @@ class ArrayKernel(SetKernel):
 
     def __init__(self, **kwargs) -> None:
         super().__init__(**kwargs)
-        #: Enter the vectorised phases only when a chunk has enough
-        #: leaders to amortise converting the flat state to NumPy.
-        self._batch_min = max(64, (self.n_sets * self.assoc) // 8)
+        #: Leaders needed before the vectorised run phases are attempted
+        #: (below this, per-round NumPy overhead exceeds the win).
+        self._batch_min = 64
+        #: Leaders needed before the rounds tail beats the Python tail.
+        self._rounds_min = 32
+        #: True when ``assoc`` is a power of two, enabling mask modulo.
+        self._way_mask = self.assoc & (self.assoc - 1) == 0
         self._alloc()
 
     def _alloc(self) -> None:
-        n_slots = self.n_sets * self.assoc
-        self._tags: list[int] = [_EMPTY] * n_slots
-        self._head: list[int] = [0] * self.n_sets
-        self._cnt: list[int] = [0] * self.n_sets
-        self._dirty: list[int] = [0] * n_slots
+        self._tags2d = np.full((self.n_sets, self.assoc), _EMPTY, dtype=np.int64)
+        self._dirty2d = np.zeros((self.n_sets, self.assoc), dtype=np.int64)
+        self._head_np = np.zeros(self.n_sets, dtype=np.int64)
+        self._cnt_np = np.zeros(self.n_sets, dtype=np.int64)
         self._n_dirty = 0
 
     # ------------------------------------------------------------ state API
@@ -100,28 +109,27 @@ class ArrayKernel(SetKernel):
         self._alloc()
 
     def contents_line_count(self) -> int:
-        return sum(self._cnt)
+        return int(self._cnt_np.sum())
 
     def dirty_line_count(self) -> int:
         return self._n_dirty
 
     def lines_in_set(self, set_idx: int) -> list[int]:
-        assoc = self.assoc
-        base = set_idx * assoc
-        h = self._head[set_idx]
-        tags = self._tags
-        return [tags[base + (h + k) % assoc] for k in range(self._cnt[set_idx])]
+        h = int(self._head_np[set_idx])
+        c = int(self._cnt_np[set_idx])
+        row = self._tags2d[set_idx].tolist()
+        ordered = row[h:] + row[:h] if h else row
+        return ordered[:c]
 
     def contains_line(self, line: int) -> bool:
-        base = (line & self.set_mask) * self.assoc
-        return line in self._tags[base : base + self.assoc]
+        return bool((self._tags2d[line & self.set_mask] == line).any())
 
     def snapshot(self) -> object:
         return (
-            list(self._tags),
-            list(self._head),
-            list(self._cnt),
-            list(self._dirty),
+            self._tags2d.copy(),
+            self._head_np.copy(),
+            self._cnt_np.copy(),
+            self._dirty2d.copy(),
             self._n_dirty,
             list(self._rand_pool),
             copy.deepcopy(self._rng.bit_generator.state),
@@ -129,10 +137,14 @@ class ArrayKernel(SetKernel):
 
     def restore(self, state: object) -> None:
         tags, head, cnt, dirty, n_dirty, pool, rng_state = state
-        self._tags = list(tags)
-        self._head = list(head)
-        self._cnt = list(cnt)
-        self._dirty = list(dirty)
+        self._tags2d = np.array(tags, dtype=np.int64).reshape(
+            self.n_sets, self.assoc
+        )
+        self._head_np = np.array(head, dtype=np.int64)
+        self._cnt_np = np.array(cnt, dtype=np.int64)
+        self._dirty2d = np.array(dirty, dtype=np.int64).reshape(
+            self.n_sets, self.assoc
+        )
         self._n_dirty = n_dirty
         self._rand_pool = list(pool)
         self._rng.bit_generator.state = copy.deepcopy(rng_state)
@@ -163,20 +175,23 @@ class ArrayKernel(SetKernel):
         miss_budget: int | None,
         writes: np.ndarray | None,
     ) -> KernelResult:
-        """Per-reference mirror of the reference loop on flat state.
+        """Per-reference mirror of the reference loop on flat list state.
 
         Used whenever writes or prefetching make the fast paths unsound;
-        every branch matches the reference kernel's ordering exactly.
+        every branch matches the reference kernel's ordering exactly. The
+        array state is copied to flat lists for the duration of the chunk
+        (the loop is per-reference Python either way, so the conversion
+        is a small constant next to it).
         """
         n = len(lines_arr)
         lines = lines_arr.tolist()
         write_flags = writes.tolist() if writes is not None else None
         set_mask = self.set_mask
         assoc = self.assoc
-        tags = self._tags
-        head = self._head
-        cnt = self._cnt
-        dirty = self._dirty
+        tags = self._tags2d.reshape(-1).tolist()
+        head = self._head_np.tolist()
+        cnt = self._cnt_np.tolist()
+        dirty = self._dirty2d.reshape(-1).tolist()
         lru = self.policy is ReplacementPolicy.LRU
         random_policy = self.policy is ReplacementPolicy.RANDOM
         prefetch = self.prefetch_next_line
@@ -282,6 +297,14 @@ class ArrayKernel(SetKernel):
                     consumed = i + 1
                     break
 
+        self._tags2d = np.asarray(tags, dtype=np.int64).reshape(
+            self.n_sets, assoc
+        )
+        self._head_np = np.asarray(head, dtype=np.int64)
+        self._cnt_np = np.asarray(cnt, dtype=np.int64)
+        self._dirty2d = np.asarray(dirty, dtype=np.int64).reshape(
+            self.n_sets, assoc
+        )
         self._n_dirty = n_dirty
         miss_mask = np.frombuffer(bytes(miss_flags[:consumed]), dtype=np.uint8).astype(
             bool
@@ -290,10 +313,25 @@ class ArrayKernel(SetKernel):
 
     # ------------------------------------------------------------ fast path
 
+    def _resident_mask(self, ss: np.ndarray, ll: np.ndarray) -> np.ndarray:
+        """Per-leader residency via flat per-way gathers.
+
+        Equivalent to ``(tags2d[ss] == ll[:, None]).any(axis=1)`` but
+        several times faster: the row-gather materialises an
+        ``[m, assoc]`` matrix, while ``assoc`` flat gathers stream the
+        (cache-hot) tag array against ``ll`` with no 2-D temporary.
+        """
+        flat = self._tags2d.reshape(-1)
+        base = ss * self.assoc
+        out = flat[base] == ll
+        for way in range(1, self.assoc):
+            out |= flat[base + way] == ll
+        return out
+
     def _access_fast(
         self, lines_arr: np.ndarray, miss_budget: int | None
     ) -> KernelResult:
-        """Follower skip + alternating hit/miss runs (no writes/prefetch)."""
+        """Follower skip + alternating runs + rounds tail (no writes)."""
         n = len(lines_arr)
         if n > 1:
             leader_pos = np.flatnonzero(
@@ -302,6 +340,46 @@ class ArrayKernel(SetKernel):
         else:
             leader_pos = np.zeros(1, dtype=np.int64)
         n_lead = len(leader_pos)
+
+        # Set-aware follower skip: a leader whose *same-set* predecessor
+        # in this chunk touched the same line is a certain hit with zero
+        # state change — within a set, state only moves on that set's own
+        # references, so the line is still that set's MRU (LRU promote is
+        # a no-op; FIFO/RANDOM do nothing on hits, and RANDOM pops the
+        # pool only on misses). This catches interleaved revisit patterns
+        # (A X A X ...) that the adjacent-follower skip above cannot: one
+        # stable radix sort groups leaders by set while preserving chunk
+        # order, so equal neighbours there are exactly the per-set
+        # consecutive repeats. Streams that touch each line a few times
+        # in a row per set collapse to distinct-line miss runs the
+        # closed-form fill phase applies wholesale. The surviving
+        # grouped order is kept (``grouped``) so the miss-run phase can
+        # certify revisits as re-misses and whole-chunk fills can skip
+        # re-sorting.
+        grouped = None
+        if n_lead >= self._rounds_min:
+            pre_lines = lines_arr[leader_pos].astype(np.int64)
+            pre_sets = pre_lines & self.set_mask
+            pre_order = np.argsort(
+                _radix_key(pre_sets, self.n_sets - 1), kind="stable"
+            )
+            sl = pre_lines[pre_order]
+            sg = pre_sets[pre_order]
+            skeep = np.ones(n_lead, dtype=bool)
+            skeep[1:] = (sl[1:] != sl[:-1]) | (sg[1:] != sg[:-1])
+            if not skeep.all():
+                lkeep = np.ones(n_lead, dtype=bool)
+                lkeep[pre_order[~skeep]] = False
+                new_idx = np.cumsum(lkeep) - 1
+                leader_pos = leader_pos[lkeep]
+                n_lead = len(leader_pos)
+                pre_order = new_idx[pre_order[skeep]]
+                sg = sg[skeep]
+            firstg = np.ones(n_lead, dtype=bool)
+            firstg[1:] = sg[1:] != sg[:-1]
+            gstart = np.flatnonzero(firstg)
+            gsz = np.diff(np.append(gstart, n_lead))
+            grouped = (pre_order, sg, gstart, gsz)
 
         miss_flags = bytearray(n)
         mf = np.frombuffer(miss_flags, dtype=np.uint8)
@@ -314,33 +392,25 @@ class ArrayKernel(SetKernel):
         lru = self.policy is ReplacementPolicy.LRU
         random_policy = self.policy is ReplacementPolicy.RANDOM
 
+        tags2d = self._tags2d
+        arrays = (tags2d, self._dirty2d, self._head_np, self._cnt_np)
+        leader_lines = lines_arr[leader_pos].astype(np.int64)
+        sets_all = leader_lines & set_mask
+
         # -------- vectorised phases: alternate certified-hit runs and
-        # guaranteed-miss runs against live NumPy state.
+        # guaranteed-miss runs against the live state.
         start = 0  # index into leader_pos of the first unprocessed leader
-        arrays = None
-        if n_lead >= self._batch_min:
-            leader_lines = lines_arr[leader_pos].astype(np.int64)
-            sets_all = leader_lines & set_mask
-            is_dup = None  # computed lazily, once per chunk
+        if n_lead >= self._batch_min and grouped is not None:
+            unsafe_j = None  # computed lazily, once per chunk
             rounds = 0
             while True:
                 rem = n_lead - start
                 if rem < 64 or rounds >= 8:
                     break
                 rounds += 1
-                if arrays is None:
-                    tags2d = np.asarray(self._tags, dtype=np.int64).reshape(
-                        self.n_sets, assoc
-                    )
-                    dirty2d = np.asarray(self._dirty, dtype=np.int64).reshape(
-                        self.n_sets, assoc
-                    )
-                    head_np = np.asarray(self._head, dtype=np.int64)
-                    cnt_np = np.asarray(self._cnt, dtype=np.int64)
-                    arrays = (tags2d, dirty2d, head_np, cnt_np)
                 ll = leader_lines[start:]
                 ss = sets_all[start:]
-                resident = (tags2d[ss] == ll[:, None]).any(axis=1)
+                resident = self._resident_mask(ss, ll)
                 min_run = 64 if rem < 4096 else rem >> 6
                 if resident[0]:
                     run = rem if resident.all() else int(np.argmin(resident))
@@ -355,27 +425,72 @@ class ArrayKernel(SetKernel):
                     stop = (
                         int(np.argmax(resident)) if resident.any() else rem
                     )
-                    if is_dup is None:
-                        # A leader repeating ANY earlier in-chunk leader
-                        # line may have been filled since chunk start, so
-                        # its fate is state-dependent: stop runs there.
-                        # (Chunk-global and so slightly conservative —
-                        # one sort per chunk instead of one per run.)
-                        sidx = np.argsort(leader_lines, kind="stable")
-                        slv = leader_lines[sidx]
-                        is_dup = np.zeros(n_lead, dtype=bool)
-                        is_dup[sidx[1:][slv[1:] == slv[:-1]]] = True
-                    dup_slice = is_dup[start : start + stop]
-                    m = (
-                        min(stop, int(np.argmax(dup_slice)))
-                        if dup_slice.any()
-                        else stop
-                    )
+                    if budget is not None:
+                        stop = min(stop, budget)
+                    if stop < min_run:
+                        break  # too short even before dup trimming
+                    if unsafe_j is None:
+                        # A leader revisiting an earlier in-chunk leader
+                        # line is itself a guaranteed re-miss when at
+                        # least ``assoc`` same-set leaders sit between
+                        # the two occurrences: inside an all-miss run
+                        # every one of those is a fill, and ``assoc``
+                        # fills are exactly what it takes to walk the
+                        # revisited line out of its set under LRU and
+                        # FIFO alike (no interleaved hit can refresh it
+                        # — the run has none). Only *unsafe* revisits
+                        # (gap <= assoc, fate state-dependent) need to
+                        # stop a run — and an unsafe revisit sits within
+                        # ``assoc`` positions of its previous occurrence
+                        # in the set-grouped order computed at the top
+                        # of the chunk, so ``assoc`` shifted equality
+                        # passes over that order find them all with no
+                        # further sorting. (Chunk-global, once per
+                        # chunk; distant revisits never make the list.)
+                        g_order, g_sets, _, _ = grouped
+                        pis = []
+                        pjs = []
+                        sl_lines = leader_lines[g_order]
+                        for d in range(1, assoc + 1):
+                            near = (sl_lines[d:] == sl_lines[:-d]) & (
+                                g_sets[d:] == g_sets[:-d]
+                            )
+                            if near.any():
+                                hit_k = np.flatnonzero(near)
+                                pis.append(g_order[hit_k])
+                                pjs.append(g_order[hit_k + d])
+                        if pis:
+                            unsafe_j = (
+                                np.concatenate(pis),
+                                np.concatenate(pjs),
+                            )
+                        else:
+                            empty = np.zeros(0, dtype=np.int64)
+                            unsafe_j = (empty, empty)
+                    p_i, p_j = unsafe_j
+                    if p_j.size:
+                        # Cut before the first unsafe revisit whose
+                        # previous occurrence is also in this run (an
+                        # older occurrence is settled by the residency
+                        # test above — consecutive pairs mean nothing
+                        # refills the line in between).
+                        live = p_i >= start
+                        if live.any():
+                            m = min(stop, int(p_j[live].min()) - start)
+                        else:
+                            m = stop
+                    else:
+                        m = stop
                     if budget is not None:
                         m = min(m, budget)
                     if m < min_run:
                         break
-                    wb = self._fill_run(arrays, ss[:m], ll[:m])
+                    presorted = None
+                    if start == 0 and m == n_lead:
+                        # Whole-chunk fill: reuse the set grouping from
+                        # the top-of-chunk sort instead of re-sorting.
+                        presorted = grouped
+                    wb = self._fill_run(arrays, ss[:m], ll[:m], presorted)
                     mf[leader_pos[start : start + m]] = 1
                     misses += m
                     writebacks += wb
@@ -384,7 +499,6 @@ class ArrayKernel(SetKernel):
                         budget -= m
                         if budget == 0:
                             consumed = int(leader_pos[start + m - 1]) + 1
-                            self._flush_arrays(arrays)
                             miss_mask = np.frombuffer(
                                 bytes(miss_flags[:consumed]), dtype=np.uint8
                             ).astype(bool)
@@ -392,42 +506,55 @@ class ArrayKernel(SetKernel):
                                 miss_mask, consumed, misses, writebacks, 0
                             )
                     start += m
-            # Scattered certified-hit pass: after the contiguous runs
-            # stall, any remaining leader that is resident AND precedes
-            # its own set's first non-resident leader must hit — other
-            # sets' misses can't evict it. Promote those wholesale and
-            # drop them from the sequential tail. With a budget the LRU
-            # variant is unsound: a mid-tail stop makes the caller
-            # replay leaders whose promotes were already applied.
-            seq_leaders = None
-            rem = n_lead - start
-            if (
-                arrays is not None
-                and rem >= 256
-                and (budget is None or not lru)
-            ):
-                ll = leader_lines[start:]
-                ss = sets_all[start:]
-                resident = (tags2d[ss] == ll[:, None]).any(axis=1)
-                nonres = np.flatnonzero(~resident)
-                if nonres.size:
-                    first_miss = np.full(self.n_sets, rem, dtype=np.int64)
-                    np.minimum.at(first_miss, ss[nonres], nonres)
-                    certified = resident & (
-                        np.arange(rem) < first_miss[ss]
-                    )
-                else:
-                    certified = resident  # every remaining leader hits
-                if certified.any():
-                    if lru:
-                        self._promote_run(arrays, ss[certified], ll[certified])
-                    seq_leaders = (
-                        np.flatnonzero(~certified) + start
-                    ).tolist()
-            if arrays is not None:
-                self._flush_arrays(arrays)
-        else:
-            seq_leaders = None
+
+        rem = n_lead - start
+        if rem == 0:
+            miss_mask = np.frombuffer(
+                bytes(miss_flags[:consumed]), dtype=np.uint8
+            ).astype(bool)
+            return KernelResult(miss_mask, consumed, misses, writebacks, 0)
+
+        # -------- rounds tail: whole-chunk gather/scatter for the
+        # scattered remainder. Sound only without a budget (the cut point
+        # depends on global miss order) and without RANDOM eviction (pool
+        # pops happen in global miss order); per-set reference order is
+        # preserved exactly, and sets are independent.
+        if budget is None and not random_policy and rem >= self._rounds_min:
+            tail_misses, tail_wb = self._tail_rounds(
+                leader_lines[start:],
+                sets_all[start:],
+                leader_pos[start:],
+                mf,
+            )
+            misses += tail_misses
+            writebacks += tail_wb
+            miss_mask = np.frombuffer(
+                bytes(miss_flags[:consumed]), dtype=np.uint8
+            ).astype(bool)
+            return KernelResult(miss_mask, consumed, misses, writebacks, 0)
+
+        # Scattered certified-hit pass before the sequential tail: any
+        # remaining leader that is resident AND precedes its own set's
+        # first non-resident leader must hit — other sets' misses can't
+        # evict it. Promote those wholesale and drop them from the tail.
+        # With a budget the LRU variant is unsound: a mid-tail stop makes
+        # the caller replay leaders whose promotes were already applied.
+        seq_leaders = None
+        if rem >= 256 and (budget is None or not lru):
+            ll = leader_lines[start:]
+            ss = sets_all[start:]
+            resident = self._resident_mask(ss, ll)
+            nonres = np.flatnonzero(~resident)
+            if nonres.size:
+                first_miss = np.full(self.n_sets, rem, dtype=np.int64)
+                np.minimum.at(first_miss, ss[nonres], nonres)
+                certified = resident & (np.arange(rem) < first_miss[ss])
+            else:
+                certified = resident  # every remaining leader hits
+            if certified.any():
+                if lru:
+                    self._promote_run(arrays, ss[certified], ll[certified])
+                seq_leaders = (np.flatnonzero(~certified) + start).tolist()
 
         if seq_leaders is None:
             seq_leaders = range(start, n_lead)
@@ -440,16 +567,14 @@ class ArrayKernel(SetKernel):
         # -------- sequential tail: lazily materialise touched sets as
         # small logical-order Python lists (membership over <= assoc
         # boxed ints, pop/append mutations) with dirtiness tracked by
-        # line value — the same shapes the reference kernel uses, which
-        # beat flat-slice arithmetic ~3x on miss-heavy streams. Only
+        # line value — the same shapes the reference kernel uses. Only
         # touched sets pay conversion, and they are written back to the
-        # flat state once at the end of the chunk.
+        # arrays once at the end of the chunk.
         lines = lines_arr.tolist()
         lp = leader_pos.tolist()
-        tags = self._tags
-        head = self._head
-        cnt = self._cnt
-        dirty = self._dirty
+        head_np = self._head_np
+        cnt_np = self._cnt_np
+        dirty2d = self._dirty2d
         rand_pool = self._rand_pool
         n_dirty = self._n_dirty
         had_dirty = n_dirty > 0
@@ -467,18 +592,18 @@ class ArrayKernel(SetKernel):
             last[s_idx] = line
             s = slists[s_idx]
             if s is None:
-                base = s_idx * assoc
-                h = head[s_idx]
+                row = tags2d[s_idx].tolist()
+                h = int(head_np[s_idx])
                 if h:  # head != 0 implies a full set
-                    s = tags[base + h : base + assoc] + tags[base : base + h]
+                    s = row[h:] + row[:h]
                 else:
-                    s = tags[base : base + cnt[s_idx]]
+                    s = row[: int(cnt_np[s_idx])]
                 slists[s_idx] = s
                 touched.append(s_idx)
                 if had_dirty:
-                    for j in range(base, base + assoc):
-                        if dirty[j]:
-                            dirty_set.add(tags[j])
+                    for t_val, d_val in zip(row, dirty2d[s_idx].tolist()):
+                        if d_val:
+                            dirty_set.add(t_val)
             if line in s:
                 if lru and s[-1] != line:
                     s.remove(line)
@@ -499,22 +624,22 @@ class ArrayKernel(SetKernel):
                         consumed = i + 1
                         break
 
-        # Write the touched sets back to the flat state (head normalised
-        # to 0, empty ways cleared and clean).
+        # Write the touched sets back to the arrays (head normalised to
+        # 0, empty ways cleared and clean).
         for s_idx in touched:
             s = slists[s_idx]
-            base = s_idx * assoc
             c = len(s)
-            tags[base : base + c] = s
-            for j in range(base + c, base + assoc):
-                tags[j] = _EMPTY
-            cnt[s_idx] = c
-            head[s_idx] = 0
+            row = tags2d[s_idx]
+            row[:c] = s
+            row[c:] = _EMPTY
+            cnt_np[s_idx] = c
+            head_np[s_idx] = 0
             if had_dirty:
+                drow = dirty2d[s_idx]
+                drow[:] = 0
                 for j, ln in enumerate(s):
-                    dirty[base + j] = 1 if ln in dirty_set else 0
-                for j in range(base + c, base + assoc):
-                    dirty[j] = 0
+                    if ln in dirty_set:
+                        drow[j] = 1
 
         self._n_dirty = n_dirty
         miss_mask = np.frombuffer(bytes(miss_flags[:consumed]), dtype=np.uint8).astype(
@@ -524,14 +649,217 @@ class ArrayKernel(SetKernel):
 
     # --------------------------------------------------- vectorised phases
 
-    def _flush_arrays(self, arrays) -> None:
-        tags2d, dirty2d, head_np, cnt_np = arrays
-        self._tags = tags2d.ravel().tolist()
-        self._dirty = dirty2d.ravel().tolist()
-        self._head = head_np.tolist()
-        self._cnt = cnt_np.tolist()
+    def _tail_rounds(
+        self,
+        ll: np.ndarray,
+        ss: np.ndarray,
+        pos: np.ndarray,
+        mf: np.ndarray,
+    ) -> tuple[int, int]:
+        """Replay the remaining leaders as per-set rounds (LRU/FIFO only).
 
-    def _promote_run(self, arrays, run_sets: np.ndarray, run_lines: np.ndarray) -> None:
+        Leaders are stably grouped by set; round ``r`` applies every
+        touched set's ``r``-th remaining reference in one vectorised
+        gather/hit-test/scatter pass over compact working matrices of
+        just the touched sets. Recency/insertion order is tracked as a
+        per-slot *timestamp* (seeded from each line's logical position,
+        then one strictly-increasing stamp per round) so that an LRU
+        promote is a single scatter and eviction is an ``argmin`` —
+        the canonical ``(head, cnt)`` circular encoding is restored by
+        one per-row argsort at the very end of the chunk, not per round.
+        Each set sees its references in chunk order and sets are
+        independent, so the result is bit-identical to the sequential
+        loop. Returns ``(misses, writebacks)`` and scatters the global
+        miss flags through ``mf``/``pos``.
+        """
+        tags2d = self._tags2d
+        dirty2d = self._dirty2d
+        assoc = self.assoc
+        m = len(ll)
+
+        order = np.argsort(_radix_key(ss, self.n_sets - 1), kind="stable")
+        s_sets = ss[order]
+        l_sets = ll[order]
+        p_sets = pos[order]
+        # Collapse consecutive same-line references within each set's
+        # subsequence: only the first can miss (afterwards the line is
+        # resident), and re-touching the MRU line is a no-op for LRU
+        # recency order and FIFO insertion order alike — the sequential
+        # tail skips them via its `last` check for the same reason.
+        # Dictionary-style streams (compress) shed most of their rounds
+        # here: the round count is the max per-set *collapsed* length.
+        keep = np.ones(m, dtype=bool)
+        keep[1:] = (l_sets[1:] != l_sets[:-1]) | (s_sets[1:] != s_sets[:-1])
+        if not keep.all():
+            s_sets = s_sets[keep]
+            l_sets = l_sets[keep]
+            p_sets = p_sets[keep]
+            m = len(s_sets)
+        first = np.ones(m, dtype=bool)
+        first[1:] = s_sets[1:] != s_sets[:-1]
+        grp_start = np.flatnonzero(first)
+        grp_sizes = np.diff(np.append(grp_start, m))
+        seq = np.arange(m, dtype=np.int64) - np.repeat(grp_start, grp_sizes)
+        max_rounds = int(grp_sizes.max())
+        if max_rounds > max(64, m >> 4):
+            # Pathological single-set pile-up: per-round selections would
+            # be tiny, so the sequential tail is the faster mirror.
+            return self._tail_python(ll, ss, pos, mf)
+        order2 = np.argsort(_radix_key(seq, max_rounds - 1), kind="stable")
+        bounds = np.searchsorted(seq[order2], np.arange(max_rounds + 1))
+
+        # Compact working copies of the touched sets only. Tags and
+        # timestamps ride side by side in one [T, 2*assoc] matrix so each
+        # round pays a single row gather for both.
+        rows_u = s_sets[grp_start]  # sorted unique touched sets
+        wdirty = dirty2d[rows_u]
+        h = self._head_np[rows_u]
+        stride = 2 * assoc
+        wstate = np.empty((len(rows_u), stride), dtype=np.int64)
+        wstate[:, :assoc] = tags2d[rows_u]
+        # Timestamp seed: logical position of each valid slot (empties
+        # get -1 so argmin fills them first, lowest slot first — non-full
+        # sets have head 0, so their empties sit above the valid slots in
+        # increasing order, matching sequential fill order).
+        raw = np.arange(assoc)[None, :] + (assoc - h[:, None])
+        wstate[:, assoc:] = (
+            raw & (assoc - 1) if self._way_mask else raw % assoc
+        )
+        wstate[:, assoc:][wstate[:, :assoc] == _EMPTY] = -1
+
+        # Per-leader compact row index and line/pos, in round order.
+        inv = np.repeat(np.arange(len(rows_u), dtype=np.int64), grp_sizes)
+        lrows = inv[order2]
+        llines = l_sets[order2]
+        lpos = p_sets[order2]
+
+        lru = self.policy is ReplacementPolicy.LRU
+        wstate1 = wstate.reshape(-1)
+        wdirty1 = wdirty.reshape(-1)
+        track_dirty = self._n_dirty > 0
+        stamp = assoc  # strictly above every seed value
+        misses = 0
+        writebacks = 0
+        for r in range(max_rounds):
+            sl = slice(int(bounds[r]), int(bounds[r + 1]))
+            rows = lrows[sl]
+            rl = llines[sl]
+            g = wstate[rows]
+            eq = g[:, :assoc] == rl[:, None]
+            hit = eq.any(axis=1)
+            # LRU victim = least-recent stamp; FIFO victim = earliest
+            # insertion stamp (hits never refresh it). Either way argmin.
+            victim = g[:, assoc:].argmin(axis=1)
+            slot = np.where(hit, eq.argmax(axis=1), victim)
+            flat = rows * stride + slot
+            # Unconditional: a hit rewrites its own tag, a miss fills.
+            wstate1[flat] = rl
+            if lru:
+                wstate1[flat + assoc] = stamp  # promote and fill alike
+            midx = np.flatnonzero(~hit)
+            if midx.size:
+                if track_dirty:
+                    dflat = rows[midx] * assoc + slot[midx]
+                    wb = int(wdirty1[dflat].sum())
+                    writebacks += wb
+                    wdirty1[dflat] = 0
+                if not lru:
+                    wstate1[flat[midx] + assoc] = stamp
+                mf[lpos[sl][midx]] = 1
+                misses += midx.size
+            stamp += 1
+
+        # Restore the canonical encoding: valid slots by ascending stamp
+        # (oldest first), empties last, head normalised to 0.
+        wtags = wstate[:, :assoc]
+        empty = wtags == _EMPTY
+        key = np.where(empty, np.int64(1) << 60, wstate[:, assoc:])
+        orderw = np.argsort(key, axis=1, kind="stable")
+        tags2d[rows_u] = np.take_along_axis(wtags, orderw, axis=1)
+        dirty2d[rows_u] = np.take_along_axis(wdirty, orderw, axis=1)
+        self._cnt_np[rows_u] = (~empty).sum(axis=1)
+        self._head_np[rows_u] = 0
+        self._n_dirty -= writebacks
+        return misses, writebacks
+
+    def _tail_python(
+        self,
+        ll: np.ndarray,
+        ss: np.ndarray,
+        pos: np.ndarray,
+        mf: np.ndarray,
+    ) -> tuple[int, int]:
+        """Budget-free sequential tail over an explicit leader list —
+        the rounds tail's fallback for degenerate set distributions."""
+        tags2d = self._tags2d
+        dirty2d = self._dirty2d
+        head_np = self._head_np
+        cnt_np = self._cnt_np
+        assoc = self.assoc
+        lru = self.policy is ReplacementPolicy.LRU
+        n_dirty = self._n_dirty
+        had_dirty = n_dirty > 0
+        misses = 0
+        writebacks = 0
+        lines = ll.tolist()
+        sets = ss.tolist()
+        positions = pos.tolist()
+        last = [-1] * self.n_sets
+        slists = [None] * self.n_sets
+        touched = []
+        dirty_set = set()
+        for line, s_idx, i in zip(lines, sets, positions):
+            if last[s_idx] == line:
+                continue
+            last[s_idx] = line
+            s = slists[s_idx]
+            if s is None:
+                row = tags2d[s_idx].tolist()
+                h = int(head_np[s_idx])
+                if h:
+                    s = row[h:] + row[:h]
+                else:
+                    s = row[: int(cnt_np[s_idx])]
+                slists[s_idx] = s
+                touched.append(s_idx)
+                if had_dirty:
+                    for t_val, d_val in zip(row, dirty2d[s_idx].tolist()):
+                        if d_val:
+                            dirty_set.add(t_val)
+            if line in s:
+                if lru and s[-1] != line:
+                    s.remove(line)
+                    s.append(line)
+            else:
+                mf[i] = 1
+                misses += 1
+                if len(s) >= assoc:
+                    victim = s.pop(0)  # LRU/FIFO only: head eviction
+                    if n_dirty and victim in dirty_set:
+                        writebacks += 1
+                        dirty_set.discard(victim)
+                        n_dirty -= 1
+                s.append(line)
+        for s_idx in touched:
+            s = slists[s_idx]
+            c = len(s)
+            row = tags2d[s_idx]
+            row[:c] = s
+            row[c:] = _EMPTY
+            cnt_np[s_idx] = c
+            head_np[s_idx] = 0
+            if had_dirty:
+                drow = dirty2d[s_idx]
+                drow[:] = 0
+                for j, ln in enumerate(s):
+                    if ln in dirty_set:
+                        drow[j] = 1
+        self._n_dirty = n_dirty
+        return misses, writebacks
+
+    def _promote_run(
+        self, arrays: _Arrays, run_sets: np.ndarray, run_lines: np.ndarray
+    ) -> None:
         """Apply a certified-hit run's LRU promotes wholesale.
 
         After a sequence of hits, lines never hit keep their relative
@@ -565,37 +893,59 @@ class ArrayKernel(SetKernel):
         dirty2d[rows] = np.take_along_axis(dirty2d[rows], order, axis=1)
         head_np[rows] = 0
 
-    def _fill_run(self, arrays, cs: np.ndarray, cl: np.ndarray) -> int:
+    def _fill_run(
+        self,
+        arrays: _Arrays,
+        cs: np.ndarray,
+        cl: np.ndarray,
+        presorted: _Arrays | None = None,
+    ) -> int:
         """Apply a guaranteed-miss run as vectorised circular appends.
 
-        ``cs``/``cl`` are the run's sets and (distinct, non-resident)
-        lines in chunk order; returns the number of dirty victims
-        written back. Only called for LRU/FIFO.
+        ``cs``/``cl`` are the run's sets and non-resident lines in chunk
+        order (a line may repeat when the caller certified the revisit
+        as a re-miss — by then the earlier fill has already been walked
+        out, so appending again is exact); returns the number of dirty
+        victims written back. Only called for LRU/FIFO. ``presorted``
+        optionally carries ``(order, s_sets, grp_start, grp_sizes)``
+        from a caller that already grouped the whole run by set.
         """
         tags2d, dirty2d, head_np, cnt_np = arrays
         assoc = self.assoc
         m = len(cl)
-        order = np.argsort(cs, kind="stable")
-        s_sets = cs[order]
-        s_lines = cl[order]
-        # Per-set fill sequence number: position within the set's group.
-        first = np.ones(m, dtype=bool)
-        first[1:] = s_sets[1:] != s_sets[:-1]
-        grp_start = np.flatnonzero(first)
-        grp_sizes = np.diff(np.append(grp_start, m))
+        if presorted is not None:
+            order, s_sets, grp_start, grp_sizes = presorted
+            s_lines = cl[order]
+        else:
+            order = np.argsort(
+                _radix_key(cs, self.n_sets - 1), kind="stable"
+            )
+            s_sets = cs[order]
+            s_lines = cl[order]
+            # Per-set fill sequence number: position in the set's group.
+            first = np.ones(m, dtype=bool)
+            first[1:] = s_sets[1:] != s_sets[:-1]
+            grp_start = np.flatnonzero(first)
+            grp_sizes = np.diff(np.append(grp_start, m))
         seq = np.arange(m, dtype=np.int64) - np.repeat(grp_start, grp_sizes)
 
         c0s = cnt_np[s_sets]
         t = c0s + seq  # logical tail index of each fill
-        phys = (head_np[s_sets] + t) % assoc
+        raw = head_np[s_sets] + t  # non-negative, so masking == modulo
+        phys = raw & (assoc - 1) if self._way_mask else raw % assoc
         flat = s_sets * assoc + phys
 
         # A fill evicts iff its set was full at fill time (t >= assoc);
         # the victim predates the run — and so can be dirty — iff it
         # was not itself filled by an earlier wrap (t < cnt0 + assoc).
+        # With no dirty line anywhere the writeback accounting is all
+        # zeros, so the gather/scatter pair is skipped outright.
+        wb = 0
+        track_dirty = self._n_dirty > 0
         dirty_flat = dirty2d.reshape(-1)
-        evict_pre = (t >= assoc) & (t < c0s + assoc)
-        wb = int(dirty_flat[flat[evict_pre]].sum())
+        if track_dirty:
+            evict_pre = (t >= assoc) & (t < c0s + assoc)
+            wb = int(dirty_flat[flat[evict_pre]].sum())
 
         # Only a set's last `assoc` fills survive, and together they hit
         # every slot the set's earlier fills touched (same phys modulo
@@ -604,7 +954,8 @@ class ArrayKernel(SetKernel):
         fills = np.repeat(grp_sizes, grp_sizes)
         final = seq >= fills - assoc
         tags2d.reshape(-1)[flat[final]] = s_lines[final]
-        dirty_flat[flat[final]] = 0
+        if track_dirty:
+            dirty_flat[flat[final]] = 0
 
         fill_sets = s_sets[grp_start]
         c0 = cnt_np[fill_sets]
@@ -613,3 +964,4 @@ class ArrayKernel(SetKernel):
             head_np[fill_sets] + np.maximum(0, c0 + grp_sizes - assoc)
         ) % assoc
         return wb
+    # reprolint: disable-file=RPL303

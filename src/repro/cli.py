@@ -101,7 +101,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(KERNEL_BACKENDS),
         default=None,
         help="cache kernel backend (default: the config's 'reference'); "
-        "backends are bit-identical, 'array' is the fast path",
+        "backends are bit-identical, 'array' is the fast path and 'auto' "
+        "picks per run from observed miss density",
+    )
+    parser.add_argument(
+        "--compile-streams",
+        action="store_true",
+        help="lower workloads to precompiled reference streams before "
+        "running (bit-identical, much faster for uninstrumented runs; "
+        "streams are cached under --cache-dir when given)",
     )
     parser.add_argument("--seed", type=int, default=1234)
     parser.add_argument(
@@ -264,7 +272,11 @@ def main(argv: list[str] | None = None) -> int:
         print("--resume requires --cache-dir", file=sys.stderr)
         return 2
     runner = ExperimentRunner(
-        RunnerConfig(seed=args.seed, backend=args.backend),
+        RunnerConfig(
+            seed=args.seed,
+            backend=args.backend,
+            compile_streams=args.compile_streams,
+        ),
         quick=args.quick,
         jobs=args.jobs,
         cache_dir=args.cache_dir,

@@ -72,6 +72,13 @@ class SimSpec:
     chunk_size: int = 1 << 15
     l1: CacheConfig | None = None
     prefetch_next_line: bool = False
+    #: Lower workloads to precompiled reference streams before running
+    #: (repro.workloads.compile). Bit-identical to the generator path,
+    #: but — like ``backend`` — folded into every task key so a cached
+    #: result records how it was produced. The on-disk stream cache
+    #: location is a runtime concern (ParallelRunner/ExperimentRunner
+    #: pass it alongside, outside the key).
+    compile_streams: bool = False
 
     def build(self, seed: int | None) -> Simulator:
         return Simulator(
@@ -83,6 +90,7 @@ class SimSpec:
             chunk_size=self.chunk_size,
             l1_config=self.l1,
             prefetch_next_line=self.prefetch_next_line,
+            compile_streams=self.compile_streams,
         )
 
 
@@ -333,7 +341,9 @@ def strip_result(result: RunResult) -> RunResult:
 
 
 def execute_task(
-    spec: TaskSpec, checkpoint: CheckpointPolicy | None = None
+    spec: TaskSpec,
+    checkpoint: CheckpointPolicy | None = None,
+    stream_cache_dir: str | None = None,
 ) -> RunResult:
     """Run one grid cell to completion (pure function of the spec).
 
@@ -341,16 +351,31 @@ def execute_task(
     checkpoint when a valid one exists (a preempted or crashed worker
     left it behind), writes fresh checkpoints every ``every_refs``
     simulated references, and removes the file once the cell completes —
-    results are bit-identical either way.
+    results are bit-identical either way. ``stream_cache_dir`` hosts the
+    compiled-stream cache when ``spec.sim.compile_streams`` is on; it is
+    machine-local and deliberately outside the task key.
     """
     workload = make_workload(spec.workload, seed=spec.seed, **spec.workload_kwargs)
+    compiled = None
+    if spec.sim.compile_streams:
+        from repro.workloads.compile import (
+            StreamCompileError,
+            compiled_stream_for,
+        )
+
+        try:
+            compiled = compiled_stream_for(workload, stream_cache_dir)
+        except StreamCompileError:
+            compiled = None
     session: SimulationSession | None = None
     key = spec.key() if checkpoint is not None else None
     if checkpoint is not None:
         snapshot = checkpoint.load(key)
         if snapshot is not None:
             try:
-                session = SimulationSession.restore(snapshot, workload)
+                session = SimulationSession.restore(
+                    snapshot, workload, compiled=compiled
+                )
             except SimulationError:
                 checkpoint.discard(key)
                 session = None
@@ -362,6 +387,7 @@ def execute_task(
             tool=tool,
             series_bucket_cycles=spec.series_bucket_cycles,
             max_refs=spec.max_refs,
+            compiled=compiled,
         )
     if checkpoint is not None:
         session.run(
@@ -369,8 +395,7 @@ def execute_task(
             on_checkpoint=lambda snap: checkpoint.save(key, snap),
         )
     else:
-        while session.step():
-            pass
+        session.run()
     result = session.finalize()
     if checkpoint is not None:
         checkpoint.discard(key)
@@ -378,11 +403,13 @@ def execute_task(
 
 
 def _timed_execute(
-    spec: TaskSpec, checkpoint: CheckpointPolicy | None = None
+    spec: TaskSpec,
+    checkpoint: CheckpointPolicy | None = None,
+    stream_cache_dir: str | None = None,
 ) -> tuple[RunResult, float]:
     """Worker entry point: execute and report wall-clock seconds."""
     t0 = time.perf_counter()
-    result = execute_task(spec, checkpoint)
+    result = execute_task(spec, checkpoint, stream_cache_dir)
     return result, time.perf_counter() - t0
 
 
@@ -405,12 +432,18 @@ class ParallelRunner:
         cache: ResultCache | None = None,
         manifest: Manifest | None = None,
         checkpoints: CheckpointPolicy | None = None,
+        stream_cache_dir: "str | os.PathLike | None" = None,
     ) -> None:
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.cache = cache
         self.manifest = manifest if manifest is not None else Manifest()
         #: When set, workers checkpoint mid-run and resume preempted cells.
         self.checkpoints = checkpoints
+        #: Compiled-stream cache root handed to workers (used only by
+        #: specs with ``sim.compile_streams=True``).
+        self.stream_cache_dir = (
+            str(stream_cache_dir) if stream_cache_dir is not None else None
+        )
 
     def run(self, specs: list[TaskSpec]) -> list[RunResult]:
         results: list[RunResult | None] = [None] * len(specs)
@@ -432,7 +465,9 @@ class ParallelRunner:
             self._run_pool(unique, pending, results)
         else:
             for key, spec in unique:
-                result, wall = _timed_execute(spec, self.checkpoints)
+                result, wall = _timed_execute(
+                    spec, self.checkpoints, self.stream_cache_dir
+                )
                 self._finish(key, spec, result, wall, pending, results)
         return results  # type: ignore[return-value]
 
@@ -442,7 +477,9 @@ class ParallelRunner:
         workers = min(self.jobs, len(unique))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(_timed_execute, spec, self.checkpoints): (key, spec)
+                pool.submit(
+                    _timed_execute, spec, self.checkpoints, self.stream_cache_dir
+                ): (key, spec)
                 for key, spec in unique
             }
             outstanding = set(futures)

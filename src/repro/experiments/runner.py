@@ -66,10 +66,16 @@ class RunnerConfig:
     period_scale: float = 1.0
     #: Workload size knobs forwarded to each factory (quick mode shrinks).
     workload_kwargs: dict = None
-    #: Cache kernel backend override ("reference"/"array"); None keeps the
-    #: cache config's own selection. Backends are bit-identical, but the
-    #: choice is folded into ``cache`` so every TaskSpec key carries it.
+    #: Cache kernel backend override ("reference"/"array"/"auto"); None
+    #: keeps the cache config's own selection. Backends are bit-identical,
+    #: but the choice is folded into ``cache`` so every TaskSpec key
+    #: carries it.
     backend: str = None
+    #: Lower workloads to precompiled reference streams before running
+    #: (repro.workloads.compile); bit-identical speed knob, carried into
+    #: task keys via SimSpec. The stream cache shares the runner's
+    #: ``cache_dir``.
+    compile_streams: bool = False
 
     def __post_init__(self) -> None:
         if self.cache is None:
@@ -135,16 +141,26 @@ class ExperimentRunner:
         #: In-process memo: task key -> result, so baselines and repeated
         #: cells are simulated once per runner regardless of disk caching.
         self._memo: dict[str, RunResult] = {}
+        #: Compiled-stream cache root (shares the result-cache directory;
+        #: None keeps compilation per-process when no cache is configured).
+        self.stream_cache_dir = (
+            str(self.result_cache.root)
+            if self.result_cache is not None
+            else None
+        )
         self.sim_spec = SimSpec(
             cache=self.config.cache,
             n_region_counters=10,
             cost_model=CostModel(),
+            compile_streams=self.config.compile_streams,
         )
         self.simulator = Simulator(
             cache_config=self.config.cache,
             n_region_counters=10,
             cost_model=CostModel(),
             seed=self.config.seed,
+            compile_streams=self.config.compile_streams,
+            stream_cache_dir=self.stream_cache_dir,
         )
 
     # ------------------------------------------------------------ workloads
@@ -206,7 +222,7 @@ class ExperimentRunner:
                 )
                 return cached
         t0 = time.perf_counter()
-        result = execute_task(spec, self.checkpoints)
+        result = execute_task(spec, self.checkpoints, self.stream_cache_dir)
         wall = time.perf_counter() - t0
         self._memo[key] = result
         if self.result_cache is not None:
@@ -383,6 +399,7 @@ class ExperimentRunner:
             cache=self.result_cache,
             manifest=self.manifest,
             checkpoints=self.checkpoints,
+            stream_cache_dir=self.stream_cache_dir,
         )
 
         base_specs = [self.task(app, label=f"{app}/baseline") for app in apps]

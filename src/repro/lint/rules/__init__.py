@@ -13,8 +13,17 @@ Importing this package registers every rule with the framework registry:
 * :mod:`repro.lint.rules.snapshots` — RPL5xx, the session snapshot
   payload covers every SessionSnapshot field (checkpoint/resume
   bit-identity).
+* :mod:`repro.lint.rules.streams` — RPL6xx, the compiled-stream
+  fingerprint covers every workload constructor parameter.
 """
 
-from repro.lint.rules import cachekey, determinism, kernels, snapshots, stats
+from repro.lint.rules import (
+    cachekey,
+    determinism,
+    kernels,
+    snapshots,
+    stats,
+    streams,
+)
 
-__all__ = ["determinism", "cachekey", "kernels", "snapshots", "stats"]
+__all__ = ["determinism", "cachekey", "kernels", "snapshots", "stats", "streams"]

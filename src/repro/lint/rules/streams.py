@@ -1,0 +1,201 @@
+"""Compiled-stream soundness rules (RPL6xx).
+
+The compiled-stream cache (``repro.workloads.compile``) content-addresses
+a workload's frozen reference stream. The address is only sound under
+two conventions, both easy to break silently:
+
+* ``RPL601`` — the ``stream_fingerprint`` payload must pin the full key
+  contract: ``kind`` (namespacing against other cached artifacts),
+  ``format`` (the on-disk layout version), ``workload`` and ``class``
+  (which stream this is), ``params`` (every constructor parameter) and
+  ``version`` (the source-code tag that invalidates streams on edits).
+  Dropping any of these serves stale or foreign streams for new
+  configurations — the exact failure mode RPL201 guards for results.
+* ``RPL602`` — ``params`` is read back off the instance by
+  ``workload_params``, which requires every ``Workload`` subclass to
+  store each ``__init__`` parameter under an attribute of the same name
+  (directly, or by forwarding to ``super().__init__``). A parameter
+  that is consumed without being stored leaves the fingerprint blind to
+  it: two *different* streams would share one cache entry. ``*args`` /
+  ``**kwargs`` cannot be content-addressed at all and are flagged too.
+
+Like the RPL2xx family, the rules are structural rather than path-bound:
+any module defining a ``stream_fingerprint`` function (or a class whose
+base is named ``Workload``) is checked, which lets the test fixtures
+exercise the failure modes without touching the real tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.lint.framework import (
+    ParsedModule,
+    Rule,
+    Violation,
+    dotted_name,
+    register,
+)
+from repro.lint.rules.cachekey import _stable_hash_payload, _string_keys
+
+#: The pinned top-level keys of the stream-fingerprint payload.
+FINGERPRINT_KEYS = ("kind", "format", "workload", "class", "params", "version")
+
+
+@register
+class StreamFingerprintKeysRule(Rule):
+    code = "RPL601"
+    name = "stream-fingerprint-keys"
+    description = (
+        "the stream_fingerprint payload must pin kind/format/workload/"
+        "class/params/version so compiled streams are fully "
+        "content-addressed"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterable[Violation]:
+        for node in module.tree.body:
+            if isinstance(node, ast.FunctionDef) and node.name == "stream_fingerprint":
+                yield from self._check_fingerprint(module, node)
+
+    def _check_fingerprint(
+        self, module: ParsedModule, func: ast.FunctionDef
+    ) -> Iterator[Violation]:
+        payload = _stable_hash_payload(func)
+        if payload is None:
+            yield module.violation(
+                func,
+                self.code,
+                "stream_fingerprint() does not hash a literal dict via "
+                "stable_hash({...}); key completeness cannot be verified "
+                "statically",
+            )
+            return
+        keys = _string_keys(payload, recurse=False)
+        for required in FINGERPRINT_KEYS:
+            if required not in keys:
+                yield module.violation(
+                    payload,
+                    self.code,
+                    f"stream-fingerprint payload lacks the {required!r} "
+                    "key; compiled streams would not be invalidated when "
+                    "it changes",
+                )
+
+
+@register
+class WorkloadParamRoundTripRule(Rule):
+    code = "RPL602"
+    name = "workload-param-round-trip"
+    description = (
+        "every Workload __init__ parameter must be stored under an "
+        "attribute of the same name (or forwarded to super().__init__) "
+        "so stream fingerprints can read it back"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterable[Violation]:
+        for node in module.tree.body:
+            if (
+                isinstance(node, ast.ClassDef)
+                and self._is_workload(node)
+                and not self._opted_out(node)
+            ):
+                init = self._init_method(node)
+                if init is not None:
+                    yield from self._check_init(module, node, init)
+
+    @staticmethod
+    def _is_workload(cls: ast.ClassDef) -> bool:
+        for base in cls.bases:
+            name = dotted_name(base)
+            if name is not None and name.split(".")[-1] == "Workload":
+                return True
+        return False
+
+    @staticmethod
+    def _opted_out(cls: ast.ClassDef) -> bool:
+        """True for ``compiled_stream_safe = False`` classes: they are
+        never fingerprinted, so the round-trip convention does not
+        apply to them."""
+        for node in cls.body:
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "compiled_stream_safe"
+                    and isinstance(node.value, ast.Constant)
+                    and node.value.value is False
+                ):
+                    return True
+        return False
+
+    @staticmethod
+    def _init_method(cls: ast.ClassDef) -> ast.FunctionDef | None:
+        for node in cls.body:
+            if isinstance(node, ast.FunctionDef) and node.name == "__init__":
+                return node
+        return None
+
+    def _check_init(
+        self, module: ParsedModule, cls: ast.ClassDef, init: ast.FunctionDef
+    ) -> Iterator[Violation]:
+        if init.args.vararg is not None or init.args.kwarg is not None:
+            yield module.violation(
+                init,
+                self.code,
+                f"{cls.name}.__init__ takes *args/**kwargs; its streams "
+                "cannot be content-addressed by parameters",
+            )
+        stored = self._stored_names(init)
+        params = [
+            arg.arg
+            for arg in (
+                init.args.posonlyargs + init.args.args + init.args.kwonlyargs
+            )
+            if arg.arg != "self"
+        ]
+        for param in params:
+            if param not in stored:
+                yield module.violation(
+                    init,
+                    self.code,
+                    f"{cls.name}.__init__ parameter {param!r} is never "
+                    f"stored as self.{param} (or forwarded to "
+                    "super().__init__); stream fingerprints would not "
+                    "see it (RPL602)",
+                )
+
+    @staticmethod
+    def _stored_names(init: ast.FunctionDef) -> set[str]:
+        """Names satisfying the round-trip: ``self.X = ...`` assignment
+        targets, plus everything forwarded to ``super().__init__``."""
+        stored: set[str] = set()
+        for node in ast.walk(init):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    stored.add(target.attr)
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "__init__"
+            ):
+                    for arg in node.args:
+                        if isinstance(arg, ast.Name):
+                            stored.add(arg.id)
+                    for kw in node.keywords:
+                        if kw.arg is not None:
+                            stored.add(kw.arg)
+        return stored

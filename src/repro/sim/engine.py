@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.cache.attribution import MissSeries
     from repro.core.profile import DataProfile
     from repro.workloads.base import Workload
+    from repro.workloads.compile import CompiledStream
 
 
 @dataclass
@@ -82,6 +83,8 @@ class Simulator:
         l1_config: CacheConfig | None = None,
         prefetch_next_line: bool = False,
         backend: str | None = None,
+        compile_streams: bool = False,
+        stream_cache_dir: "str | None" = None,
     ) -> None:
         if chunk_size <= 0:
             raise SimulationError("chunk_size must be positive")
@@ -91,6 +94,15 @@ class Simulator:
         #: Cache kernel backend override; None defers to the config's
         #: ``backend`` field. Backends are bit-identical (speed knob only).
         self.backend = backend
+        #: Lower workloads to precompiled reference streams before
+        #: running (see repro.workloads.compile) — bit-identical, much
+        #: faster for uninstrumented runs. Workloads that cannot be
+        #: compiled (``compiled_stream_safe=False``) silently fall back
+        #: to their generator.
+        self.compile_streams = compile_streams
+        #: Experiments cache root for compiled streams (streams live in
+        #: ``<dir>/streams``); None recompiles per run.
+        self.stream_cache_dir = stream_cache_dir
         self.n_region_counters = n_region_counters
         self.multiplexed_counters = multiplexed_counters
         self.cost_model = cost_model or CostModel()
@@ -107,6 +119,7 @@ class Simulator:
         series_bucket_cycles: int | None = None,
         max_refs: int | None = None,
         observers: Sequence[SessionObserver] = (),
+        compiled: "CompiledStream | None" = None,
     ) -> SimulationSession:
         """Open a :class:`SimulationSession` for this simulator's geometry.
 
@@ -114,8 +127,12 @@ class Simulator:
         it first if a previous run consumed its stream) and attaches the
         given tool(s). The caller drives the session — ``step()`` /
         ``run()`` / ``snapshot()`` — and calls ``finalize()`` for the
-        :class:`RunResult`.
+        :class:`RunResult`. ``compiled`` (or the simulator-level
+        ``compile_streams`` flag) substitutes a precompiled reference
+        stream for the workload generator.
         """
+        if compiled is None and self.compile_streams:
+            compiled = self._compile(workload)
         cache = make_cache(
             self.cache_config,
             seed=self.seed,
@@ -137,9 +154,22 @@ class Simulator:
             series_bucket_cycles=series_bucket_cycles,
             max_refs=max_refs,
             observers=observers,
+            compiled=compiled,
         )
         session.attach(tool)
         return session
+
+    def _compile(self, workload: "Workload"):
+        """Compiled stream for ``workload``, or None when it opts out."""
+        from repro.workloads.compile import (
+            StreamCompileError,
+            compiled_stream_for,
+        )
+
+        try:
+            return compiled_stream_for(workload, self.stream_cache_dir)
+        except StreamCompileError:
+            return None
 
     # ------------------------------------------------------------------- run
 
@@ -151,6 +181,7 @@ class Simulator:
         series_bucket_cycles: int | None = None,
         max_refs: int | None = None,
         observers: Sequence[SessionObserver] = (),
+        compiled: "CompiledStream | None" = None,
     ) -> RunResult:
         """Simulate ``workload`` (optionally under ``tool``) to completion.
 
@@ -171,7 +202,7 @@ class Simulator:
             series_bucket_cycles=series_bucket_cycles,
             max_refs=max_refs,
             observers=observers,
+            compiled=compiled,
         )
-        while session.step():
-            pass
+        session.run()
         return session.finalize()

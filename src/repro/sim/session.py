@@ -67,6 +67,7 @@ from repro.sim.observers import ChunkEvent, InterruptEvent, SessionObserver
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.blocks import ReferenceBlock
     from repro.workloads.base import Workload
+    from repro.workloads.compile import CompiledStream
 
 #: Version stamp embedded in every snapshot; bumped whenever the payload
 #: layout changes so stale checkpoint files are refused, not misread.
@@ -242,6 +243,7 @@ class SimulationSession:
         self.dispatcher: ToolDispatcher | None = None
 
         self._blocks: Iterator["ReferenceBlock"] | None = None
+        self._compiled: "CompiledStream | None" = None
         self._block: "ReferenceBlock | None" = None
         self._blocks_fetched = 0
         self._pos = 0
@@ -266,16 +268,27 @@ class SimulationSession:
         series_bucket_cycles: int | None = None,
         max_refs: int | None = None,
         observers: Sequence[SessionObserver] = (),
+        compiled: "CompiledStream | None" = None,
     ) -> "SimulationSession":
         """Begin a fresh run: prepare the workload and open its stream.
 
         A workload whose stream was already consumed by an earlier run is
         reset first, so back-to-back runs over one instance are
         deterministic (each sees a freshly built substrate).
+
+        ``compiled`` substitutes a precompiled copy of the workload's
+        reference stream (see :mod:`repro.workloads.compile`) for the
+        generator: the session verifies its fingerprint against the live
+        workload, then reads blocks from the frozen arrays. The workload
+        is still prepared (ground truth and tools need its object map)
+        but its generator never runs, and — when nothing needs per-chunk
+        interleaving — :meth:`run` switches to a bulk path.
         """
         if workload.consumed:
             workload.reset()
         workload.prepare()
+        if compiled is not None:
+            cls._check_compiled(workload, compiled)
         gt: GroundTruth | None = None
         if ground_truth:
             gt = GroundTruth(workload.object_map)
@@ -291,8 +304,30 @@ class SimulationSession:
             max_refs=max_refs,
             observers=observers,
         )
-        session._blocks = workload.blocks()
+        if compiled is not None:
+            session._compiled = compiled
+            session._blocks = compiled.iter_blocks()
+        else:
+            session._blocks = workload.blocks()
         return session
+
+    @staticmethod
+    def _check_compiled(workload: "Workload", compiled: "CompiledStream") -> None:
+        """Refuse a compiled stream that does not match the live workload."""
+        from repro.workloads.compile import stream_fingerprint
+
+        if compiled.workload_name != workload.name:
+            raise SimulationError(
+                f"compiled stream is for workload "
+                f"{compiled.workload_name!r}, got {workload.name!r}"
+            )
+        expected = stream_fingerprint(workload)
+        if compiled.fingerprint != expected:
+            raise SimulationError(
+                f"compiled stream fingerprint {compiled.fingerprint[:12]}… "
+                f"does not match this workload/code version "
+                f"({expected[:12]}…); recompile the stream"
+            )
 
     # -------------------------------------------------------------- attach
 
@@ -398,7 +433,20 @@ class SimulationSession:
         simulated — the hook :class:`~repro.experiments.parallel.ParallelRunner`
         uses to persist worker progress. Returns True when the run is
         complete.
+
+        A virgin session over a compiled stream with nothing observing
+        individual chunks (no tools, no observers, no max_refs, no
+        ground-truth series, no checkpointing) runs through the bulk
+        fused path instead of stepping — bit-identical results, far
+        fewer Python-level iterations (DESIGN.md section 9).
         """
+        if (
+            max_steps is None
+            and checkpoint_every_refs is None
+            and self._fused_ready()
+        ):
+            self._run_fused()
+            return True
         steps = 0
         next_ckpt = (
             self.stats.app_refs + checkpoint_every_refs
@@ -413,6 +461,97 @@ class SimulationSession:
                 on_checkpoint(self.snapshot())
                 next_ckpt = self.stats.app_refs + checkpoint_every_refs
         return self.finished
+
+    # ----------------------------------------------------------- fused path
+
+    def _fused_ready(self) -> bool:
+        """Whether the bulk compiled-stream path would be observably
+        identical to stepping: nothing may depend on per-chunk
+        interleaving (interrupts, observers, series timestamps, ref
+        budgets) and the session must not have started yet."""
+        return (
+            self._compiled is not None
+            and not self._finalized
+            and not self._exhausted
+            and self._blocks_fetched == 0
+            and self._block is None
+            and self._refs_left is None
+            and self.dispatcher is None
+            and not self.observers
+            and self.stats.app_refs == 0
+            and (self.ground_truth is None or self.ground_truth.series is None)
+        )
+
+    def _chunk_invariant_kernels(self) -> bool:
+        """True when every cache level's results are independent of how
+        the reference stream is partitioned into ``access`` calls.
+
+        The one dependence is RANDOM replacement: the kernels' shared
+        eviction pool refills are keyed on chunk length, so re-chunking
+        changes the eviction stream. LRU/FIFO kernels are pure functions
+        of the reference order.
+        """
+        from repro.cache.policies import ReplacementPolicy
+
+        configs = [self.cache.config]
+        l1 = getattr(self.cache, "l1_config", None)
+        if l1 is not None:
+            configs.append(l1)
+        return all(c.policy is not ReplacementPolicy.RANDOM for c in configs)
+
+    def _run_fused(self) -> None:
+        """Drive the whole compiled stream through the cache in bulk.
+
+        Bit-identity with the stepped path needs two things replayed
+        exactly: RANDOM-policy chunk boundaries (see
+        :meth:`_chunk_invariant_kernels`) and the float cycle-carry
+        sequence, which does not telescope across chunk splits for
+        non-dyadic ``cycles_per_ref`` — so the carries are recomputed
+        per generator-path chunk in a cheap scalar loop even though the
+        cache saw the references in bulk.
+        """
+        compiled = self._compiled
+        assert compiled is not None
+        invariant = self._chunk_invariant_kernels()
+        chunk_size = self.chunk_size
+        for addrs, writes, pieces in compiled.fused_groups(invariant):
+            if invariant:
+                self._fused_access(addrs, writes)
+            else:
+                for lo in range(0, len(addrs), chunk_size):
+                    hi = lo + chunk_size
+                    self._fused_access(
+                        addrs[lo:hi],
+                        writes[lo:hi] if writes is not None else None,
+                    )
+            carry = self._cycle_carry
+            cycles = 0
+            for n_refs, cycles_per_ref, extra_cycles in pieces:
+                pos = 0
+                while pos < n_refs:
+                    take = min(chunk_size, n_refs - pos)
+                    exact = take * cycles_per_ref + carry
+                    whole = int(exact)
+                    carry = exact - whole
+                    cycles += whole
+                    pos += take
+                cycles += extra_cycles
+            self._cycle_carry = carry
+            self.clock.advance_app(cycles)
+        self._blocks_fetched = len(compiled.blocks)
+        self._blocks = iter(())
+        self._exhausted = True
+
+    def _fused_access(
+        self, addrs: np.ndarray, writes: np.ndarray | None
+    ) -> None:
+        result = self.cache.access(addrs, miss_budget=None, tag="app", writes=writes)
+        miss_addrs = addrs[result.miss_mask]
+        self.monitor.observe(miss_addrs)
+        if self.ground_truth is not None:
+            self.ground_truth.observe(miss_addrs, cycle=self.clock.now)
+        self.stats.app_refs += result.consumed
+        self.stats.app_misses += result.n_misses
 
     # ---------------------------------------------------------- chunk body
 
@@ -653,6 +792,7 @@ class SimulationSession:
         snapshot: "SessionSnapshot | str | os.PathLike[str]",
         workload: "Workload",
         observers: Sequence[SessionObserver] = (),
+        compiled: "CompiledStream | None" = None,
     ) -> "SimulationSession":
         """Rebuild a running session from a snapshot and an equivalent
         workload instance (same name/construction parameters/seed).
@@ -662,6 +802,12 @@ class SimulationSession:
         allocation churn into the fresh object map — then the restored
         ground truth and tool contexts are re-bound to that live map so
         later allocations keep flowing into attribution.
+
+        ``compiled`` fast-forwards over a precompiled stream instead of
+        re-running the generator (compiled streams are churn-free by
+        construction, so there are no side effects to replay). Snapshots
+        do not record which stream source produced them: the two are
+        bit-identical, so either may resume the other.
         """
         if not isinstance(snapshot, SessionSnapshot):
             snapshot = SessionSnapshot.load(snapshot)
@@ -673,6 +819,8 @@ class SimulationSession:
         if workload.consumed:
             workload.reset()
         workload.prepare()
+        if compiled is not None:
+            cls._check_compiled(workload, compiled)
 
         session = cls(
             workload,
@@ -689,7 +837,11 @@ class SimulationSession:
         session._cycle_carry = snapshot.cycle_carry
         session._refs_left = snapshot.refs_left
 
-        blocks = workload.blocks()
+        if compiled is not None:
+            session._compiled = compiled
+            blocks = compiled.iter_blocks()
+        else:
+            blocks = workload.blocks()
         block = None
         for _ in range(snapshot.blocks_fetched):
             try:

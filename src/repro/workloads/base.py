@@ -36,6 +36,12 @@ class Workload(abc.ABC):
     #: Non-memory cycles charged per reference (sets the app's
     #: misses-per-Mcycle band; see DESIGN.md on miss-rate calibration).
     cycles_per_ref: float = 5.0
+    #: Whether the reference stream may be lowered to frozen arrays by
+    #: :mod:`repro.workloads.compile`. Set False on workloads whose
+    #: generator mutates the substrate mid-stream (heap churn): replaying
+    #: their stream from arrays would desync ground-truth attribution.
+    #: A dynamic guard in the compiler backstops this flag.
+    compiled_stream_safe: bool = True
 
     def __init__(self, scale: float = 1.0, seed: int | None = None) -> None:
         if scale <= 0:

@@ -153,6 +153,9 @@ class TreeChaser(Workload):
 
     name = "tree-chaser"
     cycles_per_ref = 12.0
+    #: The mid-run free/realloc churn is the point of this workload; a
+    #: compiled replay would miss it (see repro.workloads.compile).
+    compiled_stream_safe = False
 
     def __init__(
         self,

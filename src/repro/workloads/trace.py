@@ -28,6 +28,11 @@ class TraceWorkload(Workload):
     """
 
     name = "trace"
+    #: A replayed trace is already array-backed, and an arbitrary user
+    #: trace (file path or in-memory blocks) cannot be content-addressed
+    #: by constructor parameters — so stream compilation is opted out
+    #: rather than fingerprinted unsoundly (see RPL602).
+    compiled_stream_safe = False
 
     def __init__(
         self,

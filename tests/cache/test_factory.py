@@ -66,7 +66,7 @@ class TestBackendSelection:
     def test_registry_contents(self):
         from repro.cache import KERNEL_BACKENDS, resolve_backend
 
-        assert KERNEL_BACKENDS == ("reference", "array")
+        assert KERNEL_BACKENDS == ("reference", "array", "auto")
         assert resolve_backend(None) == "reference"
         assert resolve_backend("array") == "array"
 

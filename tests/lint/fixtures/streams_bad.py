@@ -1,0 +1,36 @@
+"""Fixture: broken stream fingerprint and parameter round-trips."""
+
+
+def stable_hash(payload):
+    return str(payload)
+
+
+def stream_fingerprint(workload):
+    # Missing "params" and "version": parameter changes and source edits
+    # would silently reuse stale streams.
+    payload = {
+        "kind": "compiled-stream",
+        "format": 1,
+        "workload": workload.name,
+        "class": type(workload).__qualname__,
+    }
+    return stable_hash(payload)
+
+
+class Workload:
+    def __init__(self, scale=1.0, seed=None):
+        self.scale = scale
+        self.seed = seed
+
+
+class DropsAParameter(Workload):
+    def __init__(self, scale=1.0, seed=None, depth=4):
+        super().__init__(scale=scale, seed=seed)
+        self._levels = depth  # not stored under the parameter's name
+
+
+class TakesVarargs(Workload):
+    def __init__(self, *arrays, **extra):
+        super().__init__()
+        self.arrays = arrays
+        self.extra = extra

@@ -1,0 +1,49 @@
+"""Fixture: sound stream fingerprint and parameter round-trips."""
+
+
+def stable_hash(payload):
+    return str(payload)
+
+
+def code_version_tag():
+    return "deadbeef"
+
+
+def stream_fingerprint(workload):
+    payload = {
+        "kind": "compiled-stream",
+        "format": 1,
+        "workload": workload.name,
+        "class": type(workload).__qualname__,
+        "params": {},
+        "version": code_version_tag(),
+    }
+    return stable_hash(payload)
+
+
+class Workload:
+    def __init__(self, scale=1.0, seed=None):
+        self.scale = scale
+        self.seed = seed
+
+
+class StoresEverything(Workload):
+    def __init__(self, scale=1.0, seed=None, depth=4, width=None):
+        super().__init__(scale=scale, seed=seed)
+        self.depth = depth
+        if width is not None:
+            self.width = width
+
+
+class ForwardsPositionally(Workload):
+    def __init__(self, scale, seed):
+        super().__init__(scale, seed)
+
+
+class OptedOut(Workload):
+    # Never fingerprinted, so the round-trip convention does not apply.
+    compiled_stream_safe = False
+
+    def __init__(self, trace):
+        super().__init__()
+        self._source = trace

@@ -1,0 +1,80 @@
+"""RPL6xx compiled-stream rules, including the drift regressions.
+
+The drift regressions are the acceptance check for this rule family:
+textually removing the ``"params"`` key from the *real*
+``stream_fingerprint`` payload must make RPL601 fire, and removing a
+parameter's ``self.<name> = <name>`` line from a *real* workload class
+must make RPL602 fire on the modified source.
+"""
+
+from collections import Counter
+from pathlib import Path
+
+import repro.workloads.compile as compile_mod
+import repro.workloads.tomcatv as tomcatv_mod
+import repro.workloads.trace as trace_mod
+from repro.lint import run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def counts(*paths):
+    return Counter(v.code for v in run_lint(list(paths)))
+
+
+class TestFixtures:
+    def test_bad_fixture_flags_both_codes(self):
+        assert counts(FIXTURES / "streams_bad.py") == {"RPL601": 2, "RPL602": 2}
+
+    def test_bad_fixture_names_the_problems(self):
+        messages = " ".join(
+            v.message for v in run_lint([FIXTURES / "streams_bad.py"])
+        )
+        assert "'params'" in messages  # dropped fingerprint key
+        assert "'version'" in messages  # dropped fingerprint key
+        assert "'depth'" in messages  # unstored constructor parameter
+        assert "*args/**kwargs" in messages  # un-addressable signature
+
+    def test_good_fixture_is_clean(self):
+        # Also pins: conditional stores, positional super() forwarding
+        # and the compiled_stream_safe=False opt-out.
+        assert counts(FIXTURES / "streams_good.py") == {}
+
+
+class TestDriftRegression:
+    def test_dropping_params_from_the_real_fingerprint_fails_lint(
+        self, tmp_path
+    ):
+        source = Path(compile_mod.__file__).read_text()
+        dropped = "\n".join(
+            line
+            for line in source.splitlines()
+            if '"params": workload_params(workload)' not in line
+        )
+        assert dropped != source, "payload line not found in compile.py"
+        mutated = tmp_path / "compile.py"
+        mutated.write_text(dropped)
+        violations = [v for v in run_lint([mutated]) if v.code == "RPL601"]
+        assert violations, "RPL601 must fire when 'params' leaves the key"
+        assert any("'params'" in v.message for v in violations)
+
+    def test_unstoring_a_real_workload_param_fails_lint(self, tmp_path):
+        source = Path(tomcatv_mod.__file__).read_text()
+        dropped = "\n".join(
+            line
+            for line in source.splitlines()
+            if "self.n_steps = n_steps" not in line
+        )
+        assert dropped != source, "round-trip line not found in tomcatv.py"
+        mutated = tmp_path / "tomcatv.py"
+        mutated.write_text(dropped)
+        violations = [v for v in run_lint([mutated]) if v.code == "RPL602"]
+        assert violations, "RPL602 must fire when a param stops round-tripping"
+        assert any("n_steps" in v.message for v in violations)
+
+    def test_real_modules_are_clean(self):
+        assert counts(
+            Path(compile_mod.__file__),
+            Path(tomcatv_mod.__file__),
+            Path(trace_mod.__file__),
+        ) == {}

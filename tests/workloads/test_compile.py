@@ -1,0 +1,136 @@
+"""Stream compilation: fingerprints, caching, freezing and safety gates."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import Workload
+from repro.workloads.compile import (
+    CompiledStream,
+    StreamCompileError,
+    compile_workload,
+    compiled_stream_for,
+    stream_fingerprint,
+    workload_params,
+)
+from repro.workloads.registry import make_workload
+from repro.workloads.synthetic import TreeChaser
+
+
+def _tomcatv(**overrides):
+    kwargs = {"n_steps": 2, "rows_per_step": 4, "seed": 5}
+    kwargs.update(overrides)
+    return make_workload("tomcatv", **kwargs)
+
+
+class TestFingerprint:
+    def test_stable_for_equal_construction(self):
+        assert stream_fingerprint(_tomcatv()) == stream_fingerprint(_tomcatv())
+
+    @pytest.mark.parametrize(
+        "override",
+        [{"n_steps": 3}, {"rows_per_step": 8}, {"seed": 6}, {"scale": 2.0}],
+    )
+    def test_any_parameter_change_changes_it(self, override):
+        assert stream_fingerprint(_tomcatv()) != stream_fingerprint(
+            _tomcatv(**override)
+        )
+
+    def test_params_read_back_every_constructor_field(self):
+        params = workload_params(_tomcatv())
+        # Base-class params included; values round-tripped off the instance.
+        assert params["n_steps"] == 2
+        assert params["rows_per_step"] == 4
+        assert params["seed"] == 5
+        assert params["scale"] == 1.0
+
+    def test_param_not_stored_as_attribute_is_an_error(self):
+        class Sneaky(Workload):
+            name = "sneaky"
+
+            def __init__(self, knob: int = 3) -> None:
+                super().__init__()
+                # Deliberately NOT storing `knob` (breaks RPL602's
+                # round-trip convention).
+                del knob
+
+            def _declare(self):
+                pass
+
+            def _generate(self):
+                return iter(())
+
+        with pytest.raises(StreamCompileError, match="knob"):
+            workload_params(Sneaky())
+
+
+class TestCompile:
+    def test_blocks_match_the_generator_exactly(self):
+        workload = _tomcatv()
+        stream = compile_workload(workload)
+        fresh = _tomcatv()
+        generated = list(fresh.blocks())
+        assert len(stream.blocks) == len(generated)
+        assert len(stream) == sum(len(b) for b in generated)
+        for frozen, live in zip(stream.blocks, generated):
+            assert np.array_equal(frozen.addrs, live.addrs)
+            assert frozen.cycles_per_ref == live.cycles_per_ref
+            assert frozen.extra_cycles == live.extra_cycles
+
+    def test_arrays_are_frozen(self):
+        stream = compile_workload(_tomcatv())
+        for block in stream.blocks:
+            assert not block.addrs.flags.writeable
+            with pytest.raises(ValueError, match="read-only"):
+                block.addrs[0] = 0
+
+    def test_workload_is_reset_after_compilation(self):
+        workload = _tomcatv()
+        compile_workload(workload)
+        assert not workload.consumed
+
+    def test_unsafe_class_is_refused(self):
+        chaser = TreeChaser(n_nodes=50, n_steps=2, refs_per_step=100, seed=5)
+        with pytest.raises(StreamCompileError, match="compiled_stream_safe"):
+            compile_workload(chaser)
+
+    def test_dynamic_churn_guard_catches_mid_stream_allocation(self):
+        class Churner(Workload):
+            name = "churner"
+
+            def _declare(self):
+                pass
+
+            def _generate(self):
+                obj = self.heap.malloc(4096, name="mid-stream")
+                yield self.block(
+                    np.arange(obj.base, obj.base + 512, 8, dtype=np.uint64)
+                )
+
+        with pytest.raises(StreamCompileError, match="heap alloc"):
+            compile_workload(Churner())
+
+
+class TestStreamCache:
+    def test_round_trip_through_the_on_disk_cache(self, tmp_path):
+        first = compiled_stream_for(_tomcatv(), tmp_path)
+        assert any((tmp_path / "streams").iterdir())
+        second = compiled_stream_for(_tomcatv(), tmp_path)
+        assert second.fingerprint == first.fingerprint
+        assert len(second.blocks) == len(first.blocks)
+        for a, b in zip(first.blocks, second.blocks):
+            assert np.array_equal(a.addrs, b.addrs)
+
+    def test_cache_hit_arrays_are_frozen(self, tmp_path):
+        compiled_stream_for(_tomcatv(), tmp_path)
+        hit = compiled_stream_for(_tomcatv(), tmp_path)
+        for block in hit.blocks:
+            assert not block.addrs.flags.writeable
+
+    def test_different_params_get_different_entries(self, tmp_path):
+        a = compiled_stream_for(_tomcatv(), tmp_path)
+        b = compiled_stream_for(_tomcatv(n_steps=3), tmp_path)
+        assert a.fingerprint != b.fingerprint
+
+    def test_none_cache_dir_compiles_without_caching(self):
+        stream = compiled_stream_for(_tomcatv(), None)
+        assert isinstance(stream, CompiledStream)
