@@ -1,0 +1,207 @@
+"""MRC sweep cost: one SHARDS pass vs simulating every cache size.
+
+For each application the benchmark prices the same nine-size miss-ratio
+sweep (``repro.experiments.mrc.DEFAULT_SIZES``, 16 KiB – 4 MiB) two
+ways, both through the experiment runner's own machinery so the numbers
+describe what a sweep actually costs:
+
+* **simulate** — one full grid cell per size
+  (:func:`repro.experiments.parallel.execute_task` on the runner's
+  ``mrc_task`` spec, compiled streams warm): exactly what an N-size
+  sweep paid before the MRC engine existed, and exactly what the E12
+  driver still pays per verification cell.
+* **mrc** — one SHARDS-sampled pass (:func:`repro.experiments.mrc
+  .mrc_pass`, rate 0.1, runner seed) plus the associativity-corrected
+  curve evaluation at all nine sizes and the verification-cell pick.
+
+Before any timing is recorded the benchmark checks accuracy: the MRC
+prediction must stay within 5% absolute miss ratio of the exact
+simulator at *every* size in the sweep (observed worst gaps are under
+1.5%; the margin absorbs sampling noise on other seeds). A fast pass
+that drifts from the simulator is a bug, not a result.
+
+The headline number is ``sim_equivalents`` — the MRC pass's wall time
+expressed in units of one average per-size grid cell. The repo's
+acceptance gate, asserted here, is <= 2: the whole >= 8-size sweep must
+cost no more than two simulations. ``verify`` additionally prices the
+two highest-curvature verification cells the E12 driver spends the
+exact simulator on (they are sweep cells, so their cost is read off the
+per-size timings rather than re-run).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_mrc.py [--repeats N]
+
+Not collected by pytest (no test_ prefix): the CI perf job runs this and
+gates the ``mrc`` path's throughput against the committed
+``BENCH_mrc.json`` via ``compare_bench.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from bench_env import environment
+
+from repro.cache.mrc import select_verification_sizes
+from repro.experiments.mrc import DEFAULT_RATE, DEFAULT_SIZES, mrc_pass
+from repro.experiments.parallel import execute_task
+from repro.experiments.runner import ExperimentRunner, RunnerConfig
+
+SEED = 99
+
+#: References per pass and per simulation cell (the E12 default).
+MAX_REFS = 400_000
+
+#: Sweep accuracy bound: MRC prediction vs exact simulator, every size.
+MAX_ABS_ERROR = 0.05
+
+#: Simulation-equivalents ceiling for one pass (the acceptance gate).
+MAX_SIM_EQUIVALENTS = 2.0
+
+#: Verification cells the E12 driver spends the simulator on.
+VERIFY_CELLS = 2
+
+APPS = ("mgrid", "ijpeg")
+
+
+def _time_cell(runner: ExperimentRunner, app: str, size: int, repeats: int):
+    """Best-of wall seconds and stats for one uncached sweep cell."""
+    spec = runner.mrc_task(app, size=size, max_refs=MAX_REFS)
+    best, stats = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = execute_task(spec, None, runner.stream_cache_dir)
+        best = min(best, time.perf_counter() - t0)
+        stats = result.stats
+    return best, stats
+
+
+def _time_pass(runner: ExperimentRunner, app: str, repeats: int):
+    """Best-of wall seconds for one SHARDS pass + curve + cell pick."""
+    assoc = runner.config.cache.assoc
+    best, curve = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = mrc_pass(
+            runner, app, MAX_REFS, mode="shards", sample_rate=DEFAULT_RATE
+        )
+        got = result.curve(DEFAULT_SIZES, assoc=assoc)
+        select_verification_sizes(got, VERIFY_CELLS)
+        best = min(best, time.perf_counter() - t0)
+        if curve is not None and got != curve:
+            raise AssertionError(f"{app}: non-deterministic SHARDS pass")
+        curve = got
+    return best, curve
+
+
+def bench_case(runner: ExperimentRunner, app: str, repeats: int) -> dict:
+    # Warm the compiled-stream cache so timed runs price the steady
+    # state a grid sees (cached load), not one-off compilation.
+    mrc_pass(runner, app, 1000)
+
+    sim_seconds: dict[int, float] = {}
+    simulated: dict[int, float] = {}
+    refs = None
+    for size in DEFAULT_SIZES:
+        seconds, stats = _time_cell(runner, app, size, repeats)
+        sim_seconds[size] = seconds
+        simulated[size] = stats.app_misses / stats.app_refs
+        if refs is None:
+            refs = int(stats.app_refs)
+        elif refs != int(stats.app_refs):
+            raise AssertionError(f"{app}: ref count varies across sizes")
+
+    mrc_seconds, curve = _time_pass(runner, app, repeats)
+
+    worst = max(abs(curve[s] - simulated[s]) for s in DEFAULT_SIZES)
+    if worst > MAX_ABS_ERROR:
+        raise AssertionError(
+            f"{app}: MRC prediction off by {worst:.4f} miss ratio "
+            f"(bound {MAX_ABS_ERROR}); a fast pass that disagrees with "
+            "the simulator is a bug, not a result"
+        )
+
+    n_sizes = len(DEFAULT_SIZES)
+    simulate_total = sum(sim_seconds.values())
+    sim_equivalents = mrc_seconds / (simulate_total / n_sizes)
+    if sim_equivalents > MAX_SIM_EQUIVALENTS:
+        raise AssertionError(
+            f"{app}: one MRC pass cost {sim_equivalents:.2f} simulation "
+            f"equivalents; the sweep gate requires <= {MAX_SIM_EQUIVALENTS}"
+        )
+    verify_sizes = select_verification_sizes(curve, VERIFY_CELLS)
+
+    # "refs" below is per-cell stream length; throughput counts each
+    # reference once per size it resolves, since both paths answer the
+    # whole sweep.
+    sweep_refs = refs * n_sizes
+    return {
+        "case": f"{app}-sweep",
+        "refs": refs,
+        "sizes": n_sizes,
+        "paths": {
+            "simulate": {
+                "seconds": round(simulate_total, 4),
+                "refs_per_sec": round(sweep_refs / simulate_total),
+            },
+            "mrc": {
+                "seconds": round(mrc_seconds, 4),
+                "refs_per_sec": round(sweep_refs / mrc_seconds),
+            },
+        },
+        "sim_equivalents": round(sim_equivalents, 3),
+        "speedup_mrc_vs_simulate": round(simulate_total / mrc_seconds, 2),
+        "max_abs_error": round(worst, 5),
+        "verify": {
+            "sizes": verify_sizes,
+            "seconds": round(sum(sim_seconds[s] for s in verify_sizes), 4),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_mrc.json"),
+    )
+    args = parser.parse_args(argv)
+
+    cases = []
+    with tempfile.TemporaryDirectory(prefix="bench-mrc-") as cache_dir:
+        runner = ExperimentRunner(
+            RunnerConfig(seed=SEED), quick=True, cache_dir=cache_dir
+        )
+        for app in APPS:
+            case = bench_case(runner, app, args.repeats)
+            cases.append(case)
+            print(
+                f"{case['case']:>14}: {case['refs']:>8,} refs x "
+                f"{case['sizes']} sizes  mrc {case['paths']['mrc']['seconds']:.3f}s  "
+                f"= {case['sim_equivalents']:.3f} sim-equivalents  "
+                f"(speedup {case['speedup_mrc_vs_simulate']:.1f}x, "
+                f"max err {case['max_abs_error']:.4f})"
+            )
+
+    payload = {
+        "benchmark": "mrc-sweep",
+        "seed": SEED,
+        "repeats": args.repeats,
+        "sample_rate": DEFAULT_RATE,
+        "max_refs": MAX_REFS,
+        "environment": environment(),
+        "cases": cases,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,10 +1,11 @@
 """Compare fresh benchmark JSON against a committed baseline (perf gate).
 
-The CI ``perf`` job reruns ``bench_kernel.py`` / ``bench_e2e.py`` and
-feeds both the fresh file and the committed ``BENCH_*.json`` through
-this script. Per case, the gate compares the *fast path's* refs/sec
-(``array`` backend for the kernel benchmark, ``compiled`` path for the
-end-to-end one):
+The CI ``perf`` job reruns ``bench_kernel.py`` / ``bench_e2e.py`` /
+``bench_mrc.py`` and feeds both the fresh file and the committed
+``BENCH_*.json`` through this script. Per case, the gate compares the
+*fast path's* refs/sec (``array`` backend for the kernel benchmark,
+``compiled`` path for the end-to-end one, the one-pass ``mrc`` engine
+for the sweep benchmark):
 
 * drop > ``--fail-pct`` (default 25%) — regression, exit 1;
 * drop > ``--warn-pct`` (default 10%) — warning, exit 0;
@@ -44,6 +45,7 @@ from bench_env import environment_drift
 FAST_PATH = {
     "cache-kernel-backends": ("backends", "array"),
     "end-to-end-simulator": ("paths", "compiled"),
+    "mrc-sweep": ("paths", "mrc"),
 }
 
 

@@ -8,11 +8,10 @@ distance histogram therefore predicts the miss ratio of *every* cache
 size at once — the classic answer to "would a bigger cache fix this?",
 complementing the paper's "which object is it?".
 
-Implementation: Olken's algorithm — a hash of each line's last access
-time plus a Fenwick (binary-indexed) tree counting still-live access
-times — giving O(N log N) overall. The per-reference loop is sequential
-by nature (like the LRU cache itself); NumPy handles the address
-pre-decomposition and all histogram post-processing.
+The distance pass itself lives in :mod:`repro.cache.mrc.distances`
+(Olken's Fenwick-tree algorithm plus an offline vectorised cross-check);
+this module keeps the analysis-layer view — per-stream profiles and the
+byte-sized miss-ratio-curve convenience — on top of it.
 """
 
 from __future__ import annotations
@@ -21,37 +20,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-#: Distance value assigned to cold (first-touch) references.
-COLD = -1
+from repro.cache.mrc.distances import COLD, lines_of
+from repro.cache.mrc.distances import reuse_distances as _line_distances
 
-
-class _Fenwick:
-    """Fenwick tree over access timestamps (1-based internal indexing)."""
-
-    def __init__(self, n: int) -> None:
-        self.size = n
-        self.tree = [0] * (n + 1)
-
-    def add(self, idx: int, delta: int) -> None:
-        idx += 1
-        while idx <= self.size:
-            self.tree[idx] += delta
-            idx += idx & (-idx)
-
-    def prefix_sum(self, idx: int) -> int:
-        """Sum of entries [0, idx]."""
-        idx += 1
-        total = 0
-        while idx > 0:
-            total += self.tree[idx]
-            idx -= idx & (-idx)
-        return total
-
-    def range_sum(self, lo: int, hi: int) -> int:
-        """Sum of entries [lo, hi]."""
-        if hi < lo:
-            return 0
-        return self.prefix_sum(hi) - (self.prefix_sum(lo - 1) if lo > 0 else 0)
+__all__ = ["COLD", "ReuseProfile", "miss_ratio_curve", "reuse_distances"]
 
 
 def reuse_distances(addrs: np.ndarray, line_size: int = 64) -> np.ndarray:
@@ -61,24 +33,7 @@ def reuse_distances(addrs: np.ndarray, line_size: int = 64) -> np.ndarray:
     *other* lines touched since the line's previous access, or
     :data:`COLD` (-1) for first touches.
     """
-    lines = (np.asarray(addrs, dtype=np.uint64) >> np.uint64(
-        int(line_size).bit_length() - 1
-    )).tolist()
-    n = len(lines)
-    out = np.empty(n, dtype=np.int64)
-    tree = _Fenwick(n)
-    last_seen: dict[int, int] = {}
-    for t, line in enumerate(lines):
-        prev = last_seen.get(line)
-        if prev is None:
-            out[t] = COLD
-        else:
-            # Distinct lines whose most recent access lies in (prev, t).
-            out[t] = tree.range_sum(prev + 1, t - 1)
-            tree.add(prev, -1)  # its live timestamp moves to t
-        tree.add(t, 1)
-        last_seen[line] = t
-    return out
+    return _line_distances(lines_of(addrs, line_size))
 
 
 @dataclass

@@ -1,0 +1,126 @@
+"""Stack-distance histograms and the miss-ratio curves they induce.
+
+A :class:`StackDistanceHistogram` is the one-pass summary the MRC engine
+builds from a reference stream: ``counts[d]`` holds the (possibly
+weighted) number of references with stack distance ``d`` cache lines,
+``cold`` the mass of first touches (infinite distance). A fully
+associative LRU cache of C lines hits exactly the references with
+``d < C``, so the whole miss-ratio curve is a suffix sum away.
+
+Counts are float64 because the SHARDS pass stores each sampled reference
+with weight 1/rate; the exact pass stores integer-valued floats, which
+are exact for any stream this repo can hold in memory (< 2**53 refs).
+The *mass invariant* — ``counts.sum() + cold == n_refs`` — is what the
+property suite pins: exact histograms satisfy it by construction, SHARDS
+histograms after :meth:`adjust_mass` (the SHARDS-adj correction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cache.mrc.distances import COLD, MrcError
+
+
+@dataclass
+class StackDistanceHistogram:
+    """Weighted histogram of LRU stack distances, in cache lines.
+
+    ``n_refs`` is the number of *true* references the histogram stands
+    for (not the sampled count); miss ratios are always reported against
+    it, so exact and SHARDS histograms of the same stream are directly
+    comparable.
+    """
+
+    counts: np.ndarray
+    cold: float
+    n_refs: int
+    line_size: int = 64
+    #: Cumulative hit mass, hits(C) = counts[:C].sum(); lazily built.
+    _hits_cum: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.counts = np.asarray(self.counts, dtype=np.float64)
+        if self.counts.ndim != 1:
+            raise MrcError("histogram counts must be 1-D")
+        if self.n_refs < 0:
+            raise MrcError(f"n_refs must be non-negative, got {self.n_refs}")
+
+    @classmethod
+    def from_distances(
+        cls,
+        distances: np.ndarray,
+        *,
+        weight: float = 1.0,
+        n_refs: int | None = None,
+        line_size: int = 64,
+    ) -> "StackDistanceHistogram":
+        """Histogram a distance array (:data:`COLD` marks first touches).
+
+        ``weight`` is the mass each reference carries (1/rate for SHARDS
+        samples); ``n_refs`` defaults to the weighted mass rounded to the
+        nearest reference.
+        """
+        distances = np.asarray(distances)
+        finite = distances[distances != COLD]
+        if finite.size and finite.min() < 0:
+            raise MrcError("stack distances must be COLD (-1) or non-negative")
+        counts = (
+            np.bincount(finite.astype(np.int64)).astype(np.float64)
+            if finite.size
+            else np.zeros(1, dtype=np.float64)
+        )
+        counts *= weight
+        cold = float((distances == COLD).sum()) * weight
+        if n_refs is None:
+            n_refs = int(round(counts.sum() + cold))
+        return cls(counts=counts, cold=cold, n_refs=n_refs, line_size=line_size)
+
+    # --------------------------------------------------------------- queries
+
+    @property
+    def mass(self) -> float:
+        """Total weighted mass, finite buckets plus cold."""
+        return float(self.counts.sum()) + self.cold
+
+    def _cum(self) -> np.ndarray:
+        if self._hits_cum is None or len(self._hits_cum) != len(self.counts) + 1:
+            cum = np.empty(len(self.counts) + 1, dtype=np.float64)
+            cum[0] = 0.0
+            np.cumsum(self.counts, out=cum[1:])
+            self._hits_cum = cum
+        return self._hits_cum
+
+    def hits_at(self, capacity: int) -> float:
+        """Mass of references with distance < ``capacity`` (LRU hits)."""
+        if capacity < 0:
+            raise MrcError(f"capacity must be non-negative, got {capacity}")
+        cum = self._cum()
+        return float(cum[min(capacity, len(cum) - 1)])
+
+    def misses_at(self, capacity: int) -> float:
+        """Mass of misses in a fully-assoc LRU cache of ``capacity`` lines."""
+        return self.mass - self.hits_at(capacity)
+
+    def miss_ratio_at(self, capacity: int) -> float:
+        """Predicted miss ratio against the true reference count."""
+        if self.n_refs == 0:
+            return 0.0
+        return self.misses_at(capacity) / self.n_refs
+
+    # ------------------------------------------------------------ adjustment
+
+    def adjust_mass(self, target: float) -> None:
+        """SHARDS-adj: shift bucket 0 so total mass equals ``target``.
+
+        The sampled histogram's weighted mass drifts from the true
+        reference count when the sampled lines' reference density differs
+        from the population's; adding the difference at distance 0 (the
+        bucket every realistic cache hits) restores the mass invariant
+        without disturbing the curve's tail, per Waldspurger et al.'s
+        SHARDS-adj. The correction may be negative.
+        """
+        self.counts[0] += target - self.mass
+        self._hits_cum = None

@@ -1,0 +1,63 @@
+"""SHARDS spatial sampling: constant-space approximate stack distances.
+
+SHARDS (Waldspurger et al., via "A Survey of Miss-Ratio Curve
+Construction Techniques", PAPERS.md) samples *lines*, not references: a
+line is in the sample iff a uniform hash of its line number falls below
+``rate * 2**64``, so every reference to a sampled line is kept and reuse
+pairs survive sampling intact. Running the exact pass on the sampled
+subsequence then yields distances that are unbiased estimates of the
+full-stream distances *scaled by the rate* — each sampled intervening
+line stands for 1/rate real ones — so the histogram stores scaled
+distances at weight 1/rate.
+
+Determinism: the hash is a fixed splitmix64-style mixer whose salt is
+drawn from :func:`repro.util.rng.make_rng`, so a (seed, rate) pair picks
+the same spatial sample on every run, machine and process — the property
+the hypothesis suite pins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.mrc.distances import COLD, MrcError
+from repro.util.rng import make_rng
+
+#: Hash domain; a line is sampled iff mix64(line) < rate * 2**64.
+_HASH_SPACE = 1 << 64
+
+
+def _mix64(codes: np.ndarray, salt: int) -> np.ndarray:
+    """splitmix64 finaliser over uint64 line numbers (vectorised)."""
+    x = np.asarray(codes, dtype=np.uint64) + np.uint64(salt)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
+def sample_mask(codes: np.ndarray, rate: float, seed: int | None = None) -> np.ndarray:
+    """Boolean mask of references whose *line* is in the spatial sample."""
+    if not 0.0 < rate <= 1.0:
+        raise MrcError(f"sample rate must be in (0, 1], got {rate}")
+    if rate == 1.0:
+        return np.ones(len(codes), dtype=bool)
+    salt = int(make_rng(seed).integers(0, _HASH_SPACE, dtype=np.uint64))
+    threshold = np.uint64(int(rate * _HASH_SPACE))
+    with np.errstate(over="ignore"):
+        return _mix64(codes, salt) < threshold
+
+
+def scale_distances(distances: np.ndarray, rate: float) -> np.ndarray:
+    """Rescale sampled-subsequence distances to full-stream estimates.
+
+    A distance of ``d`` among sampled lines means ``d`` sampled distinct
+    intervening lines, each standing for ``1/rate`` lines of the full
+    stream; cold markers pass through unchanged.
+    """
+    if not 0.0 < rate <= 1.0:
+        raise MrcError(f"sample rate must be in (0, 1], got {rate}")
+    distances = np.asarray(distances, dtype=np.int64)
+    if rate == 1.0:
+        return distances
+    scaled = (distances.astype(np.float64) / rate).astype(np.int64)
+    return np.where(distances == COLD, np.int64(COLD), scaled)

@@ -63,6 +63,8 @@ _EXPERIMENTS = {
     "ext-continuation": lambda runner, apps: run_continuation(runner),
     "ext-hierarchy": lambda runner, apps: run_hierarchy(runner),
     "ext-prefetch": lambda runner, apps: run_prefetch_ablation(runner),
+    "mrc": lambda runner, apps: run_mrc(runner, apps),
+    # Back-compat alias from when the MRC sweep was an extension driver.
     "ext-mrc": lambda runner, apps: run_mrc(runner, apps),
     "ext-sweep": lambda runner, apps: run_geometry_sweep(runner),
 }
@@ -287,7 +289,11 @@ def main(argv: list[str] | None = None) -> int:
         for app in apps:
             _profile_app(runner, app, args.tool, live=args.live)
         return 0
-    names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    names = (
+        [n for n in _EXPERIMENTS if n != "ext-mrc"]  # alias of "mrc"
+        if args.experiment == "all"
+        else [args.experiment]
+    )
     if args.jobs > 1 or args.cache_dir:
         t0 = time.time()
         runner.warm(apps=args.apps, experiments=names, jobs=args.jobs)

@@ -1,58 +1,151 @@
-"""Experiment E10 (extension) — miss-ratio curves for the workloads.
+"""Experiment E12 — one-pass MRC sweep with exact verification cells.
 
-Not in the paper, but the natural companion analysis: the reuse-distance
-profile of each application's reference stream predicts the miss ratio
-of every fully-associative LRU cache size at once, locating each app on
-the capacity curve (and explaining the miss-rate bands of section 3.2:
-ijpeg/compress live left of their working-set knee, the FP codes far to
-its right).
+The old extension experiment predicted fully-associative miss ratios
+from a reuse-distance pass; this driver runs the full
+:mod:`repro.cache.mrc` engine instead: one pass (SHARDS-sampled by
+default, exact on request) yields the whole size sweep for the runner's
+cache geometry — associativity correction included — and the exact
+simulator is spent only on the few cells where the predicted curve
+bends hardest (:func:`repro.cache.mrc.select_verification_sizes`).
+Verification cells flow through the runner's task layer, so they are
+cached, warmable (``ExperimentRunner.warm(experiments=["mrc"])``) and
+bit-identical with any other grid cell at the same configuration.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from typing import TYPE_CHECKING
 
-from repro.analysis.reuse import miss_ratio_curve
+from repro.cache.mrc import MrcResult, build_mrc, select_verification_sizes
 from repro.experiments.records import ExperimentReport
-from repro.experiments.runner import ExperimentRunner
 from repro.util.format import Table, render_table
 from repro.util.units import fmt_bytes
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.parallel import TaskSpec
+    from repro.experiments.runner import ExperimentRunner
+
+#: The default sweep: nine sizes spanning 16 KiB to 4 MiB (>= 8 cells,
+#: straddling every quick workload's knee and the paper's 2 MB point).
+DEFAULT_SIZES = [1 << b for b in range(14, 23)]
+
+#: References each pass (and each verification simulation) consumes.
+DEFAULT_SAMPLE_REFS = 400_000
+
+#: SHARDS rate for the default sampled sweep.
+DEFAULT_RATE = 0.1
+
+#: Exact-simulator cells spent per application.
+DEFAULT_VERIFY_CELLS = 2
+
+
+def mrc_pass(
+    runner: "ExperimentRunner",
+    app: str,
+    sample_refs: int = DEFAULT_SAMPLE_REFS,
+    mode: str = "shards",
+    sample_rate: float = DEFAULT_RATE,
+) -> MrcResult:
+    """One MRC pass for ``app`` under the runner's seed and line size.
+
+    Compiles the reference stream through the runner's stream cache when
+    the workload allows it; heap-churning workloads fall back to the
+    generator path.
+    """
+    workload = runner.make(app)
+    compiled = None
+    if getattr(type(workload), "compiled_stream_safe", True):
+        from repro.workloads.compile import compiled_stream_for
+
+        compiled = compiled_stream_for(workload, runner.stream_cache_dir)
+    return build_mrc(
+        workload,
+        compiled=compiled,
+        mode=mode,
+        sample_rate=sample_rate,
+        seed=runner.config.seed,
+        max_refs=sample_refs,
+        line_size=runner.config.cache.line_size,
+    )
+
+
+def verification_cells(
+    runner: "ExperimentRunner",
+    app: str,
+    sizes: "list[int] | None" = None,
+    sample_refs: int = DEFAULT_SAMPLE_REFS,
+    mode: str = "shards",
+    sample_rate: float = DEFAULT_RATE,
+    verify_cells: int = DEFAULT_VERIFY_CELLS,
+) -> "list[tuple[int, TaskSpec]]":
+    """The exact-simulator cells the sweep will verify against.
+
+    Deterministic for a given runner configuration — ``warm()`` calls
+    this to pre-compute the very cells :func:`run_mrc` will request.
+    """
+    sizes = sizes or DEFAULT_SIZES
+    result = mrc_pass(runner, app, sample_refs, mode, sample_rate)
+    curve = result.curve(sizes, assoc=runner.config.cache.assoc)
+    chosen = select_verification_sizes(curve, verify_cells)
+    return [
+        (size, runner.mrc_task(app, size=size, max_refs=sample_refs))
+        for size in chosen
+    ]
+
 
 def run_mrc(
-    runner: ExperimentRunner,
-    apps: list[str] | None = None,
-    sizes: list[int] | None = None,
-    sample_refs: int = 400_000,
+    runner: "ExperimentRunner",
+    apps: "list[str] | None" = None,
+    sizes: "list[int] | None" = None,
+    sample_refs: int = DEFAULT_SAMPLE_REFS,
+    mode: str = "shards",
+    sample_rate: float = DEFAULT_RATE,
+    verify_cells: int = DEFAULT_VERIFY_CELLS,
 ) -> ExperimentReport:
     apps = apps or ["mgrid", "compress", "ijpeg"]
-    sizes = sizes or [64 * 1024, 256 * 1024, 1 << 20, 4 << 20]
+    sizes = sizes or DEFAULT_SIZES
+    assoc = runner.config.cache.assoc
     table = Table(
-        ["app", "refs sampled"] + [fmt_bytes(s) for s in sizes],
-        title="Extension: predicted miss ratio vs cache size (LRU MRC)",
+        ["app", "refs"] + [fmt_bytes(s) for s in sizes],
+        title=(
+            f"E12: one-pass MRC sweep ({mode}, {assoc}-way corrected), "
+            "* = simulator-verified cell"
+        ),
     )
-    values: dict = {"sizes": sizes}
+    values: dict = {"sizes": sizes, "mode": mode, "assoc": assoc, "verify": {}}
+    worst_err = 0.0
     for app in apps:
-        wl = runner.make(app)
-        chunks = []
-        total = 0
-        for block in wl.blocks():
-            chunks.append(block.addrs)
-            total += len(block.addrs)
-            if total >= sample_refs:
-                break
-        stream = np.concatenate(chunks)[:sample_refs]
-        curve = miss_ratio_curve(stream, sizes, runner.config.cache.line_size)
+        result = mrc_pass(runner, app, sample_refs, mode, sample_rate)
+        curve = result.curve(sizes, assoc=assoc)
+        values[app] = dict(curve)
+        chosen = select_verification_sizes(curve, verify_cells)
+        checks: dict[int, dict[str, float]] = {}
+        for size in chosen:
+            run = runner.run_task(
+                runner.mrc_task(app, size=size, max_refs=sample_refs)
+            )
+            simulated = (
+                run.stats.app_misses / run.stats.app_refs
+                if run.stats.app_refs
+                else 0.0
+            )
+            checks[size] = {"predicted": curve[size], "simulated": simulated}
+            worst_err = max(worst_err, abs(curve[size] - simulated))
+        values["verify"][app] = checks
         table.add_row(
-            [app, len(stream)] + [f"{curve[s]:.4f}" for s in sizes]
+            [app, result.n_refs]
+            + [
+                f"{curve[s]:.4f}" + ("*" if s in checks else "")
+                for s in sizes
+            ]
         )
-        values[app] = {s: curve[s] for s in sizes}
     notes = [
-        "fully-associative LRU prediction from one reuse-distance pass; "
-        "expected shape: miss ratios fall monotonically with size, the "
-        "low-miss-rate apps (ijpeg, compress) sit far below the FP codes "
-        "at every size, and each app's knee marks its working set",
+        f"one {mode} pass per app predicts all {len(sizes)} sizes; the "
+        f"exact simulator runs only the {verify_cells} highest-curvature "
+        "cells per app (marked *)",
+        "verification: worst |predicted - simulated| miss-ratio gap "
+        f"across all checked cells = {worst_err:.4f}",
     ]
     return ExperimentReport(
-        experiment="ext-mrc", table=render_table(table), values=values, notes=notes
+        experiment="mrc", table=render_table(table), values=values, notes=notes
     )

@@ -46,8 +46,9 @@ from repro.sim.engine import RunResult, Simulator
 from repro.workloads.registry import make_workload, workload_names
 
 #: Experiments whose cells :meth:`ExperimentRunner.warm` knows how to
-#: pre-compute (the accuracy tables and the overhead/perturbation grid).
-WARMABLE_EXPERIMENTS = ("table1", "table2", "fig3", "fig4", "fig5")
+#: pre-compute (the accuracy tables, the overhead/perturbation grid and
+#: the MRC sweep's exact verification cells).
+WARMABLE_EXPERIMENTS = ("table1", "table2", "fig3", "fig4", "fig5", "mrc")
 
 
 @dataclass
@@ -201,6 +202,29 @@ class ExperimentRunner:
             series_bucket_cycles=series_bucket_cycles,
             sim=self.sim_spec,
             label=label,
+        )
+
+    def mrc_task(
+        self, app: str, size: int | None = None, max_refs: int | None = None
+    ) -> TaskSpec:
+        """A verification cell for the MRC sweep: this runner's cache
+        geometry resized to ``size`` bytes, no instrumentation tool.
+
+        The cell is an ordinary :class:`TaskSpec` — same seed, same
+        workload kwargs, the resized cache folded into the ``sim`` spec —
+        so it shares the result cache with every other experiment that
+        lands on the same configuration.
+        """
+        cache = self.config.cache
+        if size is not None:
+            cache = dataclasses.replace(cache, size=size)
+        return TaskSpec(
+            workload=app,
+            workload_kwargs=self.workload_kwargs(app),
+            seed=self.config.seed,
+            max_refs=max_refs,
+            sim=dataclasses.replace(self.sim_spec, cache=cache),
+            label=f"{app}/mrc-verify({cache.size // 1024}K)",
         )
 
     def run_task(self, spec: TaskSpec) -> RunResult:
@@ -362,6 +386,16 @@ class ExperimentRunner:
                     cells.append(
                         self._sampling_task(app, period=period, max_refs=max_refs)
                     )
+        elif experiment == "mrc":
+            # Deterministic for a fixed runner config: the sampled MRC
+            # pass picks the same highest-curvature cells warm() and the
+            # driver will both request.
+            from repro.experiments.mrc import verification_cells
+
+            for app in apps:
+                cells.extend(
+                    spec for _, spec in verification_cells(self, app)
+                )
         elif experiment == "fig5":
             base = self.baseline("applu")
             bucket = max(1, base.stats.app_cycles // 48)

@@ -48,6 +48,12 @@ RESULT_SCOPE = (
     "workloads",
     "datastructs",
     "experiments",
+    # The MRC engine sits under repro/cache/ (so the "cache" entry already
+    # scopes it), but its determinism contract — SHARDS sampling must be a
+    # pure function of (stream, rate, seed) — is load-bearing enough that
+    # the scope is named explicitly: moving the package out from under
+    # cache/ must not silently drop it from these rules.
+    "mrc",
 )
 
 #: Legacy NumPy global-state RNG entry points (np.random.<fn>).

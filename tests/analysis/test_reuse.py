@@ -8,10 +8,10 @@ from hypothesis import strategies as st
 from repro.analysis.reuse import (
     COLD,
     ReuseProfile,
-    _Fenwick,
     miss_ratio_curve,
     reuse_distances,
 )
+from repro.datastructs import FenwickTree
 
 
 def addrs_of_lines(line_numbers, line_size=64):
@@ -34,8 +34,10 @@ def naive_distances(lines):
 
 
 class TestFenwick:
+    """The shared tree the distance pass builds on (repro.datastructs)."""
+
     def test_prefix_sums(self):
-        f = _Fenwick(10)
+        f = FenwickTree(10)
         f.add(3, 5)
         f.add(7, 2)
         assert f.prefix_sum(2) == 0
@@ -43,12 +45,19 @@ class TestFenwick:
         assert f.prefix_sum(9) == 7
         assert f.range_sum(4, 9) == 2
         assert f.range_sum(5, 4) == 0
+        assert f.total() == 7
 
     def test_negative_updates(self):
-        f = _Fenwick(5)
+        f = FenwickTree(5)
         f.add(2, 3)
         f.add(2, -3)
         assert f.prefix_sum(4) == 0
+
+    def test_bounds(self):
+        with pytest.raises(IndexError):
+            FenwickTree(4).add(4, 1)
+        with pytest.raises(ValueError):
+            FenwickTree(-1)
 
 
 class TestReuseDistances:

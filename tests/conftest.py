@@ -5,6 +5,13 @@ shared fixtures on that cache kernel backend — the CI matrix uses this to
 prove the whole pipeline, golden outputs included, is backend-agnostic.
 Tests that pin a backend explicitly (the differential harness, the unit
 tests of one kernel) are unaffected.
+
+``REPRO_MRC_SAMPLE_RATE`` (a fraction in (0, 1], default 0.25) scales
+the stream lengths the MRC accuracy harness (``tests/mrc/``, marker
+``mrc``) feeds both the MRC engine and the verifying simulator — the
+same truncation on both sides, so bit-for-bit comparisons stay exact
+at any rate. The quick tier-1 run keeps the default; CI sets 1.0 to
+score the full streams.
 """
 
 from __future__ import annotations
@@ -20,6 +27,19 @@ from repro.sim.engine import Simulator
 
 #: Backend override for shared fixtures; None = the configs' default.
 ENV_BACKEND = os.environ.get("REPRO_BACKEND") or None
+
+#: Fraction of each workload's stream the MRC accuracy harness consumes.
+MRC_SAMPLE_RATE = min(
+    1.0, max(0.01, float(os.environ.get("REPRO_MRC_SAMPLE_RATE", "0.25")))
+)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "mrc: MRC-vs-exact-simulator accuracy harness (stream length "
+        "scaled by REPRO_MRC_SAMPLE_RATE)",
+    )
 
 
 @pytest.fixture
@@ -66,6 +86,12 @@ def lines(obj, n, line=64, start=0):
     """Line-stride addresses over an object (test helper)."""
     base = obj.base + start * line
     return np.arange(base, base + n * line, line, dtype=np.uint64)
+
+
+@pytest.fixture(scope="session")
+def mrc_sample_fraction() -> float:
+    """Stream-length fraction for the MRC harness (env-tunable)."""
+    return MRC_SAMPLE_RATE
 
 
 @pytest.fixture(scope="session")

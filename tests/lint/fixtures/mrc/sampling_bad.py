@@ -1,0 +1,27 @@
+"""Bad: an MRC sampling pass with every determinism hazard the rules ban.
+
+Lives under a directory named ``mrc`` so the RESULT_SCOPE entry (not the
+``cache`` ancestor) is what puts it in scope.
+"""
+
+import time
+
+import numpy as np
+
+
+def sample_salt():
+    rng = np.random.default_rng()  # RPL101: entropy-seeded
+    return rng.integers(0, 1 << 32)
+
+
+def bucket_for(line):
+    return hash(line) % 64  # RPL102: PYTHONHASHSEED-randomised
+
+
+def pass_metadata():
+    return {"started": time.time()}  # RPL103: wall clock in a result path
+
+
+def object_histograms(names):
+    seen = set(names)
+    return [name for name in seen]  # RPL104: unsorted set iteration

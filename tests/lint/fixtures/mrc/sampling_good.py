@@ -1,0 +1,19 @@
+"""Good: the same MRC sampling shapes written the reproducible way."""
+
+import zlib
+
+import numpy as np
+
+
+def sample_salt(seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 1 << 32)
+
+
+def bucket_for(line):
+    return zlib.crc32(repr(line).encode()) % 64
+
+
+def object_histograms(names):
+    seen = set(names)
+    return [name for name in sorted(seen)]

@@ -43,6 +43,29 @@ class TestWallClock:
         assert counts(copy) == {}
 
 
+class TestMrcScope:
+    """The MRC engine is result-scoped by name, not just via cache/."""
+
+    SRC_MRC = Path(__file__).resolve().parents[2] / "src" / "repro" / "cache" / "mrc"
+
+    def test_bad_fixture_under_mrc_directory(self):
+        got = counts(FIXTURES / "mrc" / "sampling_bad.py")
+        assert got == {"RPL101": 1, "RPL102": 1, "RPL103": 1, "RPL104": 1}
+
+    def test_good_fixture(self):
+        assert counts(FIXTURES / "mrc" / "sampling_good.py") == {}
+
+    def test_out_of_scope_copy_only_keeps_unscoped_rules(self, tmp_path):
+        # RPL103/RPL104 are result-scoped and must vanish outside mrc/;
+        # RPL101/RPL102 apply everywhere.
+        copy = tmp_path / "sampling_bad.py"
+        shutil.copyfile(FIXTURES / "mrc" / "sampling_bad.py", copy)
+        assert counts(copy) == {"RPL101": 1, "RPL102": 1}
+
+    def test_shipped_mrc_package_is_clean(self):
+        assert counts(self.SRC_MRC) == {}
+
+
 class TestUnsortedSetIteration:
     def test_bad_fixture_in_scope(self):
         got = counts(FIXTURES / "sim" / "set_iter_bad.py")

@@ -1,0 +1,81 @@
+"""MRC experiment wiring: runner tasks, warm grid mode, driver output."""
+
+import pytest
+
+from repro.experiments.mrc import run_mrc, verification_cells
+
+
+class TestMrcTask:
+    def test_resizes_cache_in_key(self, quick_runner):
+        a = quick_runner.mrc_task("mgrid", size=64 * 1024, max_refs=1000)
+        b = quick_runner.mrc_task("mgrid", size=128 * 1024, max_refs=1000)
+        same = quick_runner.mrc_task("mgrid", size=64 * 1024, max_refs=1000)
+        assert a.key() != b.key()
+        assert a.key() == same.key()
+        assert a.sim.cache.size == 64 * 1024
+        assert a.sim.cache.assoc == quick_runner.config.cache.assoc
+
+    def test_default_size_is_runner_geometry(self, quick_runner):
+        spec = quick_runner.mrc_task("ijpeg")
+        assert spec.sim.cache == quick_runner.config.cache
+
+
+class TestVerificationCells:
+    def test_deterministic_and_sized(self, quick_runner):
+        cells = verification_cells(
+            quick_runner, "mgrid", sample_refs=100_000, verify_cells=2
+        )
+        again = verification_cells(
+            quick_runner, "mgrid", sample_refs=100_000, verify_cells=2
+        )
+        assert [s for s, _ in cells] == [s for s, _ in again]
+        assert [spec.key() for _, spec in cells] == [
+            spec.key() for _, spec in again
+        ]
+        assert len(cells) == 2
+
+
+class TestWarmMrcGrid:
+    def test_warm_precomputes_the_drivers_cells(self, tmp_path):
+        from repro.experiments.runner import ExperimentRunner, RunnerConfig
+
+        runner = ExperimentRunner(
+            RunnerConfig(seed=99), quick=True, cache_dir=tmp_path / "grid"
+        )
+        runner.warm(apps=["mgrid"], experiments=["mrc"], jobs=1)
+        cells = verification_cells(runner, "mgrid")
+        assert cells
+        for _size, spec in cells:
+            assert spec.key() in runner._memo
+
+
+class TestRunMrcDriver:
+    def test_report_shape_and_verified_cells(self, quick_runner):
+        report = run_mrc(
+            quick_runner, apps=["mgrid", "ijpeg"], sample_refs=150_000
+        )
+        sizes = report.values["sizes"]
+        assert len(sizes) >= 8
+        for app in ("mgrid", "ijpeg"):
+            assert set(report.values[app]) == set(sizes)
+            checks = report.values["verify"][app]
+            assert len(checks) == 2
+            for size, pair in checks.items():
+                assert size in sizes
+                assert pair["predicted"] == report.values[app][size]
+                # Prediction within 2% absolute of the exact simulator.
+                assert pair["predicted"] == pytest.approx(
+                    pair["simulated"], abs=0.02
+                )
+
+    def test_exact_mode(self, quick_runner):
+        report = run_mrc(
+            quick_runner,
+            apps=["mgrid"],
+            sizes=[64 * 1024, 256 * 1024, 1 << 20],
+            sample_refs=60_000,
+            mode="exact",
+            verify_cells=1,
+        )
+        assert report.values["mode"] == "exact"
+        assert len(report.values["verify"]["mgrid"]) == 1

@@ -1,0 +1,130 @@
+"""Histogram invariants and the binomial associativity model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.mrc import (
+    COLD,
+    MrcError,
+    StackDistanceHistogram,
+    expected_misses,
+    miss_probability,
+)
+
+distance_arrays = st.lists(
+    st.one_of(st.just(COLD), st.integers(0, 40)), min_size=0, max_size=120
+).map(lambda xs: np.asarray(xs, dtype=np.int64))
+
+
+class TestHistogram:
+    def test_known_stream(self):
+        # distances of [0, 1, 0, 1, 0] by line: COLD COLD 1 1 1
+        hist = StackDistanceHistogram.from_distances(
+            np.array([COLD, COLD, 1, 1, 1])
+        )
+        assert hist.cold == 2
+        assert hist.n_refs == 5
+        assert hist.misses_at(1) == 5        # 1-line cache: everything misses
+        assert hist.misses_at(2) == 2        # 2 lines: only the colds
+        assert hist.miss_ratio_at(2) == pytest.approx(0.4)
+        assert hist.hits_at(1000) == 3       # clamped past the histogram end
+
+    @settings(max_examples=60, deadline=None)
+    @given(distance_arrays)
+    def test_mass_invariant(self, dists):
+        hist = StackDistanceHistogram.from_distances(dists)
+        assert hist.mass == pytest.approx(len(dists))
+        assert hist.n_refs == len(dists)
+
+    @settings(max_examples=40, deadline=None)
+    @given(distance_arrays, st.floats(0.05, 1.0))
+    def test_weighted_mass_and_adjustment(self, dists, rate):
+        weight = 1.0 / rate
+        hist = StackDistanceHistogram.from_distances(
+            dists, weight=weight, n_refs=len(dists)
+        )
+        assert hist.mass == pytest.approx(len(dists) * weight)
+        hist.adjust_mass(len(dists))
+        assert hist.mass == pytest.approx(len(dists))
+
+    def test_monotone_in_cache_size(self):
+        rng = np.random.default_rng(5)
+        dists = rng.integers(0, 200, 5000)
+        hist = StackDistanceHistogram.from_distances(dists)
+        ratios = [hist.miss_ratio_at(c) for c in (1, 2, 4, 16, 64, 256, 1024)]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(MrcError, match="non-negative"):
+            StackDistanceHistogram.from_distances(np.array([-2]))
+        with pytest.raises(MrcError, match="1-D"):
+            StackDistanceHistogram(np.zeros((2, 2)), cold=0, n_refs=1)
+        with pytest.raises(MrcError, match="n_refs"):
+            StackDistanceHistogram(np.zeros(1), cold=0, n_refs=-1)
+        with pytest.raises(MrcError, match="capacity"):
+            StackDistanceHistogram.from_distances(np.array([0])).hits_at(-1)
+
+    def test_empty(self):
+        hist = StackDistanceHistogram.from_distances(np.array([], dtype=np.int64))
+        assert hist.mass == 0
+        assert hist.miss_ratio_at(4) == 0.0
+
+
+class TestMissProbability:
+    def test_fully_assoc_is_exact_step(self):
+        pm = miss_probability(np.arange(10), n_sets=1, assoc=4)
+        assert pm.tolist() == [0, 0, 0, 0, 1, 1, 1, 1, 1, 1]
+
+    def test_matches_exact_binomial_tail(self):
+        n_sets, assoc = 8, 2
+        p = 1.0 / n_sets
+        for d in range(0, 40):
+            exact = sum(
+                math.comb(d, j) * p**j * (1 - p) ** (d - j)
+                for j in range(assoc, d + 1)
+            )
+            got = miss_probability(np.array([d]), n_sets, assoc)[0]
+            assert got == pytest.approx(exact, abs=1e-12)
+
+    def test_monotone_in_distance_and_bounded(self):
+        pm = miss_probability(np.arange(0, 3000, 7), n_sets=64, assoc=4)
+        assert np.all(np.diff(pm) >= -1e-12)
+        assert pm.min() >= 0.0 and pm.max() <= 1.0
+
+    def test_distance_zero_never_misses(self):
+        assert miss_probability(np.array([0]), n_sets=16, assoc=1)[0] == 0.0
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(MrcError, match="geometry"):
+            miss_probability(np.array([1]), n_sets=0, assoc=4)
+        with pytest.raises(MrcError, match="non-negative"):
+            miss_probability(np.array([-1]), n_sets=4, assoc=2)
+
+
+class TestExpectedMisses:
+    def test_fully_assoc_equals_suffix_sum(self):
+        hist = StackDistanceHistogram.from_distances(
+            np.array([COLD, 0, 3, 5, 9])
+        )
+        assert expected_misses(hist, 4, assoc=None) == hist.misses_at(4)
+        assert expected_misses(hist, 4, assoc=4) == hist.misses_at(4)
+
+    def test_correction_between_fully_assoc_bounds(self):
+        rng = np.random.default_rng(11)
+        hist = StackDistanceHistogram.from_distances(rng.integers(0, 500, 4000))
+        lines = 256
+        corrected = expected_misses(hist, lines, assoc=4)
+        # Conflicts can only add misses relative to fully associative.
+        assert corrected >= hist.misses_at(lines) - 1e-9
+        assert corrected <= hist.mass + 1e-9
+
+    def test_rejects_bad_shapes(self):
+        hist = StackDistanceHistogram.from_distances(np.array([0, 1]))
+        with pytest.raises(MrcError, match="divisible"):
+            expected_misses(hist, 6, assoc=4)
+        with pytest.raises(MrcError, match="positive"):
+            expected_misses(hist, 0)

@@ -1,0 +1,66 @@
+"""SHARDS spatial sampling: determinism, rate behaviour, rescaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.mrc import COLD, MrcError, sample_mask, scale_distances
+
+
+class TestSampleMask:
+    def test_deterministic_under_fixed_seed(self):
+        codes = np.arange(50_000, dtype=np.uint64)
+        a = sample_mask(codes, 0.1, seed=42)
+        b = sample_mask(codes, 0.1, seed=42)
+        assert np.array_equal(a, b)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31), st.sampled_from([0.05, 0.2, 0.5]))
+    def test_deterministic_property(self, seed, rate):
+        codes = np.arange(2000, dtype=np.uint64)
+        assert np.array_equal(
+            sample_mask(codes, rate, seed), sample_mask(codes, rate, seed)
+        )
+
+    def test_different_seeds_differ(self):
+        codes = np.arange(50_000, dtype=np.uint64)
+        assert not np.array_equal(
+            sample_mask(codes, 0.1, seed=1), sample_mask(codes, 0.1, seed=2)
+        )
+
+    def test_spatial_same_line_same_fate(self):
+        codes = np.array([7, 3, 7, 9, 3, 7], dtype=np.uint64)
+        mask = sample_mask(codes, 0.5, seed=0)
+        for line in (3, 7, 9):
+            fates = mask[codes == line]
+            assert fates.all() or not fates.any()
+
+    def test_rate_one_keeps_everything(self):
+        assert sample_mask(np.arange(10, dtype=np.uint64), 1.0, 0).all()
+
+    def test_rate_statistically_plausible(self):
+        codes = np.arange(200_000, dtype=np.uint64)
+        frac = sample_mask(codes, 0.1, seed=9).mean()
+        assert 0.08 < frac < 0.12
+
+    def test_rejects_bad_rate(self):
+        codes = np.arange(4, dtype=np.uint64)
+        for rate in (0.0, -1.0, 1.5):
+            with pytest.raises(MrcError, match="rate"):
+                sample_mask(codes, rate, 0)
+
+
+class TestScaleDistances:
+    def test_scales_finite_and_keeps_cold(self):
+        d = np.array([COLD, 0, 5, 10])
+        scaled = scale_distances(d, 0.1)
+        assert scaled.tolist() == [COLD, 0, 50, 100]
+
+    def test_rate_one_is_identity(self):
+        d = np.array([COLD, 3, 7])
+        assert scale_distances(d, 1.0).tolist() == d.tolist()
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(MrcError, match="rate"):
+            scale_distances(np.array([1]), 0.0)
