@@ -46,6 +46,10 @@ FAST_PATH = {
     "cache-kernel-backends": ("backends", "array"),
     "end-to-end-simulator": ("paths", "compiled"),
     "mrc-sweep": ("paths", "mrc"),
+    # Decorated stacks are scalar by design; the gated quantity is the
+    # vc stack's refs/sec (slowest-common mechanism path) so the scalar
+    # protocol can't quietly regress.
+    "mechanism-stacks": ("stacks", "vc"),
 }
 
 

@@ -9,10 +9,19 @@ flavours — an exact set-associative model with pluggable replacement
 per-object miss attribution that produces the paper's "Actual" columns.
 """
 
-from repro.cache.config import CacheConfig
+from repro.cache.config import CacheConfig, MechanismSpec, parse_mechanisms
 from repro.cache.base import AccessResult, CacheModel, CacheStats
 from repro.cache.policies import ReplacementPolicy
 from repro.cache.kernels import KERNEL_BACKENDS, resolve_backend
+from repro.cache.components import (
+    CacheComponent,
+    LineOutcome,
+    MissCache,
+    Pipeline,
+    StreamBuffers,
+    VictimCache,
+    wrap_mechanisms,
+)
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.cache.direct_mapped import DirectMappedCache
 from repro.cache.hierarchy import TwoLevelCache
@@ -23,14 +32,23 @@ __all__ = [
     "CacheConfig",
     "CacheModel",
     "CacheStats",
+    "CacheComponent",
     "AccessResult",
+    "LineOutcome",
+    "MechanismSpec",
     "ReplacementPolicy",
     "KERNEL_BACKENDS",
     "SetAssociativeCache",
     "DirectMappedCache",
     "TwoLevelCache",
+    "Pipeline",
+    "VictimCache",
+    "MissCache",
+    "StreamBuffers",
     "GroundTruth",
     "MissSeries",
+    "parse_mechanisms",
+    "wrap_mechanisms",
 ]
 
 
@@ -50,8 +68,28 @@ def make_cache(
     the L2's. ``backend`` selects the kernel executing the access loop
     (see :mod:`repro.cache.kernels`); it defaults to ``config.backend``
     and, for the two-level model, applies to both levels.
+
+    ``config.mechanisms`` wraps the built stack (outermost component
+    last-listed) in the requested miss-reduction decorators — see
+    :mod:`repro.cache.components`. Decorated stacks need the per-line
+    victim protocol, which only the reference kernel's state exposes, so
+    ``backend="array"``/``"auto"`` silently fall back to ``reference``
+    until a flat decorated path exists (the dispatch tests pin this).
+    An empty ``mechanisms`` tuple builds exactly the undecorated model.
     """
     backend = resolve_backend(backend if backend is not None else config.backend)
+    if config.mechanisms:
+        if prefetch_next_line:
+            raise CacheConfigError(
+                "prefetch_next_line cannot combine with mechanism "
+                "decorators; add a StreamBuffers mechanism instead"
+            )
+        base: CacheModel = (
+            TwoLevelCache(l1_config, config, backend="reference", seed=seed)
+            if l1_config is not None
+            else SetAssociativeCache(config, seed=seed, backend="reference")
+        )
+        return wrap_mechanisms(base, config.mechanisms)
     if l1_config is not None:
         if prefetch_next_line:
             raise CacheConfigError(

@@ -32,6 +32,12 @@ class CacheStats:
     #: ("app" for application references, "instr" for instrumentation).
     accesses_by_tag: dict[str, int] = field(default_factory=dict)
     misses_by_tag: dict[str, int] = field(default_factory=dict)
+    #: Per-mechanism event counters for decorator components (see
+    #: :mod:`repro.cache.components`): ``vc_hits``/``vc_probes``,
+    #: ``mc_hits``/``mc_probes``, ``sb_hits``/``sb_probes``/
+    #: ``sb_prefetches``. Empty for plain caches; merged key-wise like
+    #: the per-tag dicts.
+    mechanism: dict[str, int] = field(default_factory=dict)
 
     @property
     def hits(self) -> int:
@@ -48,6 +54,7 @@ class CacheStats:
         misses: int,
         writebacks: int = 0,
         prefetches: int = 0,
+        mechanism: dict[str, int] | None = None,
     ) -> None:
         """Add one chunk's event counts (the only mutation entry point).
 
@@ -61,6 +68,9 @@ class CacheStats:
         self.prefetches += prefetches
         self.accesses_by_tag[tag] = self.accesses_by_tag.get(tag, 0) + accesses
         self.misses_by_tag[tag] = self.misses_by_tag.get(tag, 0) + misses
+        if mechanism:
+            for event, count in mechanism.items():
+                self.mechanism[event] = self.mechanism.get(event, 0) + count
 
     def snapshot(self) -> "CacheStats":
         """An independent copy of the current totals.
@@ -77,6 +87,7 @@ class CacheStats:
             prefetches=self.prefetches,
             accesses_by_tag=dict(self.accesses_by_tag),
             misses_by_tag=dict(self.misses_by_tag),
+            mechanism=dict(self.mechanism),
         )
 
     def merge(self, other: "CacheStats") -> "CacheStats":
@@ -93,6 +104,8 @@ class CacheStats:
             self.accesses_by_tag[tag] = self.accesses_by_tag.get(tag, 0) + count
         for tag, count in other.misses_by_tag.items():
             self.misses_by_tag[tag] = self.misses_by_tag.get(tag, 0) + count
+        for event, count in other.mechanism.items():
+            self.mechanism[event] = self.mechanism.get(event, 0) + count
         return self
 
 

@@ -18,14 +18,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cache.base import AccessResult, CacheModel
+from repro.cache.base import AccessResult
+from repro.cache.components import CacheComponent, LineOutcome
 from repro.cache.config import CacheConfig
+from repro.cache.kernels.base import KernelResult
 from repro.errors import CacheConfigError
 
 _EMPTY = np.uint64(0xFFFF_FFFF_FFFF_FFFF)  # no real line number is all-ones
 
 
-class DirectMappedCache(CacheModel):
+class DirectMappedCache(CacheComponent):
     """Exact direct-mapped cache, vectorised over reference chunks."""
 
     def __init__(self, config: CacheConfig, backend: str | None = None) -> None:
@@ -42,6 +44,7 @@ class DirectMappedCache(CacheModel):
             backend if backend is not None else config.backend
         )
         self._tags = np.full(config.n_sets, _EMPTY, dtype=np.uint64)
+        self._staged_misses = 0
 
     def reset(self) -> None:
         self._tags.fill(_EMPTY)
@@ -96,6 +99,26 @@ class DirectMappedCache(CacheModel):
         n = len(addrs)
         if n == 0:
             return AccessResult(np.zeros(0, dtype=bool), 0)
+        res = self._chunk_access(addrs, miss_budget=miss_budget, writes=writes)
+        self.commit_stage(tag, res.consumed)
+        return AccessResult(res.miss_mask, res.consumed)
+
+    # --------------------------------------------------- component protocol
+
+    def begin_stage(self) -> None:
+        self._staged_misses = 0
+
+    def commit_stage(self, tag: str, accesses: int) -> None:
+        self.stats.record(tag, accesses, self._staged_misses)
+        self.begin_stage()
+
+    def _chunk_access(
+        self,
+        addrs: np.ndarray,
+        miss_budget: int | None = None,
+        writes: np.ndarray | None = None,
+    ) -> KernelResult:
+        n = len(addrs)
         lines = np.asarray(addrs, dtype=np.uint64) >> np.uint64(self.config.line_bits)
 
         snapshot = self._tags.copy() if miss_budget is not None else None
@@ -112,5 +135,22 @@ class DirectMappedCache(CacheModel):
                 miss_mask = self._classify(lines[:consumed])
 
         misses = int(miss_mask.sum())
-        self.stats.record(tag, consumed, misses)
-        return AccessResult(miss_mask, consumed)
+        self._staged_misses += misses
+        return KernelResult(miss_mask, consumed, misses, 0, 0)
+
+    def access_line(self, line: int, write: bool = False) -> LineOutcome:
+        """Scalar per-line path for decorator components."""
+        idx = line & self.config.set_mask
+        resident = self._tags[idx]
+        if resident == line:
+            return LineOutcome(False, None)
+        evicted = None if resident == _EMPTY else int(resident)
+        self._tags[idx] = line
+        self._staged_misses += 1
+        return LineOutcome(True, evicted)
+
+    def state_snapshot(self) -> object:
+        return self._tags.copy()
+
+    def state_restore(self, state: object) -> None:
+        self._tags = np.array(state, dtype=np.uint64, copy=True)

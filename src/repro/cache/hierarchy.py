@@ -2,16 +2,17 @@
 
 The paper simulates "a single-level set associative cache"; a downstream
 user of the techniques on real hardware would monitor the *last-level*
-cache, in front of which a small L1 filters most traffic. This model
-composes an L1 and an L2 (non-inclusive, fill-on-miss to both levels)
-behind the standard :class:`CacheModel` interface, where:
+cache, in front of which a small L1 filters most traffic. This model is
+the two-level specialisation of the generic component
+:class:`~repro.cache.components.Pipeline` (non-inclusive, fill-on-miss
+to both levels) and keeps the pre-refactor contract bit-for-bit:
 
 * ``access`` returns the **L2 (memory) miss mask** — that is what the
   simulated miss counters count, matching what an off-core HPM would see;
 * ``miss_budget`` is a budget of L2 misses, honoured exactly: the L1
-  kernel state is snapshotted before a budgeted chunk and, when the
-  budget-th L2 miss falls mid-chunk, rolled back and re-applied over the
-  consumed prefix only (L1 evolution is independent of L2, so this is
+  state is snapshotted before a budgeted chunk and, when the budget-th
+  L2 miss falls mid-chunk, rolled back and re-applied over the consumed
+  prefix only (L1 evolution is independent of L2, so this is
   bit-identical to walking both levels per reference);
 * ``stats`` tracks L2 activity, and :attr:`l1_stats` the filtered level.
   Both levels record every consumed reference under the same tag, so per
@@ -29,15 +30,13 @@ objects when an L1 filter removes most hits from the monitored stream.
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.cache.base import AccessResult, CacheModel, CacheStats
+from repro.cache.base import CacheStats
+from repro.cache.components import Pipeline
 from repro.cache.config import CacheConfig
-from repro.cache.kernels import kernel_for_config, resolve_backend
-from repro.errors import CacheConfigError
+from repro.cache.set_assoc import SetAssociativeCache
 
 
-class TwoLevelCache(CacheModel):
+class TwoLevelCache(Pipeline):
     """Non-inclusive L1 + L2 hierarchy over pluggable kernels."""
 
     def __init__(
@@ -47,77 +46,34 @@ class TwoLevelCache(CacheModel):
         backend: str | None = None,
         seed: int | None = None,
     ) -> None:
-        if l1.size >= l2.size:
-            raise CacheConfigError(
-                f"L1 ({l1.size}) must be smaller than L2 ({l2.size})"
-            )
-        if l1.line_size != l2.line_size:
-            raise CacheConfigError("L1 and L2 must share a line size")
-        super().__init__(l2)
-        self.l1_config = l1
-        self.l2_config = l2
-        self.l1_stats = CacheStats()
-        self.backend = resolve_backend(
-            backend if backend is not None else l2.backend
-        )
         # Distinct seeds keep the levels' RANDOM-eviction streams
         # independent while staying deterministic.
-        self._l1 = kernel_for_config(
-            self.backend, l1, seed=None if seed is None else seed + 1
+        level1 = SetAssociativeCache(
+            l1, seed=None if seed is None else seed + 1, backend=backend
         )
-        self._l2 = kernel_for_config(self.backend, l2, seed=seed)
+        level2 = SetAssociativeCache(l2, seed=seed, backend=backend)
+        super().__init__([level1, level2])
+        self.l1_config = l1
+        self.l2_config = l2
+        self.backend = level2.backend
 
-    def reset(self) -> None:
-        self._l1.reset()
-        self._l2.reset()
+    @property
+    def l1_stats(self) -> CacheStats:
+        """The filtered (L1) level's live ledger."""
+        return self.levels[0].stats
 
-    def contents_line_count(self) -> int:
-        """Valid lines in the monitored (L2) level."""
-        return self._l2.contents_line_count()
+    @property
+    def _l1(self):
+        """The L1 kernel (tests and diagnostics)."""
+        return self.levels[0]._kernel
+
+    @property
+    def _l2(self):
+        """The L2 kernel (tests and diagnostics)."""
+        return self.levels[1]._kernel
 
     def l1_contents_line_count(self) -> int:
-        return self._l1.contents_line_count()
-
-    def contains_addr(self, addr: int) -> bool:
-        return self._l2.contains_line(addr >> self.config.line_bits)
-
-    def combined_stats(self) -> CacheStats:
-        """Both levels' totals merged into one fresh :class:`CacheStats`."""
-        return self.l1_stats.snapshot().merge(self.stats)
-
-    def access(
-        self,
-        addrs: np.ndarray,
-        miss_budget: int | None = None,
-        tag: str = "app",
-        writes: np.ndarray | None = None,
-    ) -> AccessResult:
-        n = len(addrs)
-        if n == 0:
-            return AccessResult(np.zeros(0, dtype=bool), 0)
-        addrs = np.asarray(addrs, dtype=np.uint64)
-        l1_snap = self._l1.snapshot() if miss_budget is not None else None
-        r1 = self._l1.access(addrs)
-        filtered = np.flatnonzero(r1.miss_mask)  # L1 misses probe L2
-        r2 = self._l2.access(addrs[filtered], miss_budget=miss_budget)
-
-        consumed = n
-        if miss_budget is not None and r2.misses >= miss_budget:
-            # Budget exhausted: the chunk ends at the reference whose L1
-            # miss produced the budget-th L2 miss. Trailing references —
-            # even L1 hits — are not consumed, exactly as a per-reference
-            # walk would stop.
-            consumed = int(filtered[r2.consumed - 1]) + 1
-            filtered = filtered[: r2.consumed]
-            if consumed < n:
-                self._l1.restore(l1_snap)
-                r1 = self._l1.access(addrs[:consumed])
-
-        miss_mask = np.zeros(consumed, dtype=bool)
-        miss_mask[filtered[r2.miss_mask]] = True
-        self.l1_stats.record(tag, consumed, r1.misses)
-        self.stats.record(tag, consumed, r2.misses)
-        return AccessResult(miss_mask, consumed)
+        return self.levels[0].contents_line_count()
 
     def describe(self) -> str:  # pragma: no cover - cosmetic
         return (

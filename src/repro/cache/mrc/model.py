@@ -19,6 +19,16 @@ The binomial survival function is evaluated without SciPy: the CDF terms
 ``C(d,j) p^j q^(d-j)`` for ``j < A`` follow a multiplicative recurrence,
 accumulated in log space so streams with distances in the hundreds of
 thousands stay finite.
+
+**Scope: undecorated caches only.** The argument above models a bare
+set-associative array. Mechanism-decorated stacks
+(:mod:`repro.cache.components` — victim caches, miss caches, stream
+buffers) rescue misses through side storage no stack-distance argument
+captures, so they *bypass* this correction entirely rather than being
+approximated by it: the experiment layer refuses to run the MRC engine
+for a config with ``mechanisms`` set (``experiments/mrc.py``) and points
+at the exact mechanism-sweep driver instead. ``tests/mrc`` pins that
+refusal.
 """
 
 from __future__ import annotations

@@ -28,12 +28,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cache.base import AccessResult, CacheModel
+from repro.cache.base import AccessResult
+from repro.cache.components import CacheComponent, LineOutcome
 from repro.cache.config import CacheConfig
 from repro.cache.kernels import kernel_for_config, resolve_backend
+from repro.cache.kernels.base import KernelResult
+from repro.cache.policies import ReplacementPolicy
+from repro.errors import SimulationError
 
 
-class SetAssociativeCache(CacheModel):
+class SetAssociativeCache(CacheComponent):
     """Exact A-way set-associative cache over a pluggable kernel."""
 
     def __init__(
@@ -55,6 +59,9 @@ class SetAssociativeCache(CacheModel):
             seed=seed,
             prefetch_next_line=prefetch_next_line,
         )
+        self._staged_misses = 0
+        self._staged_writebacks = 0
+        self._staged_prefetches = 0
 
     def reset(self) -> None:
         self._kernel.reset()
@@ -84,12 +91,92 @@ class SetAssociativeCache(CacheModel):
         n = len(addrs)
         if n == 0:
             return AccessResult(np.zeros(0, dtype=bool), 0)
-        res = self._kernel.access(addrs, miss_budget=miss_budget, writes=writes)
+        res = self._chunk_access(addrs, miss_budget=miss_budget, writes=writes)
+        self.commit_stage(tag, res.consumed)
+        return AccessResult(res.miss_mask, res.consumed)
+
+    # --------------------------------------------------- component protocol
+
+    def begin_stage(self) -> None:
+        self._staged_misses = 0
+        self._staged_writebacks = 0
+        self._staged_prefetches = 0
+
+    def commit_stage(self, tag: str, accesses: int) -> None:
         self.stats.record(
             tag,
-            res.consumed,
-            res.misses,
-            writebacks=res.writebacks,
-            prefetches=res.prefetches,
+            accesses,
+            self._staged_misses,
+            writebacks=self._staged_writebacks,
+            prefetches=self._staged_prefetches,
         )
-        return AccessResult(res.miss_mask, res.consumed)
+        self.begin_stage()
+
+    def _chunk_access(
+        self,
+        addrs: np.ndarray,
+        miss_budget: int | None = None,
+        writes: np.ndarray | None = None,
+    ) -> KernelResult:
+        res = self._kernel.access(addrs, miss_budget=miss_budget, writes=writes)
+        self._staged_misses += res.misses
+        self._staged_writebacks += res.writebacks
+        self._staged_prefetches += res.prefetches
+        return res
+
+    def access_line(self, line: int, write: bool = False) -> LineOutcome:
+        """Scalar per-line path for decorator components.
+
+        A direct transcription of the reference kernel's per-reference
+        loop body, operating on its set state so victims are observable;
+        decorated stacks run on the reference kernel only (``make_cache``
+        forces the backend), hence the guard. The next-line prefetcher is
+        not supported here — :class:`~repro.cache.components.StreamBuffers`
+        is the composable replacement.
+        """
+        kernel = self._kernel
+        sets = getattr(kernel, "_sets", None)
+        if sets is None:
+            raise SimulationError(
+                "per-line component access requires the reference kernel "
+                f"(have {kernel.name!r}); make_cache selects it for "
+                "decorated stacks"
+            )
+        if self.prefetch_next_line:
+            raise SimulationError(
+                "prefetch_next_line cannot combine with decorator "
+                "components; wrap the cache in StreamBuffers instead"
+            )
+        s = sets[line & kernel.set_mask]
+        dirty = kernel._dirty
+        if line in s:
+            if kernel.policy is ReplacementPolicy.LRU and s[-1] != line:
+                s.remove(line)
+                s.append(line)
+            if write:
+                dirty.add(line)
+            return LineOutcome(False, None)
+        self._staged_misses += 1
+        evicted: int | None = None
+        if len(s) >= kernel.assoc:
+            if kernel.policy is ReplacementPolicy.RANDOM:
+                if not kernel._rand_pool:
+                    # Scalar path refills on empty (chunk-size invariant
+                    # by construction: draws depend only on evictions).
+                    kernel._refill_rand_pool(4096)
+                evicted = s.pop(kernel._rand_pool.pop())
+            else:
+                evicted = s.pop(0)  # LRU and FIFO both evict the head
+            if evicted in dirty:
+                dirty.discard(evicted)
+                self._staged_writebacks += 1
+        s.append(line)
+        if write:
+            dirty.add(line)
+        return LineOutcome(True, evicted)
+
+    def state_snapshot(self) -> object:
+        return self._kernel.snapshot()
+
+    def state_restore(self, state: object) -> None:
+        self._kernel.restore(state)

@@ -27,7 +27,9 @@ import time
 
 from repro.cache import KERNEL_BACKENDS
 from repro.experiments import (
+    MECHANISM_CHOICES,
     ExperimentRunner,
+    run_mechanisms,
     run_continuation,
     run_hierarchy,
     run_prefetch_ablation,
@@ -67,7 +69,12 @@ _EXPERIMENTS = {
     # Back-compat alias from when the MRC sweep was an extension driver.
     "ext-mrc": lambda runner, apps: run_mrc(runner, apps),
     "ext-sweep": lambda runner, apps: run_geometry_sweep(runner),
+    "mechanisms": lambda runner, apps: run_mechanisms(runner, apps),
 }
+
+#: Experiments excluded from ``repro all`` — aliases and extension grids
+#: that run their own fan-out rather than the warmable paper grid.
+_NOT_IN_ALL = ("ext-mrc", "mechanisms")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -105,6 +112,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache kernel backend (default: the config's 'reference'); "
         "backends are bit-identical, 'array' is the fast path and 'auto' "
         "picks per run from observed miss density",
+    )
+    parser.add_argument(
+        "--mechanism",
+        choices=list(MECHANISM_CHOICES),
+        default=None,
+        help="decorate the simulated cache with a mechanism stack "
+        "(victim cache, miss cache, stream buffers; 'vc+sb' wraps "
+        "both). Applies to any exact-simulation experiment, e.g. "
+        "'repro table1 --mechanism vc'; for 'repro mechanisms' it "
+        "restricts the sweep to that single stack. The MRC engine "
+        "refuses decorated configs",
     )
     parser.add_argument(
         "--compile-streams",
@@ -278,6 +296,11 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             backend=args.backend,
             compile_streams=args.compile_streams,
+            # The mechanisms sweep builds its own per-cell stacks; the
+            # runner-level decoration would only skew its baselines.
+            mechanisms=(
+                args.mechanism if args.experiment != "mechanisms" else None
+            ),
         ),
         quick=args.quick,
         jobs=args.jobs,
@@ -290,11 +313,11 @@ def main(argv: list[str] | None = None) -> int:
             _profile_app(runner, app, args.tool, live=args.live)
         return 0
     names = (
-        [n for n in _EXPERIMENTS if n != "ext-mrc"]  # alias of "mrc"
+        [n for n in _EXPERIMENTS if n not in _NOT_IN_ALL]
         if args.experiment == "all"
         else [args.experiment]
     )
-    if args.jobs > 1 or args.cache_dir:
+    if (args.jobs > 1 or args.cache_dir) and names != ["mechanisms"]:
         t0 = time.time()
         runner.warm(apps=args.apps, experiments=names, jobs=args.jobs)
         print(
@@ -303,7 +326,12 @@ def main(argv: list[str] | None = None) -> int:
         )
     for name in names:
         t0 = time.time()
-        report = _EXPERIMENTS[name](runner, args.apps)
+        if name == "mechanisms" and args.mechanism:
+            report = run_mechanisms(
+                runner, args.apps, mechanisms=[args.mechanism]
+            )
+        else:
+            report = _EXPERIMENTS[name](runner, args.apps)
         print(report)
         print(f"[{name} in {time.time() - t0:.1f}s]\n")
     return 0

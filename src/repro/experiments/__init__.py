@@ -40,6 +40,7 @@ from repro.experiments.ablations import (
     run_policy_ablation,
 )
 from repro.experiments.mrc import run_mrc
+from repro.experiments.mechanisms import MECHANISM_CHOICES, run_mechanisms
 from repro.experiments.sweep import run_geometry_sweep
 from repro.experiments.extensions import (
     run_continuation,
@@ -80,5 +81,7 @@ __all__ = [
     "run_hierarchy",
     "run_prefetch_ablation",
     "run_mrc",
+    "run_mechanisms",
+    "MECHANISM_CHOICES",
     "run_geometry_sweep",
 ]

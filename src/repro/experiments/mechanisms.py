@@ -1,0 +1,243 @@
+"""Experiment E13 — mechanism sweep: VC / MC / SB x cache size.
+
+The paper isolates *where* misses come from; the natural follow-up
+question is which classic mechanism would rescue them. This driver runs
+each application against mechanism-decorated cache stacks
+(:mod:`repro.cache.components` — victim cache, miss cache, stream
+buffers, after Jouppi's ISCA 1990 designs) across a small cache-size
+grid, and attributes the rescued misses back to the paper's memory
+objects: the per-object ground-truth profiles of the baseline and the
+decorated run subtract directly, because decorating never changes the
+reference stream.
+
+Every cell is an ordinary :class:`~repro.experiments.parallel.TaskSpec`
+whose cache config carries the mechanism stack
+(``CacheConfig.mechanisms`` is part of the content-addressed cache
+key), so cells fan out through the :class:`ParallelRunner`, land in the
+persistent result cache, and are bit-identical however they execute.
+
+Unlike the MRC engine (which *refuses* decorated configs — no
+stack-distance argument models a victim cache), this sweep is exact
+simulation throughout.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+from repro.cache import parse_mechanisms
+from repro.experiments.parallel import ParallelRunner
+from repro.experiments.records import ExperimentReport
+from repro.util.format import Table, render_table
+from repro.util.units import fmt_bytes, fmt_count, fmt_pct
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.profile import DataProfile
+    from repro.experiments.parallel import TaskSpec
+    from repro.experiments.runner import ExperimentRunner
+    from repro.sim.engine import RunResult
+
+#: The mechanism stacks the CLI sweep covers: each mechanism alone plus
+#: the two classic pairings (a victim or miss cache catching conflict
+#: misses while stream buffers catch the sequential ones).
+MECHANISM_CHOICES = ("vc", "mc", "sb", "vc+sb", "mc+sb")
+
+#: Default application subset: a conflict-heavy stencil, a multigrid
+#: walker, and a sequential integer code — one workload per miss flavour
+#: the mechanisms target.
+DEFAULT_APPS = ["tomcatv", "mgrid", "compress"]
+
+
+def mechanism_task(
+    runner: "ExperimentRunner",
+    app: str,
+    mechanisms: "str | tuple | None",
+    size: int | None = None,
+) -> "TaskSpec":
+    """One exact-simulation cell: the runner's geometry resized to
+    ``size`` bytes with ``mechanisms`` decorating the cache.
+
+    ``mechanisms=None``/``""`` is the undecorated baseline at the same
+    size. The stack rides in ``sim.cache.mechanisms``, so the cell's
+    cache key covers it and the baseline cell is *the same cell* any
+    other experiment produces for that geometry.
+    """
+    specs = parse_mechanisms(mechanisms)
+    cache = dataclasses.replace(
+        runner.config.cache,
+        size=size if size is not None else runner.config.cache.size,
+        mechanisms=specs,
+    )
+    stack = "+".join(m.describe() for m in specs) if specs else "base"
+    return dataclasses.replace(
+        runner.task(app),
+        sim=dataclasses.replace(runner.sim_spec, cache=cache),
+        label=f"{app}/mech({stack},{cache.size // 1024}K)",
+    )
+
+
+def _counts(profile: "DataProfile | None") -> dict[str, int]:
+    """Raw per-object miss counts from a ground-truth profile."""
+    if profile is None:
+        return {}
+    return {s.name: s.count for s in profile.shares}
+
+
+def _mechanism_events(result: "RunResult") -> dict[str, int]:
+    """All mechanism ledger events of a run, merged across decorators.
+
+    The outermost ledger only carries the outermost decorator's events
+    ("vc+sb" stacks keep vc_* in the inner ledger), so walk the full
+    component list.
+    """
+    events: dict[str, int] = {}
+    for _, stats in result.component_stats or []:
+        for event, count in stats.mechanism.items():
+            events[event] = events.get(event, 0) + count
+    return events
+
+
+def _run_grid(
+    runner: "ExperimentRunner", cells: "list[TaskSpec]"
+) -> "dict[str, RunResult]":
+    """Execute cells (parallel when the runner has workers), key -> result."""
+    if runner.jobs > 1:
+        pool = ParallelRunner(
+            jobs=runner.jobs,
+            cache=runner.result_cache,
+            manifest=runner.manifest,
+            checkpoints=runner.checkpoints,
+            stream_cache_dir=runner.stream_cache_dir,
+        )
+        fresh, seen = [], set()
+        for spec in cells:
+            key = spec.key()
+            if key not in runner._memo and key not in seen:
+                seen.add(key)
+                fresh.append(spec)
+        for spec, result in zip(fresh, pool.run(fresh)):
+            runner._memo[spec.key()] = result
+    # Serial path and memo/disk readback share run_task, so parallel
+    # execution stays bit-identical with --jobs 1.
+    return {spec.key(): runner.run_task(spec) for spec in cells}
+
+
+def run_mechanisms(
+    runner: "ExperimentRunner",
+    apps: "list[str] | None" = None,
+    mechanisms: "tuple | list | None" = None,
+    sizes: "list[int] | None" = None,
+    top_k: int = 3,
+) -> ExperimentReport:
+    """The mechanism x size grid with per-object rescue attribution."""
+    apps = apps or DEFAULT_APPS
+    stacks = list(mechanisms or MECHANISM_CHOICES)
+    sizes = sizes or [runner.config.cache.size // 2, runner.config.cache.size]
+
+    cells: "list[TaskSpec]" = []
+    grid: dict = {}
+    for app in apps:
+        for size in sizes:
+            base = mechanism_task(runner, app, None, size=size)
+            decorated = {
+                m: mechanism_task(runner, app, m, size=size) for m in stacks
+            }
+            grid[(app, size)] = (base, decorated)
+            cells.append(base)
+            cells.extend(decorated.values())
+    results = _run_grid(runner, cells)
+
+    table = Table(
+        [
+            "app", "size", "stack",
+            "base misses", "misses", "rescued", "rescued %",
+            "mechanism events",
+        ],
+        title="E13: miss-rescue mechanisms (victim/miss cache, stream buffers)",
+    )
+    values: dict = {"sizes": sizes, "mechanisms": stacks, "apps": {}}
+    for app in apps:
+        per_app: dict = {}
+        for size in sizes:
+            base_spec, decorated = grid[(app, size)]
+            base = results[base_spec.key()]
+            base_misses = base.stats.app_misses
+            base_counts = _counts(base.actual)
+            per_size: dict = {
+                "baseline_misses": base_misses,
+                "baseline_objects": base_counts,
+                "stacks": {},
+            }
+            for m in stacks:
+                run = results[decorated[m].key()]
+                misses = run.stats.app_misses
+                rescued = base_misses - misses
+                events = _mechanism_events(run)
+                counts = _counts(run.actual)
+                per_size["stacks"][m] = {
+                    "misses": misses,
+                    "rescued": rescued,
+                    "events": events,
+                    "objects": counts,
+                    "rescued_by_object": {
+                        name: base_counts[name] - counts.get(name, 0)
+                        for name in base_counts
+                    },
+                }
+                table.add_row(
+                    [
+                        app,
+                        fmt_bytes(size),
+                        m,
+                        fmt_count(base_misses),
+                        fmt_count(misses),
+                        fmt_count(rescued),
+                        fmt_pct(rescued / base_misses) if base_misses else "-",
+                        " ".join(
+                            f"{k}={fmt_count(v)}" for k, v in sorted(events.items())
+                        ),
+                    ]
+                )
+            per_app[size] = per_size
+        table.add_separator()
+        values["apps"][app] = per_app
+
+    # Per-object attribution at the runner's configured size: which of
+    # the paper's memory objects each mechanism actually rescues.
+    primary = sizes[-1]
+    obj_table = Table(
+        ["app", "object", "base misses"] + [f"rescued ({m})" for m in stacks],
+        title=f"E13 attribution: misses rescued per object at {fmt_bytes(primary)}",
+    )
+    for app in apps:
+        per_size = values["apps"][app][primary]
+        base_counts = per_size["baseline_objects"]
+        base = results[grid[(app, primary)][0].key()]
+        names = [s.name for s in base.actual.top(top_k)] if base.actual else []
+        for name in names:
+            obj_table.add_row(
+                [app, name, fmt_count(base_counts[name])]
+                + [
+                    fmt_count(
+                        per_size["stacks"][m]["rescued_by_object"][name]
+                    )
+                    for m in stacks
+                ]
+            )
+        obj_table.add_separator()
+
+    notes = [
+        "rescued = baseline misses - decorated misses over the identical "
+        "reference stream (decorating never perturbs the workload)",
+        "per-object attribution subtracts ground-truth profiles; a "
+        "negative rescue means the mechanism displaced that object's lines",
+        "exact simulation throughout — decorated stacks bypass the MRC "
+        "engine's binomial model (see experiments/mrc.py)",
+    ]
+    return ExperimentReport(
+        experiment="mechanisms",
+        table=render_table(table) + "\n\n" + render_table(obj_table),
+        values=values,
+        notes=notes,
+    )

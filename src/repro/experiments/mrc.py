@@ -39,6 +39,29 @@ DEFAULT_RATE = 0.1
 DEFAULT_VERIFY_CELLS = 2
 
 
+def _require_undecorated(runner: "ExperimentRunner") -> None:
+    """Refuse mechanism-decorated cache configs.
+
+    The MRC engine's stack-distance histogram and binomial associativity
+    correction (``repro.cache.mrc.model``) model an undecorated
+    set-associative cache; victim/miss caches and stream buffers rescue
+    misses in ways no reuse-distance argument captures, so a decorated
+    stack silently *bypasses* the correction rather than degrading it.
+    Mechanism sweeps have their own exact-simulation driver
+    (``repro mechanisms`` — see ``experiments/mechanisms.py``).
+    """
+    from repro.errors import CacheConfigError
+
+    mechanisms = runner.config.cache.mechanisms
+    if mechanisms:
+        stack = "+".join(m.describe() for m in mechanisms)
+        raise CacheConfigError(
+            "the MRC engine models an undecorated set-associative cache; "
+            f"mechanism-decorated stacks ({stack}) bypass the binomial "
+            "associativity correction — use `repro mechanisms` instead"
+        )
+
+
 def mrc_pass(
     runner: "ExperimentRunner",
     app: str,
@@ -52,6 +75,7 @@ def mrc_pass(
     the workload allows it; heap-churning workloads fall back to the
     generator path.
     """
+    _require_undecorated(runner)
     workload = runner.make(app)
     compiled = None
     if getattr(type(workload), "compiled_stream_safe", True):

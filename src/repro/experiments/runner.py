@@ -77,12 +77,22 @@ class RunnerConfig:
     #: task keys via SimSpec. The stream cache shares the runner's
     #: ``cache_dir``.
     compile_streams: bool = False
+    #: Mechanism decorator stack applied to the cache (a spec tuple or a
+    #: compact string like ``"vc+sb"`` — see repro.cache.config). Unlike
+    #: ``backend`` this *changes simulated behaviour*; it is folded into
+    #: ``cache`` so every TaskSpec key carries it. None keeps the cache
+    #: config's own ``mechanisms``.
+    mechanisms: "str | tuple | None" = None
 
     def __post_init__(self) -> None:
         if self.cache is None:
             self.cache = CacheConfig()
         if self.backend is not None:
             self.cache = dataclasses.replace(self.cache, backend=self.backend)
+        if self.mechanisms is not None:
+            self.cache = dataclasses.replace(
+                self.cache, mechanisms=self.mechanisms
+            )
         if self.workload_kwargs is None:
             self.workload_kwargs = {}
 
@@ -387,6 +397,10 @@ class ExperimentRunner:
                         self._sampling_task(app, period=period, max_refs=max_refs)
                     )
         elif experiment == "mrc":
+            if self.config.cache.mechanisms:
+                # Decorated stacks bypass the MRC model entirely (the
+                # driver raises); warming would raise here too.
+                return cells
             # Deterministic for a fixed runner config: the sampled MRC
             # pass picks the same highest-curvature cells warm() and the
             # driver will both request.

@@ -28,8 +28,9 @@ _STAT_FIELDS = {
     "prefetches",
     "accesses_by_tag",
     "misses_by_tag",
+    "mechanism",
 }
-_DICT_FIELDS = {"accesses_by_tag", "misses_by_tag"}
+_DICT_FIELDS = {"accesses_by_tag", "misses_by_tag", "mechanism"}
 
 
 def _is_stats_object(node: ast.AST) -> bool:

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Sequence
 
-from repro.cache import CacheConfig, GroundTruth, make_cache
+from repro.cache import CacheConfig, CacheStats, GroundTruth, make_cache
 from repro.errors import SimulationError
 from repro.hpm.interrupts import CostModel
 from repro.hpm.monitor import PerformanceMonitor
@@ -56,6 +56,14 @@ class RunResult:
     tool: InstrumentationTool | None = None
     #: Every attached tool in attach order (None for uninstrumented runs).
     tools: "list[InstrumentationTool] | None" = None
+    #: The monitored cache's ledger, frozen at stream end (before tool
+    #: teardown). For decorated stacks its ``mechanism`` dict carries the
+    #: outermost mechanism's event counts.
+    cache_stats: CacheStats | None = None
+    #: (label, frozen stats) per cache component, outer first — one entry
+    #: per pipeline level and mechanism decorator (None for models that
+    #: expose no component ledgers).
+    component_stats: "list[tuple[str, CacheStats]] | None" = None
 
     @property
     def total_cycles(self) -> int:

@@ -71,7 +71,10 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Version stamp embedded in every snapshot; bumped whenever the payload
 #: layout changes so stale checkpoint files are refused, not misread.
-SNAPSHOT_VERSION = 1
+#: v2: the pickled ``cache`` entry may now be a component stack
+#: (Pipeline / mechanism decorators over leaf models — see
+#: repro.cache.components) rather than a bare single- or two-level model.
+SNAPSHOT_VERSION = 2
 
 
 # ------------------------------------------------------------- dispatcher
@@ -489,10 +492,14 @@ class SimulationSession:
         The one dependence is RANDOM replacement: the kernels' shared
         eviction pool refills are keyed on chunk length, so re-chunking
         changes the eviction stream. LRU/FIFO kernels are pure functions
-        of the reference order.
+        of the reference order. Mechanism-decorated stacks are invariant
+        even under RANDOM: their scalar path refills the pool only when
+        it runs empty, so draws depend on the eviction count alone.
         """
         from repro.cache.policies import ReplacementPolicy
 
+        if self.cache.config.mechanisms:
+            return True
         configs = [self.cache.config]
         l1 = getattr(self.cache, "l1_config", None)
         if l1 is not None:
@@ -724,6 +731,12 @@ class SimulationSession:
         # Freeze the totals at stream end: tool teardown below must not be
         # able to drift what this run reports as instrumentation activity.
         cache_stats = self.cache.stats.snapshot()
+        ledgers = getattr(self.cache, "component_ledgers", None)
+        component_stats = (
+            [(name, stats.snapshot()) for name, stats in ledgers()]
+            if ledgers is not None
+            else None
+        )
         tools = self.dispatcher.tools if self.dispatcher is not None else []
         for tool in tools:
             tool.on_run_end(self.clock.now)
@@ -752,6 +765,8 @@ class SimulationSession:
             ground_truth=gt,
             tool=primary,
             tools=list(tools) if tools else None,
+            cache_stats=cache_stats,
+            component_stats=component_stats,
         )
 
     # ------------------------------------------------------------- snapshot

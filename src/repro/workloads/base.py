@@ -42,6 +42,14 @@ class Workload(abc.ABC):
     #: their stream from arrays would desync ground-truth attribution.
     #: A dynamic guard in the compiler backstops this flag.
     compiled_stream_safe: bool = True
+    #: Whether the workload is valid under mechanism x size sweeps
+    #: (``repro mechanisms``): its reference stream must not depend on
+    #: the cache configuration it runs against. True for every stream
+    #: that is a pure function of (constructor kwargs, seed) — which is
+    #: all of them today; the flag exists so a future feedback-directed
+    #: workload can opt out instead of silently invalidating the sweep's
+    #: "identical stream" subtraction.
+    mechanism_sweep_safe: bool = True
 
     def __init__(self, scale: float = 1.0, seed: int | None = None) -> None:
         if scale <= 0:

@@ -5,6 +5,26 @@ a trace saved by :func:`repro.sim.trace_io.save_trace`, or one converted
 from an external tool — while still declaring the memory objects the
 addresses belong to (the profilers cannot attribute without an object
 map).
+
+**Trace file format** (the contract external converters target; the
+reference implementation is :mod:`repro.sim.trace_io`): a compressed
+NumPy ``.npz`` archive holding
+
+* ``manifest`` — a ``uint8`` array of UTF-8 JSON:
+  ``{"version": 1, "blocks": [<block-meta>, ...]}`` where each
+  block-meta is ``{"cycles_per_ref": float, "label": str|null,
+  "extra_cycles": int, "has_writes": bool}``, in stream order;
+* ``addrs_<i>`` — one ``uint64`` array of *byte* addresses per block
+  (virtual addresses in the simulated layout; line splitting happens at
+  simulation time from the cache config, so traces are line-size
+  agnostic);
+* ``writes_<i>`` — a ``bool`` array parallel to ``addrs_<i>``, present
+  exactly when block ``i``'s meta says ``has_writes`` (absent means an
+  all-read block).
+
+``version`` gates compatibility: readers reject any other value rather
+than guessing. A write -> read round trip is exact
+(``tests/workloads/test_trace_roundtrip.py`` pins it).
 """
 
 from __future__ import annotations
@@ -33,6 +53,11 @@ class TraceWorkload(Workload):
     #: by constructor parameters — so stream compilation is opted out
     #: rather than fingerprinted unsoundly (see RPL602).
     compiled_stream_safe = False
+    #: Recorded traces are frozen address streams: replaying one against
+    #: a decorated stack cannot feed back into the stream, so mechanism
+    #: x size sweeps over traces are sound even though compilation is
+    #: not (the marker ROADMAP item 4's trace ingestion relies on).
+    mechanism_sweep_safe = True
 
     def __init__(
         self,

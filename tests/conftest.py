@@ -40,6 +40,12 @@ def pytest_configure(config):
         "mrc: MRC-vs-exact-simulator accuracy harness (stream length "
         "scaled by REPRO_MRC_SAMPLE_RATE)",
     )
+    config.addinivalue_line(
+        "markers",
+        "mechanisms: cache-mechanism component stacks (victim/miss "
+        "cache, stream buffers) — the CI leg `-m mechanisms` runs just "
+        "these",
+    )
 
 
 @pytest.fixture

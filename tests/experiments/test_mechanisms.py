@@ -1,0 +1,131 @@
+"""The E13 mechanism-sweep driver, its task keys, and the MRC refusal."""
+
+import pytest
+
+from repro.cache import parse_mechanisms
+from repro.errors import CacheConfigError
+from repro.experiments.mechanisms import (
+    MECHANISM_CHOICES,
+    mechanism_task,
+    run_mechanisms,
+)
+from repro.experiments.mrc import mrc_pass, run_mrc
+from repro.experiments.runner import ExperimentRunner, RunnerConfig
+
+pytestmark = pytest.mark.mechanisms
+
+
+def test_choices_cover_singles_and_pairings():
+    assert MECHANISM_CHOICES == ("vc", "mc", "sb", "vc+sb", "mc+sb")
+
+
+class TestTaskKeys:
+    def test_mechanisms_are_part_of_the_cache_key(self, quick_runner):
+        base = mechanism_task(quick_runner, "compress", None, size=32 * 1024)
+        vc = mechanism_task(quick_runner, "compress", "vc", size=32 * 1024)
+        sb = mechanism_task(quick_runner, "compress", "sb", size=32 * 1024)
+        assert len({base.key(), vc.key(), sb.key()}) == 3
+
+    def test_entries_change_the_key(self, quick_runner):
+        a = mechanism_task(quick_runner, "compress", "vc:4")
+        b = mechanism_task(quick_runner, "compress", "vc:8")
+        assert a.key() != b.key()
+
+    def test_label_not_in_key(self, quick_runner):
+        import dataclasses
+
+        a = mechanism_task(quick_runner, "compress", "vc")
+        b = dataclasses.replace(a, label="other")
+        assert a.key() == b.key()
+
+
+class TestRunnerConfig:
+    def test_mechanisms_fold_into_cache(self):
+        config = RunnerConfig(mechanisms="vc+sb")
+        assert config.cache.mechanisms == parse_mechanisms("vc+sb")
+
+    def test_mrc_refuses_decorated_runner(self):
+        runner = ExperimentRunner(
+            RunnerConfig(seed=99, mechanisms="vc"), quick=True
+        )
+        with pytest.raises(CacheConfigError, match="repro mechanisms"):
+            mrc_pass(runner, "compress")
+        with pytest.raises(CacheConfigError):
+            run_mrc(runner, apps=["compress"])
+
+    def test_mrc_warm_cells_empty_for_decorated_runner(self):
+        runner = ExperimentRunner(
+            RunnerConfig(seed=99, mechanisms="vc"), quick=True
+        )
+        assert runner._cells_for("mrc", ["compress"]) == []
+
+
+class TestDriver:
+    @pytest.fixture(scope="class")
+    def report(self, quick_runner):
+        return run_mechanisms(
+            quick_runner,
+            apps=["compress"],
+            mechanisms=["sb"],
+            sizes=[32 * 1024],
+        )
+
+    def test_report_shape(self, report):
+        assert report.experiment == "mechanisms"
+        assert "rescued" in report.table
+        assert "sb" in report.values["mechanisms"]
+
+    def test_rescue_arithmetic(self, report):
+        cell = report.values["apps"]["compress"][32 * 1024]
+        sb = cell["stacks"]["sb"]
+        assert sb["rescued"] == cell["baseline_misses"] - sb["misses"]
+        assert sb["events"]["sb_hits"] <= sb["events"]["sb_prefetches"]
+
+    def test_per_object_attribution_sums_to_total(self, report):
+        cell = report.values["apps"]["compress"][32 * 1024]
+        sb = cell["stacks"]["sb"]
+        assert sum(sb["rescued_by_object"].values()) == sb["rescued"]
+        # Sequential scans dominate compress; SB must rescue plenty.
+        assert sb["rescued"] > 0
+
+    def test_attribution_table_rendered(self, report):
+        assert "rescued (sb)" in report.table
+        assert "orig_text_buffer" in report.table
+
+
+class TestCli:
+    def test_mechanism_flag_choices(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["mechanisms", "--mechanism", "vc+sb"]
+        )
+        assert args.mechanism == "vc+sb"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mechanisms", "--mechanism", "tlb"])
+
+    def test_mechanisms_excluded_from_all(self):
+        from repro.cli import _EXPERIMENTS, _NOT_IN_ALL
+
+        assert "mechanisms" in _EXPERIMENTS
+        assert "mechanisms" in _NOT_IN_ALL
+
+    def test_end_to_end(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "mechanisms",
+                    "--quick",
+                    "--apps",
+                    "mgrid",
+                    "--mechanism",
+                    "vc",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "E13" in out
+        assert "rescued (vc)" in out

@@ -8,3 +8,7 @@ class Engine:
     def bump(self, tag):
         self.stats.misses += 1  # RPL401: bypasses per-tag attribution
         self.stats.accesses_by_tag[tag] = 1  # RPL401: dict write
+
+    def rescue(self):
+        self.stats.mechanism["vc_hits"] += 1  # RPL401: ledger dict write
+        self.stats.mechanism = {}  # RPL401: replaces the mechanism ledger

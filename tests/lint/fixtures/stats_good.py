@@ -5,10 +5,14 @@ class CacheStats:
     def __init__(self):
         self.accesses = 0
         self.misses = 0
+        self.mechanism = {}
 
-    def record(self, tag, accesses, misses):
+    def record(self, tag, accesses, misses, mechanism=None):
         self.accesses += accesses
         self.misses += misses
+        if mechanism:
+            for event, count in mechanism.items():
+                self.mechanism[event] = self.mechanism.get(event, 0) + count
 
 
 class Engine:
@@ -16,4 +20,4 @@ class Engine:
         self.stats = stats
 
     def bump(self, tag, n, m):
-        self.stats.record(tag, n, m)
+        self.stats.record(tag, n, m, mechanism={"vc_hits": 1})

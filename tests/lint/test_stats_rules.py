@@ -14,7 +14,16 @@ def counts(*paths):
 
 def test_direct_counter_writes_are_flagged():
     got = counts(FIXTURES / "stats_bad.py")
-    assert got == {"RPL401": 2}
+    assert got == {"RPL401": 4}
+
+
+def test_mechanism_ledger_writes_are_flagged(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "def rescue(cache_stats):\n"
+        "    cache_stats.mechanism['sb_hits'] = 3\n"
+    )
+    assert counts(mod) == {"RPL401": 1}
 
 
 def test_mutation_inside_cachestats_is_allowed():

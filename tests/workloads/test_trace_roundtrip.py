@@ -1,0 +1,111 @@
+"""Trace format write -> read round trip + mechanism-sweep safety.
+
+Pins the ``.npz`` contract documented in :mod:`repro.workloads.trace`:
+a saved trace replays *bit-identically* to its in-memory blocks through
+the full simulation stack, including under mechanism-decorated caches —
+the property that makes trace ingestion sound for ``repro mechanisms``
+sweeps (ROADMAP item 4).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheConfig
+from repro.memory.address_space import DATA_BASE
+from repro.sim.blocks import ReferenceBlock
+from repro.sim.engine import Simulator
+from repro.sim.trace_io import load_trace, save_trace
+from repro.workloads.base import Workload
+from repro.workloads.trace import TraceWorkload
+
+pytestmark = pytest.mark.mechanisms
+
+BASE = DATA_BASE + 0x4000
+LAYOUT = {"table": (BASE, 64 * 1024)}
+
+
+def make_blocks(seed=13):
+    rng = np.random.default_rng(seed)
+    seq = np.arange(BASE, BASE + 64 * 400, 64, dtype=np.uint64)
+    rand = (
+        np.uint64(BASE)
+        + rng.integers(0, 1024, size=600).astype(np.uint64) * np.uint64(64)
+    )
+    return [
+        ReferenceBlock(addrs=seq, cycles_per_ref=4.0, label="stream"),
+        ReferenceBlock(
+            addrs=rand,
+            cycles_per_ref=6.0,
+            writes=rng.random(600) < 0.3,
+            label="scatter",
+            extra_cycles=17,
+        ),
+    ]
+
+
+def fingerprint(result):
+    return (
+        result.stats.app_refs,
+        result.stats.app_misses,
+        result.stats.app_cycles,
+        [(s.name, s.count) for s in result.actual.shares],
+    )
+
+
+def test_write_read_round_trip_preserves_every_field(tmp_path):
+    blocks = make_blocks()
+    path = tmp_path / "t.npz"
+    save_trace(path, blocks)
+    loaded = load_trace(path)
+    assert len(loaded) == len(blocks)
+    for orig, back in zip(blocks, loaded):
+        assert np.array_equal(back.addrs, orig.addrs)
+        assert back.addrs.dtype == np.uint64
+        assert back.cycles_per_ref == orig.cycles_per_ref
+        assert back.label == orig.label
+        assert back.extra_cycles == orig.extra_cycles
+        if orig.writes is None:
+            assert back.writes is None
+        else:
+            assert np.array_equal(back.writes, orig.writes)
+
+
+def test_file_replay_bit_identical_to_in_memory(tmp_path):
+    path = tmp_path / "t.npz"
+    save_trace(path, make_blocks())
+    cfg = CacheConfig(size=8 * 1024, assoc=2)
+    mem = Simulator(cfg, seed=3).run(
+        TraceWorkload(make_blocks(), layout=LAYOUT)
+    )
+    file = Simulator(cfg, seed=3).run(TraceWorkload(path, layout=LAYOUT))
+    assert fingerprint(file) == fingerprint(mem)
+
+
+def test_trace_replay_under_mechanism_stack(tmp_path):
+    """A recorded trace sweeps soundly: identical stream either way, so
+    baseline-minus-decorated attribution is well defined."""
+    path = tmp_path / "t.npz"
+    save_trace(path, make_blocks())
+    base_cfg = CacheConfig(size=8 * 1024, assoc=2)
+    deco_cfg = dataclasses.replace(base_cfg, mechanisms="vc+sb")
+    base = Simulator(base_cfg, seed=3).run(TraceWorkload(path, layout=LAYOUT))
+    deco = Simulator(deco_cfg, seed=3).run(TraceWorkload(path, layout=LAYOUT))
+    assert deco.stats.app_refs == base.stats.app_refs
+    assert deco.stats.app_misses <= base.stats.app_misses
+    assert deco.cache_stats.mechanism["sb_hits"] >= 0
+    rescued = {
+        s.name: next(
+            b.count for b in base.actual.shares if b.name == s.name
+        )
+        - s.count
+        for s in deco.actual.shares
+    }
+    assert sum(rescued.values()) == base.stats.app_misses - deco.stats.app_misses
+
+
+def test_mechanism_sweep_safe_markers():
+    assert Workload.mechanism_sweep_safe is True
+    assert TraceWorkload.mechanism_sweep_safe is True
+    assert TraceWorkload.compiled_stream_safe is False
