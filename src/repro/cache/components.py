@@ -57,6 +57,7 @@ from typing import NamedTuple
 
 import numpy as np
 
+from repro import sanitize
 from repro.cache.base import AccessResult, CacheModel, CacheStats
 from repro.cache.config import CacheConfig, MechanismSpec, parse_mechanisms
 from repro.cache.kernels.base import KernelResult
@@ -186,6 +187,10 @@ class MechanismDecorator(CacheComponent):
         self._staged_probes = 0
         self._staged_prefetches = 0
         self.inner.commit_stage(tag, accesses)
+        # After the cascade both ledgers hold this chunk, so the chain
+        # identities (probes == inner misses, ...) must hold on totals.
+        if sanitize.is_active():
+            sanitize.check_component(self, self.kind)
 
     def _staged_mechanism(self) -> dict[str, int]:
         counts = {
@@ -505,6 +510,8 @@ class Pipeline(CacheComponent):
     def commit_stage(self, tag: str, accesses: int) -> None:
         for level in self.levels:
             level.commit_stage(tag, accesses)
+        if sanitize.is_active():
+            sanitize.check_component(self, "pipeline")
 
     # ----------------------------------------------------------- chunked
 
@@ -554,6 +561,12 @@ class Pipeline(CacheComponent):
             if consumed < n and snaps is not None:
                 for upper, snap in zip(uppers, snaps):
                     upper.state_restore(snap)
+                    # Discard the staged counts of the full-chunk pass
+                    # too: the ledger must see only the consumed prefix
+                    # about to be re-applied, or upper levels would
+                    # commit misses for references never consumed
+                    # (caught by the runtime sanitizer's ledger check).
+                    upper.begin_stage()
                 filter_down(addrs[:consumed])
 
         if index is None:

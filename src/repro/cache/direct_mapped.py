@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import sanitize
 from repro.cache.base import AccessResult
 from repro.cache.components import CacheComponent, LineOutcome
 from repro.cache.config import CacheConfig
@@ -111,6 +112,8 @@ class DirectMappedCache(CacheComponent):
     def commit_stage(self, tag: str, accesses: int) -> None:
         self.stats.record(tag, accesses, self._staged_misses)
         self.begin_stage()
+        if sanitize.is_active():
+            sanitize.check_component(self)
 
     def _chunk_access(
         self,

@@ -117,7 +117,7 @@ class AutoKernel(SetKernel):
 
     def _make_inner(self, name: str) -> SetKernel:
         cls = ReferenceKernel if name == "reference" else ArrayKernel
-        return cls(
+        kernel = cls(
             n_sets=self.n_sets,
             assoc=self.assoc,
             line_bits=self.line_bits,
@@ -125,6 +125,11 @@ class AutoKernel(SetKernel):
             seed=None,  # state (incl. RNG) is installed by the caller
             prefetch_next_line=self.prefetch_next_line,
         )
+        # The caller installs RNG state and draw count; the seed is this
+        # kernel's own (the transplanted stream continues it), so the
+        # sanitizer's replay verification stays truthful after a switch.
+        kernel._seed = self._seed
+        return kernel
 
     def _decide(self) -> None:
         self._decided = True
@@ -145,4 +150,5 @@ class AutoKernel(SetKernel):
         ref._rng.bit_generator.state = copy.deepcopy(
             inner._rng.bit_generator.state
         )
+        ref._rand_draws = inner._rand_draws
         self._inner = ref

@@ -64,6 +64,14 @@ class SetKernel(abc.ABC):
         self.prefetch_next_line = prefetch_next_line
         self._rng = make_rng(seed)
         self._rand_pool: list[int] = []
+        #: Seed and cumulative draw count: together they make the RNG
+        #: stream *auditable*. PCG64 draws of a fixed (low, high) split
+        #: across calls land on the same end state as one combined call,
+        #: so ``make_rng(_seed)`` replayed for ``_rand_draws`` integers
+        #: must reproduce ``_rng``'s exact state — the runtime sanitizer
+        #: (repro.sanitize.rng) checks this after every session restore.
+        self._seed = seed
+        self._rand_draws = 0
 
     # -------------------------------------------------------------- random
 
@@ -71,9 +79,9 @@ class SetKernel(abc.ABC):
         # The pool is *replaced*, not extended, and always drawn with the
         # same size expression — both facts are load-bearing for the
         # cross-backend RANDOM-eviction equivalence.
-        self._rand_pool = self._rng.integers(
-            0, self.assoc, size=max(n, 4096)
-        ).tolist()
+        size = max(n, 4096)
+        self._rand_pool = self._rng.integers(0, self.assoc, size=size).tolist()
+        self._rand_draws += size
 
     def _ensure_rand_pool(self, n: int) -> None:
         """Refill the eviction pool for a chunk of ``n`` references."""

@@ -133,10 +133,11 @@ class ArrayKernel(SetKernel):
             self._n_dirty,
             list(self._rand_pool),
             copy.deepcopy(self._rng.bit_generator.state),
+            self._rand_draws,
         )
 
     def restore(self, state: object) -> None:
-        tags, head, cnt, dirty, n_dirty, pool, rng_state = state
+        tags, head, cnt, dirty, n_dirty, pool, rng_state, rand_draws = state
         self._tags2d = np.array(tags, dtype=np.int64).reshape(
             self.n_sets, self.assoc
         )
@@ -148,6 +149,7 @@ class ArrayKernel(SetKernel):
         self._n_dirty = n_dirty
         self._rand_pool = list(pool)
         self._rng.bit_generator.state = copy.deepcopy(rng_state)
+        self._rand_draws = rand_draws
 
     # -------------------------------------------------------------- access
 
@@ -964,4 +966,4 @@ class ArrayKernel(SetKernel):
             head_np[fill_sets] + np.maximum(0, c0 + grp_sizes - assoc)
         ) % assoc
         return wb
-    # reprolint: disable-file=RPL303
+    # reprolint: disable-file=RPL303 -- head/count ring indices are bounded by assoc (<=64), not address bits; narrow dtypes are the point of the flat layout

@@ -51,14 +51,16 @@ class ReferenceKernel(SetKernel):
             set(self._dirty),
             list(self._rand_pool),
             copy.deepcopy(self._rng.bit_generator.state),
+            self._rand_draws,
         )
 
     def restore(self, state: object) -> None:
-        sets, dirty, pool, rng_state = state
+        sets, dirty, pool, rng_state, rand_draws = state
         self._sets = [list(s) for s in sets]
         self._dirty = set(dirty)
         self._rand_pool = list(pool)
         self._rng.bit_generator.state = copy.deepcopy(rng_state)
+        self._rand_draws = rand_draws
 
     def access(
         self,

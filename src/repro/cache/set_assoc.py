@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import sanitize
 from repro.cache.base import AccessResult
 from repro.cache.components import CacheComponent, LineOutcome
 from repro.cache.config import CacheConfig
@@ -111,6 +112,8 @@ class SetAssociativeCache(CacheComponent):
             prefetches=self._staged_prefetches,
         )
         self.begin_stage()
+        if sanitize.is_active():
+            sanitize.check_component(self)
 
     def _chunk_access(
         self,

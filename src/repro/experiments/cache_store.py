@@ -28,7 +28,6 @@ import pickle
 import tempfile
 import time
 from dataclasses import dataclass, field
-from functools import lru_cache
 from typing import Any
 from pathlib import Path
 
@@ -105,7 +104,22 @@ def source_files() -> list[Path]:
     return files
 
 
-@lru_cache(maxsize=1)
+def _compute_code_version_tag() -> str:
+    root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in source_files():
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+#: Computed eagerly at import time (RPL701): an lru_cache memo here would
+#: be fork-copied into pool workers warm, so source edited between import
+#: and fork could serve a stale tag in some processes but not others.
+#: Import-time evaluation pins one value for the whole process tree.
+_CODE_VERSION_TAG = _compute_code_version_tag()
+
+
 def code_version_tag() -> str:
     """Digest of the simulation-relevant source, the cache's version key.
 
@@ -113,12 +127,7 @@ def code_version_tag() -> str:
     computed by different simulation code — the invalidation rule is
     "any edit under src/repro/{cache,core,hpm,memory,sim,util,workloads}".
     """
-    root = Path(__file__).resolve().parent.parent
-    digest = hashlib.sha256()
-    for path in source_files():
-        digest.update(path.relative_to(root).as_posix().encode())
-        digest.update(path.read_bytes())
-    return digest.hexdigest()[:16]
+    return _CODE_VERSION_TAG
 
 
 # ---------------------------------------------------------------- storage
@@ -234,7 +243,7 @@ class TaskRecord:
     wall_s: float       #: wall-clock seconds spent (0 for hits)
     #: Manifest telemetry (when the task ran), never read by any result
     #: path — the one sanctioned wall-clock read in experiments/.
-    when: float = field(default_factory=time.time)  # reprolint: disable=RPL103
+    when: float = field(default_factory=time.time)  # reprolint: disable=RPL103 -- manifest telemetry only, never read by a result path
 
     def as_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)

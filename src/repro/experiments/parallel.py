@@ -27,6 +27,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.cache import CacheConfig
+from repro.core.adaptive import AdaptiveSamplingProfiler
+from repro.core.sampling import SamplingProfiler
+from repro.core.search import NWaySearch
 from repro.errors import SimulationError
 from repro.experiments.cache_store import (
     Manifest,
@@ -37,6 +40,7 @@ from repro.experiments.cache_store import (
 from repro.hpm.interrupts import CostModel
 from repro.sim.engine import RunResult, Simulator
 from repro.sim.session import SNAPSHOT_VERSION, SessionSnapshot, SimulationSession
+from repro.workloads.compile import StreamCompileError, compiled_stream_for
 from repro.workloads.registry import make_workload
 
 __all__ = [
@@ -94,18 +98,18 @@ class SimSpec:
         )
 
 
-def _tool_factories() -> dict:
-    # Imported lazily: core imports the sim/cache stack and this module
-    # is imported by repro.experiments at package-import time.
-    from repro.core.adaptive import AdaptiveSamplingProfiler
-    from repro.core.sampling import SamplingProfiler
-    from repro.core.search import NWaySearch
+#: Populated once at import time (RPL704): a worker must see the exact
+#: registry the parent saw before the fork, never a partially-imported
+#: module graph assembled concurrently inside each worker.
+_TOOL_FACTORIES = {
+    "sampling": SamplingProfiler,
+    "search": NWaySearch,
+    "adaptive": AdaptiveSamplingProfiler,
+}
 
-    return {
-        "sampling": SamplingProfiler,
-        "search": NWaySearch,
-        "adaptive": AdaptiveSamplingProfiler,
-    }
+
+def _tool_factories() -> dict:
+    return _TOOL_FACTORIES
 
 
 @dataclass
@@ -358,11 +362,6 @@ def execute_task(
     workload = make_workload(spec.workload, seed=spec.seed, **spec.workload_kwargs)
     compiled = None
     if spec.sim.compile_streams:
-        from repro.workloads.compile import (
-            StreamCompileError,
-            compiled_stream_for,
-        )
-
         try:
             compiled = compiled_stream_for(workload, stream_cache_dir)
         except StreamCompileError:

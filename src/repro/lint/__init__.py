@@ -13,30 +13,41 @@ anything runs::
     python -m repro.lint --list-rules
 
 Rule families: RPL1xx determinism, RPL2xx cache-key completeness,
-RPL3xx kernel-contract parity, RPL4xx stats purity. Suppress a
-deliberate exception with ``# reprolint: disable=RPLxxx`` on the line
-(or ``# reprolint: disable-file=RPLxxx`` for a whole file) — see
-DESIGN.md section 7 for the policy.
+RPL3xx kernel-contract parity, RPL4xx stats purity, RPL5xx snapshot
+parity, RPL6xx stream fingerprints, RPL7xx process/fork safety, RPL8xx
+dataflow taint (alias-aware RPL3xx upgrades backed by the
+:mod:`repro.lint.dataflow` engine). Suppress a deliberate exception
+with ``# reprolint: disable=RPLxxx -- reason`` on the line (or
+``# reprolint: disable-file=RPLxxx -- reason`` for a whole file) — see
+DESIGN.md sections 7 and 12 for the policy.
 """
 
 from repro.lint.framework import (
+    LintReport,
     ParsedModule,
     Rule,
+    SuppressionRecord,
     Violation,
     all_rules,
     collect_files,
     format_human,
     format_json,
+    format_sarif,
     run_lint,
+    run_lint_report,
 )
 
 __all__ = [
+    "LintReport",
     "ParsedModule",
     "Rule",
+    "SuppressionRecord",
     "Violation",
     "all_rules",
     "collect_files",
     "format_human",
     "format_json",
+    "format_sarif",
     "run_lint",
+    "run_lint_report",
 ]

@@ -1,0 +1,92 @@
+"""Baseline snapshots: land new rule families without a flag-day.
+
+A baseline is a JSON snapshot of the violations a tree is *known* to
+have. ``repro lint --write-baseline lint-baseline.json`` records them;
+``repro lint --baseline lint-baseline.json`` then reports only findings
+**not** in the snapshot, so a new rule family can gate CI immediately
+while the pre-existing debt is burned down incrementally.
+
+Violations are matched by a *fingerprint* of ``(path, code, message)``
+deliberately excluding the line number — unrelated edits move code
+around, and a baseline that decays on every reflow would train people
+to regenerate (and silently re-absorb regressions) instead of fixing.
+Identical violations are counted: if the baseline holds two instances
+of a fingerprint and a third appears, the third is reported.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.framework import Violation
+
+__all__ = ["fingerprint", "write_baseline", "load_baseline", "apply_baseline"]
+
+_BASELINE_VERSION = 1
+
+
+def fingerprint(violation: Violation) -> str:
+    """Stable identity of a violation, independent of its line number."""
+    raw = f"{violation.path}\x00{violation.code}\x00{violation.message}"
+    return hashlib.sha256(raw.encode()).hexdigest()[:16]
+
+
+def write_baseline(
+    violations: Sequence[Violation], path: str | Path
+) -> int:
+    """Snapshot ``violations`` to ``path``; returns the entry count."""
+    counts = Counter(fingerprint(v) for v in violations)
+    detail: dict[str, dict[str, object]] = {}
+    for violation in violations:
+        fp = fingerprint(violation)
+        detail.setdefault(
+            fp,
+            {
+                "path": violation.path,
+                "code": violation.code,
+                "message": violation.message,
+                "count": counts[fp],
+            },
+        )
+    payload = {"version": _BASELINE_VERSION, "entries": detail}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(detail)
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """Fingerprint -> allowed count, from a baseline file."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("version") != _BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} "
+            f"in {path} (expected {_BASELINE_VERSION})"
+        )
+    entries = payload.get("entries", {})
+    return {fp: int(entry.get("count", 1)) for fp, entry in entries.items()}
+
+
+def apply_baseline(
+    violations: Sequence[Violation], allowed: dict[str, int]
+) -> tuple[list[Violation], int]:
+    """Drop baselined violations; return (new violations, matched count).
+
+    Each baseline entry absorbs at most its recorded count, so *extra*
+    instances of a known defect still fail the run.
+    """
+    budget = dict(allowed)
+    fresh: list[Violation] = []
+    matched = 0
+    for violation in violations:
+        fp = fingerprint(violation)
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            matched += 1
+        else:
+            fresh.append(violation)
+    return fresh, matched

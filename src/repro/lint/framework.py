@@ -10,14 +10,16 @@ emit from :meth:`Rule.finalize`.
 
 Suppressions are source comments, checked per line::
 
-    value = hash(name)  # reprolint: disable=RPL102
+    value = hash(name)  # reprolint: disable=RPL102 -- display-only hash
 
 and per file (anywhere in the file, conventionally at the top)::
 
-    # reprolint: disable-file=RPL103
+    # reprolint: disable-file=RPL103 -- wall-clock is bookkeeping here
 
 Every violation carries its rule code, so suppressions are always
-targeted — there is deliberately no blanket ``disable=all``.
+targeted — there is deliberately no blanket ``disable=all``. The text
+after ``--`` is the justification; it is carried into the JSON report
+(``suppressions`` key) so baselines stay auditable.
 """
 
 from __future__ import annotations
@@ -32,21 +34,26 @@ from pathlib import Path
 
 __all__ = [
     "Violation",
+    "SuppressionRecord",
     "ParsedModule",
     "Rule",
     "register",
     "all_rules",
     "collect_files",
     "run_lint",
+    "run_lint_report",
+    "LintReport",
     "format_human",
     "format_json",
+    "format_sarif",
 ]
 
 #: Rule code for files the linter cannot parse at all.
 PARSE_ERROR_CODE = "RPL001"
 
 _SUPPRESS_RE = re.compile(
-    r"#\s*reprolint:\s*(disable|disable-file)\s*=\s*([A-Z0-9,\s]+)"
+    r"#\s*reprolint:\s*(disable|disable-file)\s*=\s*([A-Z0-9,\s]+?)"
+    r"(?:\s*--\s*(.+?)\s*)?$"
 )
 
 
@@ -67,6 +74,30 @@ class Violation:
         return dataclasses.asdict(self)
 
 
+@dataclass(frozen=True, order=True)
+class SuppressionRecord:
+    """One ``# reprolint: disable[-file]=...`` comment, with its reason.
+
+    Reported alongside violations (JSON ``suppressions`` key) so every
+    silenced finding stays visible and auditable in machine output.
+    """
+
+    path: str
+    line: int
+    kind: str  # "line" | "file"
+    codes: tuple[str, ...]
+    reason: str | None
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "kind": self.kind,
+            "codes": list(self.codes),
+            "reason": self.reason,
+        }
+
+
 @dataclass
 class ParsedModule:
     """One source file, parsed once and shared by every rule."""
@@ -79,6 +110,8 @@ class ParsedModule:
     line_suppressions: dict[int, set[str]] = field(default_factory=dict)
     #: Codes suppressed for the whole file.
     file_suppressions: set[str] = field(default_factory=set)
+    #: Every suppression comment found, with its ``-- reason`` text.
+    suppression_records: list[SuppressionRecord] = field(default_factory=list)
 
     @classmethod
     def parse(cls, path: Path, display_path: str | None = None) -> "ParsedModule":
@@ -98,12 +131,21 @@ class ParsedModule:
             match = _SUPPRESS_RE.search(text)
             if not match:
                 continue
-            kind, codes_text = match.groups()
+            kind, codes_text, reason = match.groups()
             codes = {c.strip() for c in codes_text.split(",") if c.strip()}
             if kind == "disable-file":
                 self.file_suppressions |= codes
             else:
                 self.line_suppressions.setdefault(lineno, set()).update(codes)
+            self.suppression_records.append(
+                SuppressionRecord(
+                    path=self.display_path,
+                    line=lineno,
+                    kind="file" if kind == "disable-file" else "line",
+                    codes=tuple(sorted(codes)),
+                    reason=reason,
+                )
+            )
 
     # ------------------------------------------------------------- helpers
 
@@ -198,12 +240,21 @@ def _selected(code: str, select: Sequence[str] | None) -> bool:
     return any(code.startswith(prefix) for prefix in select)
 
 
-def run_lint(
+@dataclass
+class LintReport:
+    """Everything one lint pass produced, for formatters and baselines."""
+
+    violations: list[Violation]
+    files_checked: int
+    suppressions: list[SuppressionRecord]
+
+
+def run_lint_report(
     paths: Sequence[str | Path],
     select: Sequence[str] | None = None,
     rules: Sequence[type[Rule]] | None = None,
-) -> list[Violation]:
-    """Lint ``paths`` and return the surviving violations, sorted.
+) -> LintReport:
+    """Lint ``paths`` and return violations plus suppression records.
 
     ``select`` filters by code prefix (``["RPL1"]`` keeps the whole
     determinism family); suppression comments are honoured before
@@ -211,7 +262,9 @@ def run_lint(
     """
     instances = [cls() for cls in (rules if rules is not None else all_rules())]
     violations: list[Violation] = []
-    for path in collect_files(paths):
+    suppressions: list[SuppressionRecord] = []
+    files = collect_files(paths)
+    for path in files:
         try:
             module = ParsedModule.parse(path)
         except (SyntaxError, UnicodeDecodeError) as exc:
@@ -226,13 +279,27 @@ def run_lint(
                 )
             )
             continue
+        suppressions.extend(module.suppression_records)
         for rule in instances:
             for violation in rule.check_module(module):
                 if not module.suppressed(violation):
                     violations.append(violation)
     for rule in instances:
         violations.extend(rule.finalize())
-    return sorted(v for v in violations if _selected(v.code, select))
+    return LintReport(
+        violations=sorted(v for v in violations if _selected(v.code, select)),
+        files_checked=len(files),
+        suppressions=sorted(suppressions),
+    )
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    select: Sequence[str] | None = None,
+    rules: Sequence[type[Rule]] | None = None,
+) -> list[Violation]:
+    """Violations only — the original API, kept for rule tests."""
+    return run_lint_report(paths, select=select, rules=rules).violations
 
 
 # ---------------------------------------------------------------- output
@@ -248,7 +315,11 @@ def format_human(violations: Sequence[Violation], files_checked: int) -> str:
     return "\n".join(lines)
 
 
-def format_json(violations: Sequence[Violation], files_checked: int) -> str:
+def format_json(
+    violations: Sequence[Violation],
+    files_checked: int,
+    suppressions: Sequence[SuppressionRecord] = (),
+) -> str:
     counts: dict[str, int] = {}
     for violation in violations:
         counts[violation.code] = counts.get(violation.code, 0) + 1
@@ -256,6 +327,71 @@ def format_json(violations: Sequence[Violation], files_checked: int) -> str:
         "files_checked": files_checked,
         "violations": [v.as_dict() for v in violations],
         "counts": dict(sorted(counts.items())),
+        # Suppressed findings stay auditable: each disable comment is
+        # reported with its `-- reason` justification (None if missing).
+        "suppressions": [s.as_dict() for s in suppressions],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def format_sarif(
+    violations: Sequence[Violation], files_checked: int = 0
+) -> str:
+    """SARIF 2.1.0 output for GitHub code-scanning annotations."""
+    codes = sorted({v.code for v in violations})
+    by_code: dict[str, type[Rule]] = {}
+    for rule_cls in all_rules():
+        by_code.setdefault(rule_cls.code, rule_cls)
+    rules_meta = []
+    for code in codes:
+        rule_cls = by_code.get(code)
+        rules_meta.append(
+            {
+                "id": code,
+                "name": rule_cls.name if rule_cls else "parse-error",
+                "shortDescription": {
+                    "text": rule_cls.description
+                    if rule_cls
+                    else "file could not be parsed"
+                },
+            }
+        )
+    index = {code: i for i, code in enumerate(codes)}
+    results = [
+        {
+            "ruleId": v.code,
+            "ruleIndex": index[v.code],
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": v.path.replace("\\", "/")},
+                        "region": {
+                            "startLine": v.line,
+                            # SARIF columns are 1-based; ours are 0-based.
+                            "startColumn": v.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for v in violations
+    ]
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
 

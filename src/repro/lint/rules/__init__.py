@@ -15,15 +15,31 @@ Importing this package registers every rule with the framework registry:
   bit-identity).
 * :mod:`repro.lint.rules.streams` — RPL6xx, the compiled-stream
   fingerprint covers every workload constructor parameter.
+* :mod:`repro.lint.rules.process_safety` — RPL7xx, process/concurrency
+  safety across the ProcessPoolExecutor fork boundary (dataflow-backed).
+* :mod:`repro.lint.rules.dataflow_taint` — RPL8xx, address/tag taint
+  flowing through aliases into float math or narrowing dtypes
+  (dataflow upgrade of RPL302/303).
 """
 
 from repro.lint.rules import (
     cachekey,
+    dataflow_taint,
     determinism,
     kernels,
+    process_safety,
     snapshots,
     stats,
     streams,
 )
 
-__all__ = ["determinism", "cachekey", "kernels", "snapshots", "stats", "streams"]
+__all__ = [
+    "determinism",
+    "cachekey",
+    "kernels",
+    "snapshots",
+    "stats",
+    "streams",
+    "process_safety",
+    "dataflow_taint",
+]

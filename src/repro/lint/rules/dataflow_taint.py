@@ -1,0 +1,180 @@
+"""Dataflow taint rules (RPL8xx): address values laundered through aliases.
+
+RPL302/303 are single-expression pattern matches — they flag
+``addr / 2`` but not::
+
+    tmp = addr          # alias: 'tmp' carries an address now
+    ratio = tmp / 2     # float64 coercion, invisible to RPL302
+
+These rules close that known alias false-negative with the
+:mod:`repro.lint.dataflow` engine: identifiers matching the
+address/line/tag shape (:data:`repro.lint.rules.kernels._ADDRY`) seed a
+taint lattice, taint flows through assignments/aliases/arithmetic to a
+fixpoint, and the *sinks* are the same operations the v1 rules ban:
+
+* ``RPL801`` — true division or ``float()`` applied to a value whose
+  reaching definitions trace back to an address/line/tag, even though
+  the operand's own name looks innocent.
+* ``RPL802`` — a narrowing NumPy integer dtype applied to such a value
+  in a kernel.
+
+Count-style reductions (``len``, ``.sum()``, ``.mean()``, ``.size``,
+comparisons) declassify: a miss *count* derived from an address array is
+an ordinary integer. Sinks whose operand is itself address-shaped are
+deliberately left to RPL302/303 — the families partition the findings,
+so one defect never reports twice.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.lint.dataflow import TaintAnalysis, use_exprs
+from repro.lint.framework import ParsedModule, Rule, Violation, register
+from repro.lint.rules.kernels import _ADDRY, _NARROW_INT, _addry
+
+#: Call names whose result is a count/aggregate, not an address.
+_DECLASSIFY_FUNCS = {"len", "sum", "min", "max", "bool", "abs"}
+_DECLASSIFY_METHODS = {"sum", "mean", "count", "index", "nbytes", "item"}
+
+
+def _seed(node: ast.AST) -> bool:
+    """Does this expression introduce address taint by itself?"""
+    if isinstance(node, ast.Name):
+        return bool(_ADDRY.search(node.id))
+    if isinstance(node, ast.Attribute):
+        return bool(_ADDRY.search(node.attr))
+    return False
+
+
+def _declassify(node: ast.AST) -> bool:
+    """Expression subtrees whose value is a count, not an address."""
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name):
+            return node.func.id in _DECLASSIFY_FUNCS
+        if isinstance(node.func, ast.Attribute):
+            return node.func.attr in _DECLASSIFY_METHODS
+    return isinstance(node, (ast.Compare, ast.BoolOp))
+
+
+def _functions(tree: ast.Module) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+class _TaintRule(Rule):
+    """Shared driver: run the taint analysis, dispatch to sink checks."""
+
+    packages: tuple[str, ...] = ()
+
+    def check_module(self, module: ParsedModule) -> Iterable[Violation]:
+        if not module.in_packages(*self.packages):
+            return
+        for func in _functions(module.tree):
+            analysis = TaintAnalysis(func, _seed, _declassify)
+            if not analysis.tainted_defs:
+                continue
+            for atom, env in analysis.iter_atoms_with_env():
+                for expr in use_exprs(atom):
+                    for sub in ast.walk(expr):
+                        yield from self._check_sink(module, sub, analysis, env)
+
+    def _check_sink(self, module, node, analysis, env) -> Iterable[Violation]:
+        raise NotImplementedError
+
+    @staticmethod
+    def _tainted_alias(node: ast.AST, analysis: TaintAnalysis, env) -> bool:
+        """Tainted via dataflow but *not* syntactically address-shaped —
+        syntactic hits belong to RPL302/303."""
+        return not _addry(node) and analysis.tainted_use(node, env)
+
+    @staticmethod
+    def _origin(node: ast.AST, analysis: TaintAnalysis, env) -> str:
+        """Describe where the taint came from (the alias chain's root)."""
+        from repro.lint.dataflow import target_key
+
+        key = target_key(node)
+        defs = env.get(key, frozenset()) if key is not None else frozenset()
+        lines = sorted(
+            d.lineno for d in defs if d in analysis.tainted_defs
+        )
+        where = f" (tainted at line {lines[0]})" if lines else ""
+        return f"`{ast.unparse(node)}`{where}"
+
+
+@register
+class AliasedFloatOnAddressRule(_TaintRule):
+    code = "RPL801"
+    name = "aliased-float-on-address"
+    description = (
+        "float arithmetic on a value that carries an address/line/tag "
+        "through assignments or aliases (dataflow upgrade of RPL302)"
+    )
+    packages = ("kernels", "cache")
+
+    def _check_sink(self, module, node, analysis, env) -> Iterable[Violation]:
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            for operand in (node.left, node.right):
+                if self._tainted_alias(operand, analysis, env):
+                    yield module.violation(
+                        node,
+                        self.code,
+                        f"true division on {self._origin(operand, analysis, env)}, "
+                        "which carries an address/line/tag value through "
+                        "aliasing; use // to stay in exact integer arithmetic",
+                    )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "float"
+            and node.args
+        ):
+            if self._tainted_alias(node.args[0], analysis, env):
+                yield module.violation(
+                    node,
+                    self.code,
+                    f"float() applied to {self._origin(node.args[0], analysis, env)}, "
+                    "which carries an address/line/tag value through aliasing",
+                )
+
+
+@register
+class AliasedNarrowDtypeRule(_TaintRule):
+    code = "RPL802"
+    name = "aliased-narrow-dtype"
+    description = (
+        "narrowing NumPy integer dtype applied to a value that carries "
+        "an address/line/tag through aliases (dataflow upgrade of RPL303)"
+    )
+    packages = ("kernels",)
+
+    def _check_sink(self, module, node, analysis, env) -> Iterable[Violation]:
+        if not isinstance(node, ast.Call):
+            return
+        from repro.lint.framework import dotted_name
+
+        narrow = {
+            name.split(".")[-1]
+            for sub in ast.walk(node)
+            if isinstance(sub, ast.Attribute)
+            and (name := dotted_name(sub)) is not None
+            and name.split(".")[0] in ("np", "numpy")
+            and name.split(".")[-1] in _NARROW_INT
+        }
+        if not narrow:
+            return
+        operands = [*node.args, *[kw.value for kw in node.keywords]]
+        if isinstance(node.func, ast.Attribute):
+            operands.append(node.func.value)
+        for operand in operands:
+            if self._tainted_alias(operand, analysis, env):
+                yield module.violation(
+                    node,
+                    self.code,
+                    f"narrow dtype {sorted(narrow)} applied to "
+                    f"{self._origin(operand, analysis, env)}, which carries "
+                    "an address/line/tag value through aliasing; line/tag "
+                    "state must stay int64/uint64",
+                )

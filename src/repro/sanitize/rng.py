@@ -1,0 +1,66 @@
+"""RNG draw-count accounting across snapshot/restore.
+
+Every cache kernel draws RANDOM-eviction indices from one seeded PCG64
+generator, through one call shape: ``integers(0, assoc, size=k)``.
+PCG64 advances identically whether a total of N draws is requested in
+one call or split across many, so a kernel's generator state is a pure
+function of ``(seed, total draws)`` — the kernel counts the draws
+(``SetKernel._rand_draws``) precisely so this module can *replay* them:
+
+    make_rng(seed).integers(0, assoc, size=draws)  ->  same state?
+
+If a snapshot/restore (or a backend transplant) rewound, double-applied
+or cross-wired an eviction stream, the replayed state differs and the
+run dies at the restore boundary — instead of producing bit-divergent
+results thousands of chunks later with nothing pointing at the cause.
+"""
+
+from __future__ import annotations
+
+from repro.sanitize import SanitizerError, count_check
+from repro.util.rng import make_rng
+
+__all__ = ["verify_kernel_rng", "verify_cache_rng"]
+
+
+def _states_equal(a: object, b: object) -> bool:
+    # bit_generator.state is a plain nested dict of ints/strs for PCG64.
+    return a == b
+
+
+def verify_kernel_rng(kernel: object, label: str = "kernel") -> None:
+    """Replay ``kernel``'s draw count from its seed and compare states."""
+    inner = getattr(kernel, "_inner", None)
+    if inner is not None:  # auto kernel: the inner backend draws
+        verify_kernel_rng(inner, f"{label}.{getattr(inner, 'name', '?')}")
+        return
+    draws = getattr(kernel, "_rand_draws", None)
+    if draws is None or not hasattr(kernel, "_seed"):
+        return  # not a draw-accounted kernel
+    count_check("rng.replay")
+    expected = make_rng(kernel._seed)
+    if draws:
+        expected.integers(0, kernel.assoc, size=draws)
+    if not _states_equal(
+        expected.bit_generator.state, kernel._rng.bit_generator.state
+    ):
+        raise SanitizerError(
+            f"[{label}] RNG state does not match a replay of "
+            f"{draws} draws from seed {kernel._seed!r}: the eviction "
+            "stream was rewound, double-applied or cross-wired across "
+            "snapshot/restore"
+        )
+
+
+def verify_cache_rng(cache: object, label: str = "cache") -> None:
+    """Walk a cache/component stack and verify every kernel found."""
+    kernel = getattr(cache, "_kernel", None)
+    if kernel is not None:
+        verify_kernel_rng(kernel, f"{label}.kernel")
+    inner = getattr(cache, "inner", None)
+    if inner is not None:
+        verify_cache_rng(inner, f"{label}.inner")
+    levels = getattr(cache, "levels", None)
+    if levels is not None:
+        for i, level in enumerate(levels):
+            verify_cache_rng(level, f"{label}.l{i + 1}")

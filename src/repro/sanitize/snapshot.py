@@ -1,0 +1,88 @@
+"""Pickle-roundtrip canary on session snapshots.
+
+A checkpoint is only as good as what ``pickle`` preserves: an object
+whose ``__reduce__`` silently drops state produces a snapshot that
+*loads* fine and then resumes a subtly different run. Before a snapshot
+is trusted (returned to the caller / written to disk), the canary
+roundtrips it once more and compares what must survive:
+
+* the scalar resume cursor (version, workload name, block cursor,
+  cycle carry, refs budget, chunk size);
+* the run statistics scalars;
+* the cache: ledger equality (``CacheStats`` compares field-wise) and
+  state cardinalities (resident and dirty line counts).
+
+The comparisons are duck-typed — this module must not import
+:mod:`repro.sim` (the session calls *us* from its snapshot path).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.sanitize import SanitizerError, count_check
+
+__all__ = ["snapshot_canary"]
+
+#: SessionSnapshot fields whose values are plain scalars (== is exact).
+_SCALAR_FIELDS = (
+    "version",
+    "workload_name",
+    "blocks_fetched",
+    "block_pos",
+    "cycle_carry",
+    "refs_left",
+    "chunk_size",
+)
+
+_STATS_SCALARS = (
+    "app_refs",
+    "app_misses",
+    "instr_refs",
+    "instr_misses",
+    "app_cycles",
+    "instr_cycles",
+)
+
+
+def _cache_fingerprint(cache: object) -> tuple[object, ...]:
+    return (
+        cache.stats,
+        cache.contents_line_count(),
+        getattr(cache, "dirty_line_count", lambda: None)(),
+    )
+
+
+def snapshot_canary(snapshot: object) -> None:
+    """Roundtrip ``snapshot`` through pickle and verify it survived."""
+    count_check("snapshot.canary")
+    try:
+        clone = pickle.loads(
+            pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+    except Exception as exc:
+        raise SanitizerError(
+            f"snapshot does not survive a pickle roundtrip: {exc!r}"
+        ) from exc
+    for name in _SCALAR_FIELDS:
+        before = getattr(snapshot, name)
+        after = getattr(clone, name)
+        if before != after:
+            raise SanitizerError(
+                f"snapshot field {name!r} changed across a pickle "
+                f"roundtrip: {before!r} -> {after!r}"
+            )
+    for name in _STATS_SCALARS:
+        before = getattr(snapshot.stats, name, None)
+        after = getattr(clone.stats, name, None)
+        if before != after:
+            raise SanitizerError(
+                f"snapshot stats.{name} changed across a pickle "
+                f"roundtrip: {before!r} -> {after!r}"
+            )
+    if _cache_fingerprint(clone.cache) != _cache_fingerprint(snapshot.cache):
+        raise SanitizerError(
+            "snapshot cache state changed across a pickle roundtrip: "
+            f"{_cache_fingerprint(snapshot.cache)} -> "
+            f"{_cache_fingerprint(clone.cache)}"
+        )

@@ -53,6 +53,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro import sanitize
 from repro.cache import GroundTruth
 from repro.cache.base import CacheModel
 from repro.errors import CounterError, SimulationError
@@ -74,7 +75,10 @@ if TYPE_CHECKING:  # pragma: no cover
 #: v2: the pickled ``cache`` entry may now be a component stack
 #: (Pipeline / mechanism decorators over leaf models — see
 #: repro.cache.components) rather than a bare single- or two-level model.
-SNAPSHOT_VERSION = 2
+#: v3: kernel snapshot tuples carry the RNG draw count (replay-auditable
+#: eviction streams — see repro.sanitize.rng), so v2 checkpoints no
+#: longer unpack and are refused by version.
+SNAPSHOT_VERSION = 3
 
 
 # ------------------------------------------------------------- dispatcher
@@ -799,7 +803,14 @@ class SimulationSession:
             "dispatcher": self.dispatcher,
         }
         snap = SessionSnapshot(**payload)
-        return pickle.loads(pickle.dumps(snap, protocol=pickle.HIGHEST_PROTOCOL))
+        detached: SessionSnapshot = pickle.loads(
+            pickle.dumps(snap, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        if sanitize.is_active():
+            # Canary before anyone trusts this snapshot: a second
+            # roundtrip must preserve cursor, stats and cache state.
+            sanitize.snapshot_canary(detached)
+        return detached
 
     @classmethod
     def restore(
@@ -895,4 +906,9 @@ class SimulationSession:
                     session._shared_ctx = tool.ctx
         if old_map is not None:
             workload.object_map.adopt_probe_counts(old_map)
+        if sanitize.is_active():
+            # The restored eviction streams must equal a replay of their
+            # recorded draw counts; catches rewound/double-applied RNG
+            # state at the restore boundary instead of as bit drift.
+            sanitize.verify_cache_rng(session.cache)
         return session

@@ -1,0 +1,23 @@
+"""RPL703 bad fixture: result-scope code branches on ambient env vars.
+
+Environment reads make results depend on invisible launcher state —
+two runs of the same manifest can diverge without any recorded input
+changing.
+"""
+
+import os
+from os import getenv
+
+
+def pick_backend():
+    if os.environ.get("REPRO_BACKEND"):  # RPL703
+        return os.environ["REPRO_BACKEND"]  # RPL703
+    return "reference"
+
+
+def chunk_size():
+    return int(os.getenv("REPRO_CHUNK", "4096"))  # RPL703
+
+
+def threads():
+    return int(getenv("REPRO_THREADS", "1"))  # RPL703

@@ -1,0 +1,21 @@
+"""RPL702 good fixture: submissions carry only plain data.
+
+Workers receive picklable specs (ints, seeds) and construct their own
+RNGs from the seed inside the worker — no live handles cross the
+process boundary.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.util.rng import make_rng
+
+
+def draw_cell(seed, n):
+    rng = make_rng(seed)
+    return rng.integers(0, 10, size=n).tolist()
+
+
+def run_grid(seeds):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(draw_cell, seed, 4) for seed in seeds]
+        return [f.result() for f in futures]

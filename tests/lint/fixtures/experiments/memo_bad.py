@@ -1,0 +1,13 @@
+"""RPL701 bad fixture: lru_cache memo in a worker-executed package.
+
+The memo is module-level mutable state: a warm parent-process cache is
+fork-copied into every worker, so a value computed before the fork is
+served forever even if its inputs changed after import.
+"""
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=1)  # RPL701
+def version_digest():
+    return "digest-of-sources"

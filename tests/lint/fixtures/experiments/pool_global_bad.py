@@ -1,0 +1,30 @@
+"""RPL701 bad fixture: worker-executed code writes module-level state.
+
+``run_grid`` submits ``run_cell`` to a process pool; ``run_cell``
+(directly and through ``_record``) mutates module-level containers that
+every worker fork-copies — writes diverge silently between processes.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_RESULTS = {}
+_SEEN = []
+
+
+def _record(key, value):
+    _RESULTS[key] = value  # RPL701: worker-reached via run_cell
+    _SEEN.append(key)  # RPL701
+
+
+def run_cell(spec):
+    _record(spec["key"], spec["value"])
+    return spec["value"]
+
+
+def run_grid(specs):
+    out = []
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(run_cell, spec) for spec in specs]
+        for future in futures:
+            out.append(future.result())
+    return out

@@ -1,0 +1,25 @@
+"""RPL7xx good fixture: workers are pure functions of their spec.
+
+State flows in through arguments and out through return values; the
+module-level registry is populated once at import time and only read
+afterwards.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+#: Import-time population: every process sees the same mapping.
+_SCALERS = {"linear": 1, "double": 2}
+
+
+def run_cell(spec):
+    scale = _SCALERS[spec["scaler"]]
+    return spec["value"] * scale
+
+
+def run_grid(specs):
+    out = []
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(run_cell, spec) for spec in specs]
+        for future in futures:
+            out.append(future.result())
+    return out

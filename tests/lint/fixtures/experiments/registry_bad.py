@@ -1,0 +1,30 @@
+"""RPL704 bad fixture: call-time registry mutation and worker imports.
+
+``get_tool`` lazily populates a module-level registry on first call, so
+which entries exist depends on call order — a fork taken before the
+first call sees an empty registry. ``run_cell`` is worker-executed and
+imports inside the function body, so the import executes per-process at
+call time instead of once at module import.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_TOOLS = {}
+
+
+def get_tool(name):
+    if name not in _TOOLS:
+        _TOOLS[name] = object()  # RPL704: call-time registry mutation
+    return _TOOLS[name]
+
+
+def run_cell(spec):
+    import json  # RPL704: call-time import in worker closure
+
+    return json.dumps(spec)
+
+
+def run_grid(specs):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(run_cell, spec) for spec in specs]
+        return [f.result() for f in futures]

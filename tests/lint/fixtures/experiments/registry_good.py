@@ -1,0 +1,28 @@
+"""RPL704 good fixture: registry sealed at import time, imports at top.
+
+All registry entries are installed by module-level statements, so every
+process — parent or forked worker — sees the identical mapping, and all
+imports happen once at module import.
+"""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+_TOOLS = {
+    "encode": json.dumps,
+    "decode": json.loads,
+}
+
+
+def get_tool(name):
+    return _TOOLS[name]
+
+
+def run_cell(spec):
+    return _TOOLS["encode"](spec)
+
+
+def run_grid(specs):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(run_cell, spec) for spec in specs]
+        return [f.result() for f in futures]

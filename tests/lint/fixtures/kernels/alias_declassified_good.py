@@ -1,0 +1,28 @@
+"""RPL801/802 good fixture: counts derived from addresses are clean.
+
+Reductions (len/sum/.mean), comparisons and untainted values may flow
+into float math freely — a miss *count* computed from an address array
+is an ordinary integer, not an address.
+"""
+
+import numpy as np
+
+
+def miss_ratio(addrs, n_refs):
+    n_misses = len(addrs)  # len() declassifies
+    return n_misses / n_refs
+
+
+def mean_occupancy(tag_matrix, n_cells):
+    occupied = (tag_matrix >= 0).sum()  # comparison + .sum() declassify
+    return occupied / n_cells
+
+
+def plain_math(x, y):
+    scale = x + y
+    return scale / 2.0
+
+
+def narrow_count(addrs):
+    n = len(addrs)
+    return np.int32(n)  # narrowing a count is fine

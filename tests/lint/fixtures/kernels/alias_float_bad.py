@@ -1,0 +1,37 @@
+"""RPL801/802 bad fixture: address values laundered through aliases.
+
+Every sink operand here is an innocently-named temporary, so the
+syntactic RPL302/303 rules see nothing — only def-use tracking ties the
+temporaries back to their address/tag origins. This is the documented
+alias false-negative the dataflow rules close.
+"""
+
+import numpy as np
+
+
+def laundered_div(addr):
+    tmp = addr  # alias: tmp now carries an address
+    return tmp / 2  # RPL801 (not RPL302: 'tmp' is not address-shaped)
+
+
+def laundered_float(line_tags):
+    values = line_tags
+    return float(values)  # RPL801
+
+
+def chained_alias(addr):
+    a = addr
+    b = a + 1  # arithmetic keeps the taint
+    return b / 4  # RPL801
+
+
+def loop_carried(tags):
+    acc = 0
+    for _ in range(4):
+        acc = tags  # taint enters on a later iteration's path
+    return acc / 2  # RPL801
+
+
+def laundered_narrow(addr_block):
+    window = addr_block[4:]
+    return np.asarray(window, dtype=np.int32)  # RPL802

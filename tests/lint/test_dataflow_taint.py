@@ -1,0 +1,97 @@
+"""RPL8xx alias-aware taint rules: the upgrade over syntactic RPL3xx.
+
+The central acceptance test: the alias fixtures are invisible to the old
+name-pattern rules (FloatOnAddressRule/NarrowDtypeRule report nothing)
+but caught by the dataflow rules — proving v2 closes the documented
+alias false-negative rather than re-reporting what v1 already saw.
+"""
+
+from collections import Counter
+from pathlib import Path
+
+from repro.lint import run_lint
+from repro.lint.rules.dataflow_taint import (
+    AliasedFloatOnAddressRule,
+    AliasedNarrowDtypeRule,
+)
+from repro.lint.rules.kernels import FloatOnAddressRule, NarrowDtypeRule
+
+FIXTURES = Path(__file__).parent / "fixtures" / "kernels"
+BAD = FIXTURES / "alias_float_bad.py"
+GOOD = FIXTURES / "alias_declassified_good.py"
+
+
+def counts(path, rules=None):
+    return Counter(v.code for v in run_lint([path], rules=rules))
+
+
+class TestAliasUpgrade:
+    def test_old_syntactic_rules_miss_the_aliases(self):
+        # The documented v1 false negative: every sink operand is an
+        # innocently-named temporary, so the name-pattern rules are blind.
+        assert counts(BAD, rules=[FloatOnAddressRule, NarrowDtypeRule]) == {}
+
+    def test_dataflow_rules_catch_the_aliases(self):
+        got = counts(BAD, rules=[AliasedFloatOnAddressRule, AliasedNarrowDtypeRule])
+        assert got == {"RPL801": 4, "RPL802": 1}
+
+    def test_full_rule_set_reports_each_defect_once(self):
+        # RPL8xx skips syntactic hits (those stay RPL302/303), so running
+        # everything never double-reports a single defect.
+        got = counts(BAD)
+        assert got == {"RPL801": 4, "RPL802": 1}
+
+
+class TestDeclassification:
+    def test_good_fixture_is_clean(self):
+        assert counts(GOOD) == {}
+
+    def test_reduction_declassifies(self, tmp_path):
+        scoped = tmp_path / "cache"
+        scoped.mkdir()
+        mod = scoped / "mod.py"
+        mod.write_text(
+            "def f(addrs, total):\n"
+            "    hits = len(addrs)\n"
+            "    return hits / total\n"
+        )
+        assert counts(mod) == {}
+
+    def test_alias_of_alias_still_tainted(self, tmp_path):
+        scoped = tmp_path / "cache"
+        scoped.mkdir()
+        mod = scoped / "mod.py"
+        mod.write_text(
+            "def f(addr):\n"
+            "    a = addr\n"
+            "    b = a\n"
+            "    c = b\n"
+            "    return c / 8\n"
+        )
+        assert counts(mod) == {"RPL801": 1}
+
+    def test_reassignment_clears_taint(self, tmp_path):
+        scoped = tmp_path / "cache"
+        scoped.mkdir()
+        mod = scoped / "mod.py"
+        mod.write_text(
+            "def f(addr):\n"
+            "    x = addr\n"
+            "    x = 3\n"
+            "    return x / 2\n"
+        )
+        assert counts(mod) == {}
+
+    def test_branch_merge_keeps_taint(self, tmp_path):
+        # Taint on ONE branch must survive the join (may-analysis).
+        scoped = tmp_path / "cache"
+        scoped.mkdir()
+        mod = scoped / "mod.py"
+        mod.write_text(
+            "def f(addr, flag):\n"
+            "    x = 0\n"
+            "    if flag:\n"
+            "        x = addr\n"
+            "    return x / 2\n"
+        )
+        assert counts(mod) == {"RPL801": 1}

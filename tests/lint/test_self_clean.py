@@ -18,6 +18,8 @@ EXPECTED_CODES = {
     "RPL401",
     "RPL501",
     "RPL601", "RPL602",
+    "RPL701", "RPL702", "RPL703", "RPL704",
+    "RPL801", "RPL802",
 }
 
 

@@ -1,9 +1,9 @@
 """Session-layer contracts for mechanism-decorated cache stacks.
 
 Snapshot/resume must round-trip a *mid-run* decorated stack
-bit-identically (the SNAPSHOT_VERSION=2 payload pickles the component
-stack whole), and ``finalize`` must surface the frozen per-component
-ledgers on the RunResult.
+bit-identically (since v2 the payload pickles the component stack
+whole; v3 added kernel RNG draw counts), and ``finalize`` must surface
+the frozen per-component ledgers on the RunResult.
 """
 
 import pickle
@@ -48,8 +48,8 @@ def fingerprint(result):
     )
 
 
-def test_snapshot_version_bumped_for_component_stacks():
-    assert SNAPSHOT_VERSION == 2
+def test_snapshot_version_bumped_for_draw_accounting():
+    assert SNAPSHOT_VERSION == 3
 
 
 def test_decorated_restore_bit_identical():
