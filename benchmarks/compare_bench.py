@@ -50,6 +50,10 @@ FAST_PATH = {
     # vc stack's refs/sec (slowest-common mechanism path) so the scalar
     # protocol can't quietly regress.
     "mechanism-stacks": ("stacks", "vc"),
+    # The interleaved multi-core path carries the shared-port protocol
+    # and the shadow classifier on its hot loop; the solo path inside
+    # each file is the anchor, the interleaved refs/sec is gated.
+    "multicore-interleave": ("paths", "multicore"),
 }
 
 

@@ -80,9 +80,12 @@ def make_cache(
     backend = resolve_backend(backend if backend is not None else config.backend)
     if config.mechanisms:
         if prefetch_next_line:
+            stack = "+".join(m.describe() for m in config.mechanisms)
             raise CacheConfigError(
-                "prefetch_next_line cannot combine with mechanism "
-                "decorators; add a StreamBuffers mechanism instead"
+                "prefetch_next_line cannot combine with the mechanism "
+                f"stack {stack}: both own the miss path. Drop the "
+                "prefetcher, or put an sb (stream buffers) entry in the "
+                "stack — `repro mechanisms` sweeps those exactly"
             )
         base: CacheModel = (
             TwoLevelCache(l1_config, config, backend="reference", seed=seed)

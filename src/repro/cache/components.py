@@ -636,6 +636,219 @@ class Pipeline(CacheComponent):
         )
 
 
+class SharedCacheLevel:
+    """A last-level cache referenced by several cores' pipelines.
+
+    Wraps one leaf component (the physical shared LLC — its ledger is
+    the *aggregate* view every core's traffic lands in) and hands out
+    one :class:`SharedLevelPort` per core. Each core's hierarchy is then
+    ``Pipeline([private L1, port])`` (or ``Pipeline([port])``): the port
+    presents the shared leaf through a per-core :class:`CacheStats`
+    ledger, so the pipeline chain identities keep holding per core while
+    the sanitizer additionally proves the aggregate ledger equals the
+    sum of the port ledgers at every commit boundary.
+
+    Cores interleave *sequentially* (the multi-core session steps one
+    core at a time), so the leaf's staged counters are only ever owned
+    by one port between ``begin_stage`` and ``commit_stage``.
+    """
+
+    def __init__(self, leaf: CacheComponent) -> None:
+        self.leaf = leaf
+        self.ports: list[SharedLevelPort] = []
+
+    @property
+    def config(self) -> CacheConfig:
+        return self.leaf.config
+
+    @property
+    def stats(self) -> CacheStats:
+        """The aggregate ledger (the leaf's own)."""
+        return self.leaf.stats
+
+    def port(self, core_id: int, shadow: CacheComponent) -> "SharedLevelPort":
+        """Create the per-core port; ``shadow`` is the core's solo model.
+
+        The shadow must share the leaf's geometry and replacement seed:
+        with one core the shadow then evolves bit-identically to the
+        leaf and every miss classifies as *self* — the degenerate case
+        the 1-core bit-identity contract relies on.
+        """
+        if shadow.config != self.leaf.config:
+            raise CacheConfigError(
+                "shared-level shadow model must match the leaf geometry "
+                f"({shadow.config.describe()} != {self.leaf.config.describe()})"
+            )
+        p = SharedLevelPort(self, core_id, shadow)
+        self.ports.append(p)
+        return p
+
+
+class SharedLevelPort(CacheComponent):
+    """One core's view of a :class:`SharedCacheLevel`.
+
+    Behaves exactly like the wrapped leaf for classification (every
+    access is applied to the shared leaf, budget semantics included) but
+    keeps its own ledger, so per-core accounting and the aggregate
+    ledger are separate objects related by a conservation identity. On
+    top of pass-through, each consumed chunk is replayed against the
+    core's solo ``shadow`` model to classify shared-level misses as
+    *self* vs *contention* (see :mod:`repro.cache.contention`).
+
+    The attribute is named ``shared_level`` (not ``inner``/``levels``)
+    deliberately: the runtime sanitizer duck-types components by those
+    attribute names, and the port has its own chain identities.
+    """
+
+    def __init__(
+        self, shared_level: SharedCacheLevel, core_id: int, shadow: CacheComponent
+    ) -> None:
+        super().__init__(shared_level.leaf.config)
+        self.shared_level = shared_level
+        self.core_id = core_id
+        self.shadow = shadow
+        from repro.cache.contention import ContentionLedger
+
+        self.contention = ContentionLedger()
+        self._staged_misses = 0
+        self._staged_writebacks = 0
+        self._staged_prefetches = 0
+        self._staged_shadow_consumed = 0
+        self._staged_self = 0
+        self._staged_contention = 0
+        self._staged_rescued = 0
+        #: (self_addrs, contention_addrs) per classified chunk, drained
+        #: by the multi-core session after each step for per-object
+        #: attribution against the core's live object map.
+        self._pending_classified: list[tuple[np.ndarray, np.ndarray]] = []
+
+    # ------------------------------------------------------------ scalar
+
+    def begin_stage(self) -> None:
+        self._staged_misses = 0
+        self._staged_writebacks = 0
+        self._staged_prefetches = 0
+        self._staged_shadow_consumed = 0
+        self._staged_self = 0
+        self._staged_contention = 0
+        self._staged_rescued = 0
+        self.shared_level.leaf.begin_stage()
+        self.shadow.begin_stage()
+
+    def access_line(self, line: int, write: bool = False) -> LineOutcome:
+        raise CacheConfigError(
+            "mechanism decorators cannot wrap a shared level: the scalar "
+            "per-line path would interleave staged victim state across "
+            "cores; run mechanism sweeps single-core"
+        )
+
+    def commit_stage(self, tag: str, accesses: int) -> None:
+        self.stats.record(
+            tag,
+            accesses,
+            self._staged_misses,
+            writebacks=self._staged_writebacks,
+            prefetches=self._staged_prefetches,
+        )
+        self.contention.record(
+            tag, self._staged_self, self._staged_contention, self._staged_rescued
+        )
+        # The shadow saw only the consumed post-filter prefix, so its
+        # ledger is committed with that count — internally consistent,
+        # but not part of the port/aggregate conservation identity.
+        self.shadow.commit_stage(tag, self._staged_shadow_consumed)
+        self.shared_level.leaf.commit_stage(tag, accesses)
+        self._staged_misses = 0
+        self._staged_writebacks = 0
+        self._staged_prefetches = 0
+        self._staged_shadow_consumed = 0
+        self._staged_self = 0
+        self._staged_contention = 0
+        self._staged_rescued = 0
+        if sanitize.is_active():
+            sanitize.check_component(self, "shared_port")
+
+    # ----------------------------------------------------------- chunked
+
+    def _chunk_access(
+        self,
+        addrs: np.ndarray,
+        miss_budget: int | None = None,
+        writes: np.ndarray | None = None,
+    ) -> KernelResult:
+        res = self.shared_level.leaf._chunk_access(
+            addrs, miss_budget=miss_budget, writes=writes
+        )
+        self._staged_misses += res.misses
+        self._staged_writebacks += res.writebacks
+        self._staged_prefetches += res.prefetches
+        prefix = np.asarray(addrs[: res.consumed], dtype=np.uint64)
+        shadow_res = self.shadow._chunk_access(prefix)
+        self._staged_shadow_consumed += res.consumed
+        shared_miss = res.miss_mask
+        shadow_miss = shadow_res.miss_mask
+        self_mask = shared_miss & shadow_miss
+        contention_mask = shared_miss & ~shadow_miss
+        self._staged_self += int(self_mask.sum())
+        self._staged_contention += int(contention_mask.sum())
+        self._staged_rescued += int((~shared_miss & shadow_miss).sum())
+        if self_mask.any() or contention_mask.any():
+            self._pending_classified.append(
+                (prefix[self_mask], prefix[contention_mask])
+            )
+        return res
+
+    def access(
+        self,
+        addrs: np.ndarray,
+        miss_budget: int | None = None,
+        tag: str = "app",
+        writes: np.ndarray | None = None,
+    ) -> AccessResult:
+        n = len(addrs)
+        if n == 0:
+            return AccessResult(np.zeros(0, dtype=bool), 0)
+        self.begin_stage()
+        res = self._chunk_access(addrs, miss_budget=miss_budget, writes=writes)
+        self.commit_stage(tag, res.consumed)
+        return AccessResult(res.miss_mask, res.consumed)
+
+    def drain_classified(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Classified (self, contention) address arrays since last drain."""
+        pending = self._pending_classified
+        self._pending_classified = []
+        return pending
+
+    # ------------------------------------------------------------- state
+
+    def state_snapshot(self) -> object:
+        return (
+            self.shared_level.leaf.state_snapshot(),
+            self.shadow.state_snapshot(),
+        )
+
+    def state_restore(self, state: object) -> None:
+        leaf_state, shadow_state = state  # type: ignore[misc]
+        self.shared_level.leaf.state_restore(leaf_state)
+        self.shadow.state_restore(shadow_state)
+
+    # -------------------------------------------------------- diagnostics
+
+    def reset(self) -> None:
+        self.shared_level.leaf.reset()
+        self.shadow.reset()
+
+    def contents_line_count(self) -> int:
+        return self.shared_level.leaf.contents_line_count()
+
+    def contains_addr(self, addr: int) -> bool:
+        contains = getattr(self.shared_level.leaf, "contains_addr", None)
+        return bool(contains(addr)) if contains is not None else False
+
+    def describe(self) -> str:  # pragma: no cover - cosmetic
+        return f"port[c{self.core_id}] of shared {self.config.describe()}"
+
+
 def wrap_mechanisms(
     component: CacheComponent,
     mechanisms: "tuple[MechanismSpec, ...] | str | None",

@@ -182,6 +182,14 @@ class CacheConfig:
         """The paper's experimental geometry: 2 MB set-associative."""
         return cls(size=2 * 1024 * 1024, line_size=64, assoc=4)
 
+    def resized(self, size: "int | str") -> "CacheConfig":
+        """This geometry at a different total size (same line size,
+        associativity, policy, backend and mechanism stack) — the sweep
+        helper experiment grids use to vary capacity alone."""
+        import dataclasses
+
+        return dataclasses.replace(self, size=size)
+
     def describe(self) -> str:
         base = (
             f"{fmt_bytes(self.size)} {self.assoc}-way, "

@@ -31,9 +31,58 @@ objects when an L1 filter removes most hits from the monitored stream.
 from __future__ import annotations
 
 from repro.cache.base import CacheStats
-from repro.cache.components import Pipeline
+from repro.cache.components import Pipeline, SharedCacheLevel
 from repro.cache.config import CacheConfig
 from repro.cache.set_assoc import SetAssociativeCache
+
+
+def make_private_l1(
+    l1: CacheConfig,
+    backend: str | None = None,
+    seed: int | None = None,
+    core_id: int = 0,
+) -> SetAssociativeCache:
+    """Build one core's private L1 exactly as :class:`TwoLevelCache` does.
+
+    Shared between the single-core hierarchy and the multi-core core
+    pipelines so the two constructions stay bit-identical: core 0's L1
+    draws the same RANDOM-eviction stream as a ``TwoLevelCache`` L1
+    (``seed + 1``); later cores shift by their core id.
+    """
+    return SetAssociativeCache(
+        l1,
+        seed=None if seed is None else seed + 1 + core_id,
+        backend=backend,
+    )
+
+
+def make_shared_level(
+    llc: CacheConfig, backend: str | None = None, seed: int | None = None
+) -> SharedCacheLevel:
+    """Build the shared LLC leaf with :class:`TwoLevelCache`'s L2 seeding."""
+    return SharedCacheLevel(SetAssociativeCache(llc, seed=seed, backend=backend))
+
+
+def core_pipeline(
+    shared: SharedCacheLevel,
+    core_id: int,
+    l1: CacheConfig | None = None,
+    backend: str | None = None,
+    seed: int | None = None,
+) -> Pipeline:
+    """One core's hierarchy over a shared level: ``[private L1?, port]``.
+
+    The port's solo *shadow* model reuses the leaf's geometry, backend
+    and seed, so with one core it evolves bit-identically to the shared
+    leaf and every miss classifies as *self*.
+    """
+    shadow = SetAssociativeCache(shared.config, seed=seed, backend=backend)
+    port = shared.port(core_id, shadow)
+    levels = [port] if l1 is None else [
+        make_private_l1(l1, backend=backend, seed=seed, core_id=core_id),
+        port,
+    ]
+    return Pipeline(levels)
 
 
 class TwoLevelCache(Pipeline):
@@ -48,9 +97,7 @@ class TwoLevelCache(Pipeline):
     ) -> None:
         # Distinct seeds keep the levels' RANDOM-eviction streams
         # independent while staying deterministic.
-        level1 = SetAssociativeCache(
-            l1, seed=None if seed is None else seed + 1, backend=backend
-        )
+        level1 = make_private_l1(l1, backend=backend, seed=seed)
         level2 = SetAssociativeCache(l2, seed=seed, backend=backend)
         super().__init__([level1, level2])
         self.l1_config = l1

@@ -35,6 +35,7 @@ from repro.experiments import (
     run_prefetch_ablation,
     run_geometry_sweep,
     run_mrc,
+    run_multicore,
     run_skid_ablation,
     run_alignment_ablation,
     run_fig2,
@@ -70,11 +71,12 @@ _EXPERIMENTS = {
     "ext-mrc": lambda runner, apps: run_mrc(runner, apps),
     "ext-sweep": lambda runner, apps: run_geometry_sweep(runner),
     "mechanisms": lambda runner, apps: run_mechanisms(runner, apps),
+    "multicore": lambda runner, apps: run_multicore(runner, apps),
 }
 
 #: Experiments excluded from ``repro all`` — aliases and extension grids
 #: that run their own fan-out rather than the warmable paper grid.
-_NOT_IN_ALL = ("ext-mrc", "mechanisms")
+_NOT_IN_ALL = ("ext-mrc", "mechanisms", "multicore")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,7 +89,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[*_EXPERIMENTS, "all", "profile", "cache"],
         help="which artifact to regenerate, 'profile' to profile one app, "
         "or 'cache' to inspect/clear the result cache; 'repro lint' runs "
-        "the reprolint static checks (own options, see 'repro lint --help')",
+        "the reprolint static checks and 'repro trace' imports/inspects "
+        "address traces (own options, see 'repro lint/trace --help')",
     )
     parser.add_argument(
         "--apps",
@@ -162,6 +165,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile subcommand: stream live miss-rate / interrupt-rate "
         "metrics while the profiled run executes",
     )
+    parser.add_argument(
+        "--co-runner",
+        nargs="+",
+        default=None,
+        metavar="APP",
+        help="profile subcommand: run these applications on additional "
+        "cores beside the profiled app (private L1s, one shared LLC) and "
+        "stream per-core miss/contention rates live",
+    )
     return parser
 
 
@@ -220,6 +232,51 @@ def _live_profile(runner: ExperimentRunner, app: str, tool_name: str):
     return result
 
 
+def _profile_multicore(runner: ExperimentRunner, app: str, co_runners: list[str]):
+    """Profile an app beside co-runners on a shared LLC, live per core."""
+    from repro.experiments.multicore import L1_FRACTION
+    from repro.sim import CoreRateObserver, ProgressObserver
+    from repro.sim.session import MultiCoreSession
+
+    workloads = [runner.make(name) for name in [app, *co_runners]]
+    llc = runner.config.cache
+    l1 = llc.resized(max(llc.line_size * llc.assoc, llc.size // L1_FRACTION))
+    rates = CoreRateObserver()
+
+    def report(refs: int, cycle: int) -> None:
+        cores = ", ".join(
+            f"c{core} {miss:6.2%} miss ({cont:.1%} cont)"
+            for core, _, miss, cont in rates.rows()
+        )
+        print(f"  [live] {refs:>12,} refs @ cycle {cycle:>14,}  {cores}")
+
+    progress = ProgressObserver(every_refs=1 << 18, on_progress=report)
+    session = MultiCoreSession.start(
+        workloads,
+        llc_config=llc,
+        l1_config=l1,
+        seed=runner.config.seed,
+        observers=[rates, progress],
+    )
+    session.run()
+    result = session.finalize()
+    print(f"\nshared-LLC profile: {result.workload_name}")
+    for core in result.cores or []:
+        profile = core.contention
+        ledger = profile.ledger
+        print(
+            f"  core {core.core_id} ({core.workload_name}): "
+            f"{core.stats.app_refs:,} refs, "
+            f"{ledger.classified_misses:,} LLC misses = "
+            f"{ledger.self_misses:,} self + "
+            f"{ledger.contention_misses:,} contention "
+            f"({profile.contention_share:.1%})"
+        )
+        for name, count in profile.top_contended(3):
+            print(f"      {name}: {count:,} contention misses")
+    return result
+
+
 def _profile_app(
     runner: ExperimentRunner, app: str, tool_name: str, live: bool = False
 ) -> None:
@@ -274,6 +331,67 @@ def _cache_command(args) -> int:
     return 0
 
 
+def _trace_main(argv: list[str]) -> int:
+    """The `trace` verb: import/inspect address traces in any format.
+
+    Formats are content-sniffed (see ``workloads.trace``): canonical
+    ``.npz`` archives, gzip'd archives, and plain or gzip'd text traces
+    (one ``R|W <address>`` per line, ``#`` comments).
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Import or inspect address traces (format auto-detected).",
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+    p_import = sub.add_parser(
+        "import", help="convert any supported trace to the canonical .npz"
+    )
+    p_import.add_argument("source", help="trace to convert (any format)")
+    p_import.add_argument("dest", help="output path (.npz appended if missing)")
+    p_info = sub.add_parser(
+        "info", help="sniff the format, summarise blocks, suggest a layout"
+    )
+    p_info.add_argument("source", help="trace to inspect (any format)")
+    args = parser.parse_args(argv)
+
+    from repro.errors import TraceError
+    from repro.workloads.trace import (
+        derive_layout,
+        import_trace,
+        load_any_trace,
+        sniff_trace_format,
+    )
+
+    try:
+        if args.verb == "import":
+            out = import_trace(args.source, args.dest)
+            blocks = load_any_trace(out)
+            refs = sum(len(b.addrs) for b in blocks)
+            print(
+                f"imported {args.source} ({sniff_trace_format(args.source)}) "
+                f"-> {out}: {len(blocks)} blocks, {refs:,} references"
+            )
+            return 0
+        blocks = load_any_trace(args.source)
+        refs = sum(len(b.addrs) for b in blocks)
+        writes = sum(
+            int(b.writes.sum()) for b in blocks if b.writes is not None
+        )
+        lo = min(int(b.addrs.min()) for b in blocks)
+        hi = max(int(b.addrs.max()) for b in blocks)
+        print(f"format:  {sniff_trace_format(args.source)}")
+        print(f"blocks:  {len(blocks)}")
+        print(f"refs:    {refs:,} ({writes:,} writes)")
+        print(f"range:   {lo:#x} .. {hi:#x}")
+        print("layout (derived, largest clusters first by address):")
+        for name, (base, size) in derive_layout(blocks).items():
+            print(f"  {name}: base={base:#x} size={size:,}")
+        return 0
+    except TraceError as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "lint":
@@ -282,6 +400,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "trace":
+        # Same delegation pattern as lint: the trace importer's arguments
+        # (source/dest positionals) don't fit the experiment parser.
+        return _trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     from repro.experiments.runner import RunnerConfig
 
@@ -296,10 +418,13 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             backend=args.backend,
             compile_streams=args.compile_streams,
-            # The mechanisms sweep builds its own per-cell stacks; the
-            # runner-level decoration would only skew its baselines.
+            # The mechanisms sweep builds its own per-cell stacks, and the
+            # shared-LLC sessions refuse decorated configs; runner-level
+            # decoration would only skew their baselines.
             mechanisms=(
-                args.mechanism if args.experiment != "mechanisms" else None
+                args.mechanism
+                if args.experiment not in ("mechanisms", "multicore")
+                else None
             ),
         ),
         quick=args.quick,
@@ -310,14 +435,20 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "profile":
         apps = args.apps or ["tomcatv"]
         for app in apps:
-            _profile_app(runner, app, args.tool, live=args.live)
+            if args.co_runner:
+                _profile_multicore(runner, app, args.co_runner)
+            else:
+                _profile_app(runner, app, args.tool, live=args.live)
         return 0
     names = (
         [n for n in _EXPERIMENTS if n not in _NOT_IN_ALL]
         if args.experiment == "all"
         else [args.experiment]
     )
-    if (args.jobs > 1 or args.cache_dir) and names != ["mechanisms"]:
+    if (args.jobs > 1 or args.cache_dir) and names not in (
+        ["mechanisms"],
+        ["multicore"],
+    ):
         t0 = time.time()
         runner.warm(apps=args.apps, experiments=names, jobs=args.jobs)
         print(

@@ -18,6 +18,7 @@ from repro.experiments.records import (
 from repro.experiments.cache_store import Manifest, ResultCache
 from repro.experiments.parallel import (
     CheckpointPolicy,
+    MultiCoreSpec,
     ParallelRunner,
     SimSpec,
     TaskSpec,
@@ -41,6 +42,7 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.mrc import run_mrc
 from repro.experiments.mechanisms import MECHANISM_CHOICES, run_mechanisms
+from repro.experiments.multicore import run_multicore
 from repro.experiments.sweep import run_geometry_sweep
 from repro.experiments.extensions import (
     run_continuation,
@@ -59,6 +61,7 @@ __all__ = [
     "TaskSpec",
     "ToolSpec",
     "SimSpec",
+    "MultiCoreSpec",
     "derive_task_seed",
     "expand_grid",
     "PAPER_TABLE1",
@@ -83,5 +86,6 @@ __all__ = [
     "run_mrc",
     "run_mechanisms",
     "MECHANISM_CHOICES",
+    "run_multicore",
     "run_geometry_sweep",
 ]

@@ -39,12 +39,18 @@ from repro.experiments.cache_store import (
 )
 from repro.hpm.interrupts import CostModel
 from repro.sim.engine import RunResult, Simulator
-from repro.sim.session import SNAPSHOT_VERSION, SessionSnapshot, SimulationSession
+from repro.sim.session import (
+    SNAPSHOT_VERSION,
+    MultiCoreSession,
+    SessionSnapshot,
+    SimulationSession,
+)
 from repro.workloads.compile import StreamCompileError, compiled_stream_for
 from repro.workloads.registry import make_workload
 
 __all__ = [
     "SimSpec",
+    "MultiCoreSpec",
     "ToolSpec",
     "TaskSpec",
     "CheckpointPolicy",
@@ -57,6 +63,53 @@ __all__ = [
 
 
 # ------------------------------------------------------------------ specs
+
+@dataclass
+class MultiCoreSpec:
+    """Declarative multi-core run: co-runners sharing one LLC.
+
+    Attached to :attr:`SimSpec.multicore`. The task's ``workload`` is
+    core 0; ``co_runners`` name the workloads of cores 1..N-1 (with
+    optional per-co-runner constructor kwargs). The shared LLC geometry
+    is ``SimSpec.cache`` and the per-core private L1 is ``SimSpec.l1``.
+    ``ratios`` weights the round-robin interleaver (one entry per core,
+    including core 0; None means one chunk each per turn).
+
+    Hashing: :class:`SimSpec` is hashed field-by-field by
+    :func:`~repro.experiments.cache_store.canonical`, which recurses
+    into nested dataclasses — so every field here (co-runner set, their
+    kwargs, the schedule) reaches the result-cache key automatically,
+    and changing any of them can never serve a stale cached result.
+    """
+
+    co_runners: tuple = ()
+    #: Constructor kwargs per co-runner (dicts, parallel to
+    #: ``co_runners``; missing trailing entries default to {}).
+    co_runner_kwargs: tuple = ()
+    ratios: tuple | None = None
+
+    def __post_init__(self) -> None:
+        self.co_runners = tuple(self.co_runners)
+        kwargs = tuple(dict(k) for k in self.co_runner_kwargs)
+        if len(kwargs) > len(self.co_runners):
+            raise SimulationError(
+                f"{len(kwargs)} co_runner_kwargs for "
+                f"{len(self.co_runners)} co_runners"
+            )
+        kwargs += tuple({} for _ in range(len(self.co_runners) - len(kwargs)))
+        self.co_runner_kwargs = kwargs
+        if self.ratios is not None:
+            self.ratios = tuple(int(r) for r in self.ratios)
+            if len(self.ratios) != self.n_cores:
+                raise SimulationError(
+                    f"{self.n_cores} cores but {len(self.ratios)} ratios "
+                    "(ratios cover every core, including core 0)"
+                )
+
+    @property
+    def n_cores(self) -> int:
+        return 1 + len(self.co_runners)
+
 
 @dataclass
 class SimSpec:
@@ -83,8 +136,19 @@ class SimSpec:
     #: location is a runtime concern (ParallelRunner/ExperimentRunner
     #: pass it alongside, outside the key).
     compile_streams: bool = False
+    #: Co-runner matrix: when set, the task runs as a
+    #: :class:`~repro.sim.session.MultiCoreSession` (the task's workload
+    #: on core 0, the spec's co-runners beside it, ``cache`` as the
+    #: shared LLC and ``l1`` as each core's private cache). Hashed into
+    #: the task key like every other field.
+    multicore: "MultiCoreSpec | None" = None
 
     def build(self, seed: int | None) -> Simulator:
+        if self.multicore is not None:
+            raise SimulationError(
+                "multi-core specs run through MultiCoreSession "
+                "(execute_task dispatches on sim.multicore), not Simulator"
+            )
         return Simulator(
             cache_config=self.cache,
             n_region_counters=self.n_region_counters,
@@ -340,8 +404,15 @@ class CheckpointPolicy:
 def strip_result(result: RunResult) -> RunResult:
     """A cacheable copy of ``result``: drop the live ground-truth and
     tool objects (they hold simulator internals), keep every field the
-    experiment drivers read (stats, actual/measured profiles, series)."""
-    return dataclasses.replace(result, ground_truth=None, tool=None, tools=None)
+    experiment drivers read (stats, actual/measured profiles, series,
+    contention). Multi-core aggregates are stripped recursively — each
+    per-core result in ``cores`` holds its own ground truth and tools."""
+    stripped = dataclasses.replace(
+        result, ground_truth=None, tool=None, tools=None
+    )
+    if stripped.cores is not None:
+        stripped.cores = [strip_result(r) for r in stripped.cores]
+    return stripped
 
 
 def execute_task(
@@ -358,7 +429,15 @@ def execute_task(
     results are bit-identical either way. ``stream_cache_dir`` hosts the
     compiled-stream cache when ``spec.sim.compile_streams`` is on; it is
     machine-local and deliberately outside the task key.
+
+    Specs with ``sim.multicore`` run the workload and its co-runners
+    through a :class:`~repro.sim.session.MultiCoreSession` instead of a
+    :class:`~repro.sim.engine.Simulator` — same checkpoint/resume and
+    stream-compilation contract, one aggregate result with per-core
+    results (and contention profiles) in ``result.cores``.
     """
+    if spec.sim.multicore is not None:
+        return _execute_multicore(spec, checkpoint, stream_cache_dir)
     workload = make_workload(spec.workload, seed=spec.seed, **spec.workload_kwargs)
     compiled = None
     if spec.sim.compile_streams:
@@ -388,6 +467,84 @@ def execute_task(
             max_refs=spec.max_refs,
             compiled=compiled,
         )
+    if checkpoint is not None:
+        session.run(
+            checkpoint_every_refs=checkpoint.every_refs,
+            on_checkpoint=lambda snap: checkpoint.save(key, snap),
+        )
+    else:
+        session.run()
+    result = session.finalize()
+    if checkpoint is not None:
+        checkpoint.discard(key)
+    return strip_result(result)
+
+
+def _execute_multicore(
+    spec: TaskSpec,
+    checkpoint: CheckpointPolicy | None = None,
+    stream_cache_dir: str | None = None,
+) -> RunResult:
+    """Multi-core arm of :func:`execute_task` (see its docstring).
+
+    Every core's workload is built with the task seed — co-runner
+    determinism comes from the spec, not from per-core seed plumbing.
+    Compiled streams are compiled per workload *unshifted* (so the
+    stream cache is shared with single-core runs of the same workload);
+    :meth:`MultiCoreSession.start` applies the per-core relocation.
+    """
+    mc = spec.sim.multicore
+    assert mc is not None
+    if spec.sim.prefetch_next_line:
+        raise SimulationError(
+            "multi-core sessions do not support prefetch_next_line; "
+            "drop it from the SimSpec or run single-core"
+        )
+    workloads = [
+        make_workload(spec.workload, seed=spec.seed, **spec.workload_kwargs)
+    ]
+    for name, kwargs in zip(mc.co_runners, mc.co_runner_kwargs):
+        workloads.append(make_workload(name, seed=spec.seed, **kwargs))
+    compiled: list | None = None
+    if spec.sim.compile_streams:
+        compiled = []
+        for workload in workloads:
+            try:
+                compiled.append(compiled_stream_for(workload, stream_cache_dir))
+            except StreamCompileError:
+                compiled.append(None)
+    tool = spec.tool.build() if spec.tool is not None else None
+
+    session: MultiCoreSession | None = None
+    key = spec.key() if checkpoint is not None else None
+    if checkpoint is not None:
+        snapshot = checkpoint.load(key)
+        if snapshot is not None:
+            try:
+                session = MultiCoreSession.restore(
+                    snapshot, workloads, compiled=compiled
+                )
+            except SimulationError:
+                checkpoint.discard(key)
+                session = None
+    if session is None:
+        session = MultiCoreSession.start(
+            workloads,
+            llc_config=spec.sim.cache,
+            l1_config=spec.sim.l1,
+            backend=None,
+            seed=spec.seed,
+            n_region_counters=spec.sim.n_region_counters,
+            multiplexed_counters=spec.sim.multiplexed_counters,
+            cost_model=spec.sim.cost_model,
+            chunk_size=spec.sim.chunk_size,
+            series_bucket_cycles=spec.series_bucket_cycles,
+            max_refs=spec.max_refs,
+            ratios=mc.ratios,
+            compiled=compiled,
+        )
+        if tool is not None:
+            session.attach(tool)
     if checkpoint is not None:
         session.run(
             checkpoint_every_refs=checkpoint.every_refs,

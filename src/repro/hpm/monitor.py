@@ -30,7 +30,12 @@ class PerformanceMonitor:
         n_region_counters: int = 10,
         multiplexed: bool = False,
         multiplex_slice_misses: int = 512,
+        core_id: int = 0,
     ) -> None:
+        #: Which core this monitor belongs to. Multi-core sessions build
+        #: one monitor per core (each core has its own counter bank, as
+        #: on real SMPs); single-core runs leave the default 0.
+        self.core_id = core_id
         self.overflow_counter = MissCounter(name="overflow")
         self.global_counter = MissCounter(name="global")
         if multiplexed:

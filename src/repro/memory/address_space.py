@@ -54,6 +54,16 @@ STACK_LIMIT = 0x7_FFFF_0000  # stack grows down from here
 STACK_BASE = 0x7_F000_0000
 
 
+#: Address-space stride separating per-core namespaces in multi-core
+#: sessions. A power of two at least as large as the whole single-core
+#: extent, so shifting every segment by ``core_id * CORE_STRIDE`` keeps
+#: namespaces disjoint while leaving cache set indices (which depend on
+#: low address bits only) unchanged — the property the 1-core
+#: bit-identity contract and the disjoint-co-runner contention test
+#: both rely on.
+CORE_STRIDE = 0x8_0000_0000
+
+
 class AddressSpace:
     """The full simulated address space with its standard segments."""
 
@@ -77,6 +87,25 @@ class AddressSpace:
                         f"segments {seg.name!r} and {other.name!r} overlap"
                     )
             seen.append(seg)
+
+    @classmethod
+    def with_offset(cls, offset: int) -> AddressSpace:
+        """The standard layout shifted wholesale by ``offset`` bytes.
+
+        ``offset == 0`` builds the default layout exactly. Multi-core
+        sessions give core *i* the layout at ``i * CORE_STRIDE`` so
+        co-runner objects never collide in one shared object map.
+        """
+        if offset < 0:
+            raise AddressSpaceError(f"address offset must be >= 0, got {offset:#x}")
+        if offset == 0:
+            return cls()
+        return cls(
+            data=Segment("data", DATA_BASE + offset, DATA_LIMIT + offset),
+            heap=Segment("heap", HEAP_BASE + offset, HEAP_LIMIT + offset),
+            stack=Segment("stack", STACK_BASE + offset, STACK_LIMIT + offset),
+            instr=Segment("instr", INSTR_BASE + offset, INSTR_LIMIT + offset),
+        )
 
     @property
     def segments(self) -> list[Segment]:

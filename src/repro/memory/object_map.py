@@ -80,6 +80,16 @@ class ObjectMap:
         self._generation = 0
         self._snapshot: AttributionSnapshot | None = None
         self._snapshot_generation = -1
+        #: Reporting namespace tag for multi-core runs ("c0", "c1", ...).
+        #: Each core's workload occupies a disjoint shifted address space,
+        #: so the maps never collide by address; the namespace keeps the
+        #: co-runners' *names* distinct when reports merge across cores.
+        #: Empty for single-core runs (names pass through unqualified).
+        self.namespace: str = ""
+
+    def qualify(self, name: str) -> str:
+        """``name`` prefixed with this map's namespace (if any)."""
+        return f"{self.namespace}:{name}" if self.namespace else name
 
     # ----------------------------------------------------------- registration
 

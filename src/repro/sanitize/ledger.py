@@ -113,6 +113,60 @@ def _check_pipeline(component: object, label: str) -> None:
         prev_misses = level.stats.misses
 
 
+def _check_shared_port(component: object, label: str) -> None:
+    """Multi-writer identities of a shared-level port.
+
+    Two families: (a) the *contention conservation* identity — every
+    port miss is classified exactly one way, so self + contention equals
+    the port ledger's misses, in total and per tag; (b) the *aggregate
+    sum* identity — the shared leaf's ledger equals the element-wise sum
+    of every port's ledger, per counter and per tag, because cores
+    interleave sequentially and each leaf commit belongs to exactly one
+    port.
+    """
+    count_check("ledger.shared_port")
+    port_stats = component.stats
+    contention = component.contention
+    if contention.classified_misses != port_stats.misses:
+        raise SanitizerError(
+            f"[{label}] classified misses (self {contention.self_misses} + "
+            f"contention {contention.contention_misses}) != port misses "
+            f"{port_stats.misses}: classification dropped or invented a miss"
+        )
+    for tag, misses in port_stats.misses_by_tag.items():
+        classified = contention.self_by_tag.get(
+            tag, 0
+        ) + contention.contention_by_tag.get(tag, 0)
+        if classified != misses:
+            raise SanitizerError(
+                f"[{label}] tag {tag!r}: classified {classified} != port "
+                f"misses {misses}"
+            )
+    shared = component.shared_level
+    aggregate = shared.stats
+    ports = shared.ports
+    for counter in ("accesses", "misses", "writebacks", "prefetches"):
+        total = sum(getattr(p.stats, counter) for p in ports)
+        value = getattr(aggregate, counter)
+        if value != total:
+            raise SanitizerError(
+                f"[{label}] aggregate {counter} {value} != sum over "
+                f"{len(ports)} port ledgers {total}"
+            )
+    for attr in ("accesses_by_tag", "misses_by_tag"):
+        agg_dict = getattr(aggregate, attr)
+        tags = set(agg_dict)
+        for p in ports:
+            tags.update(getattr(p.stats, attr))
+        for tag in tags:
+            total = sum(getattr(p.stats, attr).get(tag, 0) for p in ports)
+            if agg_dict.get(tag, 0) != total:
+                raise SanitizerError(
+                    f"[{label}] aggregate {attr}[{tag!r}] "
+                    f"{agg_dict.get(tag, 0)} != port sum {total}"
+                )
+
+
 def check_component(component: object, label: str = "cache") -> None:
     """Verify one component and everything it wraps or contains."""
     check_stats(component.stats, label)
@@ -126,3 +180,6 @@ def check_component(component: object, label: str = "cache") -> None:
         _check_pipeline(component, label)
         for i, level in enumerate(levels):
             check_component(level, f"{label}.l{i + 1}")
+        return
+    if getattr(component, "shared_level", None) is not None:
+        _check_shared_port(component, label)

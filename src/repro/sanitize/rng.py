@@ -64,3 +64,13 @@ def verify_cache_rng(cache: object, label: str = "cache") -> None:
     if levels is not None:
         for i, level in enumerate(levels):
             verify_cache_rng(level, f"{label}.l{i + 1}")
+    # Shared-level ports (multi-core): verify the physical LLC behind the
+    # port and the port's private shadow model. The leaf is shared by
+    # every core's port, so a multi-core restore verifies it once per
+    # core — harmless, the check is a pure replay-and-compare.
+    shared = getattr(cache, "shared_level", None)
+    if shared is not None:
+        verify_cache_rng(shared.leaf, f"{label}.shared")
+    shadow = getattr(cache, "shadow", None)
+    if shadow is not None:
+        verify_cache_rng(shadow, f"{label}.shadow")

@@ -14,6 +14,7 @@ from repro.sim.events import RunStats
 from repro.sim.instrumentation import HandlerResult, InstrumentationTool, ToolContext
 from repro.sim.observers import (
     ChunkEvent,
+    CoreRateObserver,
     InterruptEvent,
     InterruptRateObserver,
     MissRateObserver,
@@ -23,6 +24,8 @@ from repro.sim.observers import (
 )
 from repro.sim.session import (
     SNAPSHOT_VERSION,
+    CoreContext,
+    MultiCoreSession,
     SessionSnapshot,
     SimulationSession,
     ToolDispatcher,
@@ -44,9 +47,12 @@ __all__ = [
     "InterruptRateObserver",
     "ToolCycleShareObserver",
     "ProgressObserver",
+    "CoreRateObserver",
     "SNAPSHOT_VERSION",
     "SessionSnapshot",
     "SimulationSession",
+    "MultiCoreSession",
+    "CoreContext",
     "ToolDispatcher",
     "RunResult",
     "Simulator",

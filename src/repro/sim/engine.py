@@ -36,6 +36,7 @@ from repro.sim.session import SimulationSession
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cache.attribution import MissSeries
+    from repro.cache.contention import ContentionProfile
     from repro.core.profile import DataProfile
     from repro.workloads.base import Workload
     from repro.workloads.compile import CompiledStream
@@ -64,6 +65,15 @@ class RunResult:
     #: per pipeline level and mechanism decorator (None for models that
     #: expose no component ledgers).
     component_stats: "list[tuple[str, CacheStats]] | None" = None
+    #: Which core produced this result (0 for single-core runs and for
+    #: the aggregate result of a multi-core run).
+    core_id: int = 0
+    #: Shared-level miss classification (self vs co-runner-induced) for
+    #: this core — only set on results from a multi-core session.
+    contention: "ContentionProfile | None" = None
+    #: Per-core results, in core order — only set on the aggregate
+    #: result a :class:`~repro.sim.session.MultiCoreSession` finalizes.
+    cores: "list[RunResult] | None" = None
 
     @property
     def total_cycles(self) -> int:

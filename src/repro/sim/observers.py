@@ -40,6 +40,7 @@ __all__ = [
     "InterruptRateObserver",
     "ToolCycleShareObserver",
     "ProgressObserver",
+    "CoreRateObserver",
 ]
 
 
@@ -53,6 +54,11 @@ class ChunkEvent:
     miss_addrs: np.ndarray     #: the missing addresses (app refs only)
     block_label: str           #: label of the originating ReferenceBlock
     total_app_refs: int        #: cumulative references so far
+    #: Which core produced the chunk (0 in single-core sessions).
+    core_id: int = 0
+    #: Shared-level misses in this chunk classified as co-runner-induced
+    #: (always 0 in single-core sessions — there are no co-runners).
+    n_contention: int = 0
 
 
 @dataclass(frozen=True)
@@ -64,6 +70,8 @@ class InterruptEvent:
     tool: str
     handler_cycles: int
     delivery_cycles: int
+    #: Which core the interrupt was delivered on (0 in single-core runs).
+    core_id: int = 0
 
 
 class SessionObserver:
@@ -184,6 +192,51 @@ class ToolCycleShareObserver(SessionObserver):
             name: cycles / total
             for name, cycles in sorted(self.cycles_by_tool.items())
         }
+
+
+class CoreRateObserver(SessionObserver):
+    """Per-core miss and contention rates, live.
+
+    One instance can be attached to every core of a
+    :class:`~repro.sim.session.MultiCoreSession` (events carry
+    ``core_id``); :meth:`rows` yields the per-core table the CLI's live
+    multi-core display renders. Works unchanged on single-core sessions
+    (everything lands on core 0 with zero contention).
+    """
+
+    def __init__(self) -> None:
+        self.refs_by_core: dict[int, int] = {}
+        self.misses_by_core: dict[int, int] = {}
+        self.contention_by_core: dict[int, int] = {}
+        self.last_cycle = 0
+
+    def on_chunk(self, event: ChunkEvent) -> None:
+        core = event.core_id
+        self.refs_by_core[core] = self.refs_by_core.get(core, 0) + event.app_refs
+        self.misses_by_core[core] = (
+            self.misses_by_core.get(core, 0) + event.n_misses
+        )
+        self.contention_by_core[core] = (
+            self.contention_by_core.get(core, 0) + event.n_contention
+        )
+        self.last_cycle = max(self.last_cycle, event.cycle)
+
+    def rows(self) -> list[tuple[int, int, float, float]]:
+        """(core_id, refs, miss rate, contention share of misses) per core."""
+        out: list[tuple[int, int, float, float]] = []
+        for core in sorted(self.refs_by_core):
+            refs = self.refs_by_core[core]
+            misses = self.misses_by_core.get(core, 0)
+            contention = self.contention_by_core.get(core, 0)
+            out.append(
+                (
+                    core,
+                    refs,
+                    misses / refs if refs else 0.0,
+                    contention / misses if misses else 0.0,
+                )
+            )
+        return out
 
 
 class ProgressObserver(SessionObserver):

@@ -78,7 +78,12 @@ if TYPE_CHECKING:  # pragma: no cover
 #: v3: kernel snapshot tuples carry the RNG draw count (replay-auditable
 #: eviction streams — see repro.sanitize.rng), so v2 checkpoints no
 #: longer unpack and are refused by version.
-SNAPSHOT_VERSION = 3
+#: v4: the payload gains a ``cores`` entry — None for single-core
+#: sessions, a list of per-core :class:`CoreState` records for
+#: :class:`MultiCoreSession` snapshots (the shared LLC is pickled once
+#: through the per-core cache graphs; unpickling restores the shared
+#: identity). v3 checkpoints are refused by version.
+SNAPSHOT_VERSION = 4
 
 
 # ------------------------------------------------------------- dispatcher
@@ -157,6 +162,42 @@ class ToolDispatcher:
 # --------------------------------------------------------------- snapshot
 
 @dataclass
+class CoreState:
+    """Per-core slice of a :class:`MultiCoreSession` snapshot.
+
+    Field names deliberately mirror :class:`SessionSnapshot` where the
+    meaning matches, so :meth:`SimulationSession._resume` can rebuild a
+    per-core session from either record. ``cache`` is the core's
+    pipeline over the shared level; pickling every core's pipeline in
+    one :class:`SessionSnapshot` graph serialises the shared LLC leaf
+    exactly once and restores it as one shared object.
+    """
+
+    core_id: int
+    address_offset: int
+    workload_name: str
+    blocks_fetched: int
+    block_pos: int | None
+    cycle_carry: float
+    refs_left: int | None
+    chunk_size: int
+    cost_model: CostModel
+    clock: VirtualClock
+    stats: RunStats
+    cache: CacheModel
+    monitor: PerformanceMonitor
+    ground_truth: GroundTruth | None
+    dispatcher: "ToolDispatcher | None"
+    #: Interleaver weight: chunks this core advances per round-robin turn.
+    ratio: int
+    #: Accumulated per-object contention attribution (qualified names).
+    self_by_object: dict[str, int]
+    contention_by_object: dict[str, int]
+    unattributed_self: int
+    unattributed_contention: int
+
+
+@dataclass
 class SessionSnapshot:
     """Serialized mid-run state of one :class:`SimulationSession`.
 
@@ -183,6 +224,11 @@ class SessionSnapshot:
     monitor: PerformanceMonitor
     ground_truth: GroundTruth | None
     dispatcher: ToolDispatcher | None
+    #: Per-core state for multi-core snapshots; None for single-core
+    #: sessions. When set, the top-level fields hold core 0's objects
+    #: (so the payload stays uniformly typed) and restore goes through
+    #: :meth:`MultiCoreSession.restore`, which reads only this list.
+    cores: "list[CoreState] | None" = None
 
     # ------------------------------------------------------------ storage
 
@@ -233,11 +279,21 @@ class SimulationSession:
         ground_truth: GroundTruth | None = None,
         max_refs: int | None = None,
         observers: Sequence[SessionObserver] = (),
+        core_id: int = 0,
     ) -> None:
         if chunk_size <= 0:
             raise SimulationError("chunk_size must be positive")
         self.workload = workload
         self.cache = cache
+        #: Which core this session models (0 in single-core runs); stamped
+        #: on observer events so one observer can ride every core of a
+        #: :class:`MultiCoreSession`.
+        self.core_id = core_id
+        #: The core's :class:`~repro.cache.components.SharedLevelPort`
+        #: when this session is one core of a multi-core run (set by
+        #: :class:`MultiCoreSession`); used to surface per-chunk
+        #: contention counts on :class:`ChunkEvent`.
+        self._shared_port = None
         self.monitor = monitor
         self.clock = clock if clock is not None else VirtualClock()
         self.stats = stats if stats is not None else RunStats()
@@ -276,6 +332,7 @@ class SimulationSession:
         max_refs: int | None = None,
         observers: Sequence[SessionObserver] = (),
         compiled: "CompiledStream | None" = None,
+        core_id: int = 0,
     ) -> "SimulationSession":
         """Begin a fresh run: prepare the workload and open its stream.
 
@@ -310,6 +367,7 @@ class SimulationSession:
             ground_truth=gt,
             max_refs=max_refs,
             observers=observers,
+            core_id=core_id,
         )
         if compiled is not None:
             session._compiled = compiled
@@ -598,6 +656,10 @@ class SimulationSession:
             if block.writes is not None
             else None
         )
+        port = self._shared_port
+        contention_before = (
+            port.contention.contention_misses if port is not None else 0
+        )
         result = self.cache.access(
             chunk, miss_budget=miss_budget, tag="app", writes=chunk_writes
         )
@@ -625,6 +687,12 @@ class SimulationSession:
                 miss_addrs=miss_addrs,
                 block_label=block.label,
                 total_app_refs=self.stats.app_refs,
+                core_id=self.core_id,
+                n_contention=(
+                    port.contention.contention_misses - contention_before
+                    if port is not None
+                    else 0
+                ),
             )
             for observer in self.observers:
                 observer.on_chunk(event)
@@ -682,6 +750,7 @@ class SimulationSession:
                 tool=tool.name,
                 handler_cycles=result.handler_cycles,
                 delivery_cycles=delivery,
+                core_id=self.core_id,
             )
             for observer in self.observers:
                 observer.on_interrupt(event)
@@ -771,6 +840,7 @@ class SimulationSession:
             tools=list(tools) if tools else None,
             cache_stats=cache_stats,
             component_stats=component_stats,
+            core_id=self.core_id,
         )
 
     # ------------------------------------------------------------- snapshot
@@ -786,6 +856,12 @@ class SimulationSession:
             raise SimulationError("cannot snapshot a finalized session")
         if self._exhausted:
             raise SimulationError("cannot snapshot an exhausted session")
+        if self._shared_port is not None:
+            raise SimulationError(
+                "this session is one core of a multi-core run; snapshot "
+                "the MultiCoreSession instead (its payload serialises the "
+                "shared LLC exactly once)"
+            )
         payload = {
             "version": SNAPSHOT_VERSION,
             "workload_name": self.workload.name,
@@ -801,6 +877,7 @@ class SimulationSession:
             "monitor": self.monitor,
             "ground_truth": self.ground_truth,
             "dispatcher": self.dispatcher,
+            "cores": None,
         }
         snap = SessionSnapshot(**payload)
         detached: SessionSnapshot = pickle.loads(
@@ -837,9 +914,34 @@ class SimulationSession:
         """
         if not isinstance(snapshot, SessionSnapshot):
             snapshot = SessionSnapshot.load(snapshot)
-        if workload.name != snapshot.workload_name:
+        if snapshot.cores is not None:
             raise SimulationError(
-                f"snapshot is for workload {snapshot.workload_name!r}, "
+                "snapshot holds a multi-core session; restore it with "
+                "MultiCoreSession.restore"
+            )
+        return cls._resume(
+            snapshot, workload, observers=observers, compiled=compiled
+        )
+
+    @classmethod
+    def _resume(
+        cls,
+        state: "SessionSnapshot | CoreState",
+        workload: "Workload",
+        observers: Sequence[SessionObserver] = (),
+        compiled: "CompiledStream | None" = None,
+        core_id: int = 0,
+    ) -> "SimulationSession":
+        """Rebuild one running session from a state record.
+
+        The shared machinery behind :meth:`restore` (single-core, from a
+        :class:`SessionSnapshot`) and :meth:`MultiCoreSession.restore`
+        (per core, from a :class:`CoreState` — same field names where
+        the meaning matches).
+        """
+        if workload.name != state.workload_name:
+            raise SimulationError(
+                f"snapshot is for workload {state.workload_name!r}, "
                 f"got {workload.name!r}"
             )
         if workload.consumed:
@@ -850,15 +952,17 @@ class SimulationSession:
 
         session = cls(
             workload,
-            cache=snapshot.cache,
-            monitor=snapshot.monitor,
-            clock=snapshot.clock,
-            stats=snapshot.stats,
-            cost_model=snapshot.cost_model,
-            chunk_size=snapshot.chunk_size,
-            ground_truth=snapshot.ground_truth,
+            cache=state.cache,
+            monitor=state.monitor,
+            clock=state.clock,
+            stats=state.stats,
+            cost_model=state.cost_model,
+            chunk_size=state.chunk_size,
+            ground_truth=state.ground_truth,
             observers=observers,
+            core_id=core_id,
         )
+        snapshot = state
         session.dispatcher = snapshot.dispatcher
         session._cycle_carry = snapshot.cycle_carry
         session._refs_left = snapshot.refs_left
@@ -912,3 +1016,583 @@ class SimulationSession:
             # state at the restore boundary instead of as bit drift.
             sanitize.verify_cache_rng(session.cache)
         return session
+
+
+# ------------------------------------------------------------- multi-core
+
+@dataclass
+class CoreContext:
+    """Everything private to one core of a :class:`MultiCoreSession`.
+
+    The extraction the multi-core refactor is built on: workload, private
+    cache pipeline (inside ``session.cache``), monitor, per-core run
+    state and ground truth all live in the per-core
+    :class:`SimulationSession`; this record adds the core's handle on the
+    shared level (its :class:`~repro.cache.components.SharedLevelPort`),
+    its interleaver weight and the per-object contention attribution
+    accumulated so far.
+    """
+
+    core_id: int
+    workload: "Workload"
+    session: SimulationSession
+    #: The core's port into the shared LLC (``session.cache.levels[-1]``).
+    port: object
+    #: Interleaver weight: chunks this core advances per round-robin turn.
+    ratio: int = 1
+    compiled: "CompiledStream | None" = None
+    #: Shared-level misses attributed per object (namespace-qualified
+    #: names, e.g. ``"c0:field"``), split by classification.
+    self_by_object: dict[str, int] = field(default_factory=dict)
+    contention_by_object: dict[str, int] = field(default_factory=dict)
+    #: Classified misses whose address matched no live object (e.g. freed
+    #: heap blocks) — kept so the per-core sums stay conserved.
+    unattributed_self: int = 0
+    unattributed_contention: int = 0
+
+
+class MultiCoreSession:
+    """N private-cache cores time-sharing one shared last-level cache.
+
+    The multiprocessor extension of :class:`SimulationSession` (the
+    paper's §5 "future work" direction): each core is a complete
+    single-core session — its own workload in a disjoint shifted address
+    space, private L1, monitor, clock, ground truth — whose cache
+    pipeline bottoms out in a :class:`~repro.cache.components.SharedLevelPort`
+    onto one shared :class:`~repro.cache.components.SharedCacheLevel`.
+    A deterministic round-robin interleaver advances the cores chunk by
+    chunk (``ratios`` weights the schedule), so a run is a pure function
+    of (workloads, configs, seeds, ratios) — snapshot/resume included.
+
+    Every shared-level miss is classified against a per-core *shadow*
+    model (the LLC as it would look if the core ran alone): a miss the
+    shadow also takes is *self*; a miss the shadow would have hit is
+    *contention* — induced by co-runners evicting this core's lines.
+    :meth:`finalize` surfaces the classification per (core, object).
+
+    With one core the interleaver is a no-op and the pipeline reduces to
+    the single-core stack, so results are bit-identical to
+    :class:`SimulationSession` over the same workload and seeds (a test
+    pins this; see DESIGN.md section 13).
+    """
+
+    def __init__(
+        self,
+        cores: list[CoreContext],
+        shared_level,
+        *,
+        chunk_size: int,
+        cost_model: CostModel,
+    ) -> None:
+        if not cores:
+            raise SimulationError("MultiCoreSession needs at least one core")
+        self.cores = cores
+        self.shared_level = shared_level
+        self.chunk_size = chunk_size
+        self.cost_model = cost_model
+        self._next = 0
+        self._finalized = False
+
+    # ------------------------------------------------------------ creation
+
+    @classmethod
+    def start(
+        cls,
+        workloads: "Sequence[Workload]",
+        *,
+        llc_config,
+        l1_config=None,
+        backend: str | None = None,
+        seed: int | None = None,
+        n_region_counters: int = 10,
+        multiplexed_counters: bool = False,
+        cost_model: CostModel | None = None,
+        chunk_size: int = 1 << 15,
+        ground_truth: bool = True,
+        series_bucket_cycles: int | None = None,
+        max_refs: int | None = None,
+        observers: Sequence[SessionObserver] = (),
+        ratios: Sequence[int] | None = None,
+        compiled: "Sequence[CompiledStream | None] | None" = None,
+    ) -> "MultiCoreSession":
+        """Open an N-core run over ``workloads`` sharing one LLC.
+
+        Core *i*'s workload is relocated into its own address namespace
+        (``i * CORE_STRIDE`` — a power-of-two stride, so line/set index
+        bits are unchanged and co-runners genuinely contend for sets),
+        gets a private L1 (when ``l1_config`` is set) seeded like the
+        single-core two-level stack, and shares the one LLC through a
+        per-core port. ``ratios[i]`` chunks of core *i* run per
+        round-robin turn (default 1 each). ``compiled[i]`` replays a
+        precompiled stream for core *i* — compiled against the *unshifted*
+        workload; the relocation is applied here.
+
+        ``max_refs`` bounds each core individually (the same budget the
+        single-core session applies), so a 1-core multi-core run stays
+        bit-identical to the session it reduces to.
+        """
+        from repro.cache.config import CacheConfigError
+        from repro.cache.hierarchy import make_shared_level, core_pipeline
+        from repro.memory.address_space import CORE_STRIDE
+        from repro.workloads.compile import offset_stream
+
+        workloads = list(workloads)
+        if not workloads:
+            raise SimulationError("MultiCoreSession needs at least one workload")
+        for cfg in (llc_config, l1_config):
+            if cfg is not None and cfg.mechanisms:
+                raise CacheConfigError(
+                    f"multi-core sessions do not support mechanism "
+                    f"decorators yet (config has "
+                    f"{'+'.join(m.describe() for m in cfg.mechanisms)}); "
+                    "strip `mechanisms` from the shared/private configs"
+                )
+        if ratios is None:
+            ratios = [1] * len(workloads)
+        ratios = [int(r) for r in ratios]
+        if len(ratios) != len(workloads):
+            raise SimulationError(
+                f"{len(workloads)} workloads but {len(ratios)} ratios"
+            )
+        if any(r < 1 for r in ratios):
+            raise SimulationError(f"ratios must be >= 1, got {ratios}")
+        if compiled is None:
+            compiled_list: list["CompiledStream | None"] = [None] * len(workloads)
+        else:
+            compiled_list = list(compiled)
+            if len(compiled_list) != len(workloads):
+                raise SimulationError(
+                    f"{len(workloads)} workloads but {len(compiled_list)} "
+                    "compiled streams"
+                )
+        cost = cost_model if cost_model is not None else CostModel()
+
+        shared = make_shared_level(llc_config, backend=backend, seed=seed)
+        cores: list[CoreContext] = []
+        for core_id, workload in enumerate(workloads):
+            offset = core_id * CORE_STRIDE
+            # Set before start(): prepare() builds the shifted address
+            # space, so the object map, ground truth and generated
+            # addresses all live in the core's namespace from the start.
+            workload.address_offset = offset
+            pipeline = core_pipeline(
+                shared, core_id, l1=l1_config, backend=backend, seed=seed
+            )
+            monitor = PerformanceMonitor(
+                n_region_counters,
+                multiplexed=multiplexed_counters,
+                core_id=core_id,
+            )
+            stream = compiled_list[core_id]
+            if stream is not None:
+                stream = offset_stream(stream, offset)
+            session = SimulationSession.start(
+                workload,
+                cache=pipeline,
+                monitor=monitor,
+                cost_model=cost,
+                chunk_size=chunk_size,
+                ground_truth=ground_truth,
+                series_bucket_cycles=series_bucket_cycles,
+                max_refs=max_refs,
+                observers=observers,
+                compiled=stream,
+                core_id=core_id,
+            )
+            port = pipeline.levels[-1]
+            session._shared_port = port
+            workload.object_map.namespace = f"c{core_id}"
+            cores.append(
+                CoreContext(
+                    core_id=core_id,
+                    workload=workload,
+                    session=session,
+                    port=port,
+                    ratio=ratios[core_id],
+                    compiled=stream,
+                )
+            )
+        return cls(cores, shared, chunk_size=chunk_size, cost_model=cost)
+
+    # -------------------------------------------------------------- running
+
+    @property
+    def name(self) -> str:
+        """Joint workload name, e.g. ``"mc(compress+ijpeg)"``."""
+        return "mc(" + "+".join(c.workload.name for c in self.cores) + ")"
+
+    @property
+    def finished(self) -> bool:
+        return all(core.session.finished for core in self.cores)
+
+    def total_app_refs(self) -> int:
+        return sum(core.session.stats.app_refs for core in self.cores)
+
+    def attach(self, tools, core: int = 0) -> None:
+        """Attach instrumentation tools to one core (default core 0)."""
+        self.cores[core].session.attach(tools)
+
+    def step(self) -> bool:
+        """Advance the next unfinished core by one scheduling turn.
+
+        A turn is up to ``ratio`` single-core steps (chunks or interrupt
+        deliveries) of one core; the interleaver then moves to the next
+        core, skipping finished ones. Returns False once every core's
+        stream is done.
+        """
+        if self._finalized:
+            raise SimulationError("session already finalized")
+        n = len(self.cores)
+        for _ in range(n):
+            core = self.cores[self._next]
+            self._next = (self._next + 1) % n
+            progressed = False
+            for _ in range(core.ratio):
+                if not core.session.step():
+                    break
+                progressed = True
+                self._attribute(core)
+            if progressed:
+                return True
+        return False
+
+    def run(
+        self,
+        max_steps: int | None = None,
+        checkpoint_every_refs: int | None = None,
+        on_checkpoint=None,
+    ) -> None:
+        """Drive :meth:`step` until every core finishes.
+
+        ``checkpoint_every_refs`` invokes ``on_checkpoint(snapshot)``
+        each time the *combined* reference count crosses another
+        multiple, mirroring the single-core run loop's cadence.
+        """
+        next_checkpoint: int | None = None
+        if checkpoint_every_refs is not None:
+            if checkpoint_every_refs <= 0:
+                raise SimulationError("checkpoint_every_refs must be positive")
+            next_checkpoint = self.total_app_refs() + checkpoint_every_refs
+        steps = 0
+        while self.step():
+            steps += 1
+            if max_steps is not None and steps >= max_steps:
+                return
+            if next_checkpoint is not None and on_checkpoint is not None:
+                total = self.total_app_refs()
+                if total >= next_checkpoint:
+                    on_checkpoint(self.snapshot())
+                    next_checkpoint = total + checkpoint_every_refs
+
+    # ---------------------------------------------------------- attribution
+
+    def _attribute(self, core: CoreContext) -> None:
+        """Drain the core's classified shared-level misses into per-object
+        tallies, against the object map as it stands *now* (the addresses
+        were classified at most one chunk ago, so heap churn cannot have
+        moved them more than one chunk's worth of allocations)."""
+        pending = core.port.drain_classified()
+        if not pending:
+            return
+        object_map = core.workload.object_map
+        snap = object_map.snapshot()
+        for self_addrs, contention_addrs in pending:
+            core.unattributed_self += self._tally(
+                snap, object_map, self_addrs, core.self_by_object
+            )
+            core.unattributed_contention += self._tally(
+                snap, object_map, contention_addrs, core.contention_by_object
+            )
+
+    @staticmethod
+    def _tally(snap, object_map, addrs, dest: dict[str, int]) -> int:
+        """Add per-object counts of ``addrs`` into ``dest``; returns the
+        number of addresses that matched no live object."""
+        if len(addrs) == 0:
+            return 0
+        counts = snap.count_by_object(addrs)
+        attributed = 0
+        for obj, count in zip(snap.objects, counts):
+            if count:
+                name = object_map.qualify(obj.name)
+                dest[name] = dest.get(name, 0) + int(count)
+                attributed += int(count)
+        return int(len(addrs)) - attributed
+
+    def _profile(self, core: CoreContext):
+        from repro.cache.contention import ContentionProfile
+
+        return ContentionProfile(
+            ledger=core.port.contention.snapshot(),
+            self_by_object=dict(core.self_by_object),
+            contention_by_object=dict(core.contention_by_object),
+            unattributed_self=core.unattributed_self,
+            unattributed_contention=core.unattributed_contention,
+        )
+
+    # ------------------------------------------------------------- finalize
+
+    def finalize(self):
+        """Finalize every core and assemble the aggregate result.
+
+        The aggregate :class:`~repro.sim.engine.RunResult` sums reference
+        and miss counts across cores, reports the *makespan* (the slowest
+        core's total cycles — per-core clocks advance independently, so
+        cycle sums would double-count wall time) in ``stats.app_cycles``,
+        carries the shared LLC's aggregate ledger in ``cache_stats`` and
+        lists every per-core result (each with its own
+        :class:`~repro.cache.contention.ContentionProfile`) in ``cores``.
+        """
+        from repro.cache.contention import ContentionLedger, ContentionProfile
+        from repro.sim.engine import RunResult
+
+        if self._finalized:
+            raise SimulationError("session already finalized")
+        self._finalized = True
+        results = []
+        for core in self.cores:
+            self._attribute(core)  # drain any classified misses left over
+            result = core.session.finalize()
+            result.contention = self._profile(core)
+            results.append(result)
+
+        merged_ledger = ContentionLedger()
+        merged_self: dict[str, int] = {}
+        merged_contention: dict[str, int] = {}
+        unattr_self = 0
+        unattr_contention = 0
+        for result in results:
+            profile = result.contention
+            ledger = profile.ledger
+            merged_ledger.self_misses += ledger.self_misses
+            merged_ledger.contention_misses += ledger.contention_misses
+            merged_ledger.rescued_misses += ledger.rescued_misses
+            for tag, n in ledger.self_by_tag.items():
+                merged_ledger.self_by_tag[tag] = (
+                    merged_ledger.self_by_tag.get(tag, 0) + n
+                )
+            for tag, n in ledger.contention_by_tag.items():
+                merged_ledger.contention_by_tag[tag] = (
+                    merged_ledger.contention_by_tag.get(tag, 0) + n
+                )
+            # Names are namespace-qualified per core, so merges never
+            # collide across cores.
+            merged_self.update(profile.self_by_object)
+            merged_contention.update(profile.contention_by_object)
+            unattr_self += profile.unattributed_self
+            unattr_contention += profile.unattributed_contention
+
+        stats = RunStats(
+            app_refs=sum(r.stats.app_refs for r in results),
+            app_misses=sum(r.stats.app_misses for r in results),
+            instr_refs=sum(r.stats.instr_refs for r in results),
+            instr_misses=sum(r.stats.instr_misses for r in results),
+            # Makespan: cores run concurrently, so the aggregate elapsed
+            # time is the slowest core's clock, not the sum.
+            app_cycles=max(r.stats.app_cycles for r in results),
+            instr_cycles=max(r.stats.instr_cycles for r in results),
+        )
+        component_stats = [("llc", self.shared_level.stats.snapshot())]
+        for core, result in zip(self.cores, results):
+            if result.component_stats:
+                component_stats.extend(
+                    (f"c{core.core_id}.{label}", stats_snapshot)
+                    for label, stats_snapshot in result.component_stats
+                )
+        return RunResult(
+            workload_name=self.name,
+            cache_config=self.shared_level.config,
+            stats=stats,
+            cache_stats=self.shared_level.stats.snapshot(),
+            component_stats=component_stats,
+            contention=ContentionProfile(
+                ledger=merged_ledger,
+                self_by_object=merged_self,
+                contention_by_object=merged_contention,
+                unattributed_self=unattr_self,
+                unattributed_contention=unattr_contention,
+            ),
+            cores=results,
+        )
+
+    # ------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> SessionSnapshot:
+        """Serialisable copy of the whole machine's mid-run state.
+
+        One :class:`SessionSnapshot` whose ``cores`` list carries a
+        :class:`CoreState` per core, rotated so the next core to run
+        comes first (the round-robin pointer is schedule state); the
+        top-level fields hold that core's objects so the payload stays
+        uniformly typed (and RPL501 keeps pinning it). Pickling
+        everything as one graph serialises the shared LLC leaf exactly
+        once — unpickling rebuilds it as one object every port
+        references, preserving the shared identity.
+        """
+        if self._finalized:
+            raise SimulationError("cannot snapshot a finalized session")
+        for core in self.cores:
+            if core.session._exhausted:
+                raise SimulationError(
+                    f"cannot snapshot: core {core.core_id} "
+                    f"({core.workload.name}) already exhausted its stream"
+                )
+            # Classified addresses still pending attribution would be
+            # lost by a snapshot (the arrays are drained, not pickled);
+            # fold them into the per-object tallies first.
+            self._attribute(core)
+        core_states = [
+            CoreState(
+                core_id=core.core_id,
+                address_offset=core.workload.address_offset,
+                workload_name=core.workload.name,
+                blocks_fetched=core.session._blocks_fetched,
+                block_pos=(
+                    core.session._pos
+                    if core.session._block is not None
+                    else None
+                ),
+                cycle_carry=core.session._cycle_carry,
+                refs_left=core.session._refs_left,
+                chunk_size=core.session.chunk_size,
+                cost_model=core.session.cost_model,
+                clock=core.session.clock,
+                stats=core.session.stats,
+                cache=core.session.cache,
+                monitor=core.session.monitor,
+                ground_truth=core.session.ground_truth,
+                dispatcher=core.session.dispatcher,
+                ratio=core.ratio,
+                self_by_object=dict(core.self_by_object),
+                contention_by_object=dict(core.contention_by_object),
+                unattributed_self=core.unattributed_self,
+                unattributed_contention=core.unattributed_contention,
+            )
+            for core in (
+                self.cores[self._next :] + self.cores[: self._next]
+            )
+        ]
+        first = self.cores[self._next]
+        payload = {
+            "version": SNAPSHOT_VERSION,
+            "workload_name": self.name,
+            "blocks_fetched": first.session._blocks_fetched,
+            "block_pos": (
+                first.session._pos if first.session._block is not None else None
+            ),
+            "cycle_carry": first.session._cycle_carry,
+            "refs_left": first.session._refs_left,
+            "chunk_size": self.chunk_size,
+            "cost_model": self.cost_model,
+            "clock": first.session.clock,
+            "stats": first.session.stats,
+            "cache": first.session.cache,
+            "monitor": first.session.monitor,
+            "ground_truth": first.session.ground_truth,
+            "dispatcher": first.session.dispatcher,
+            "cores": core_states,
+        }
+        snap = SessionSnapshot(**payload)
+        detached: SessionSnapshot = pickle.loads(
+            pickle.dumps(snap, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        if sanitize.is_active():
+            sanitize.snapshot_canary(detached)
+        return detached
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: "SessionSnapshot | str | os.PathLike[str]",
+        workloads: "Sequence[Workload]",
+        observers: Sequence[SessionObserver] = (),
+        compiled: "Sequence[CompiledStream | None] | None" = None,
+    ) -> "MultiCoreSession":
+        """Rebuild a running multi-core session from a snapshot.
+
+        ``workloads`` must be equivalent instances (same construction
+        parameters) of the snapshotted co-runners, in core order.
+        ``compiled`` streams, when given, are again the *unshifted*
+        compilations; per-core relocation is reapplied here. The round-
+        robin pointer is part of the schedule state: the snapshot's
+        ``cores`` list is stored in *next-to-run-first* order, so
+        restart order matches the interrupted schedule exactly.
+        """
+        from repro.workloads.compile import offset_stream
+
+        if not isinstance(snapshot, SessionSnapshot):
+            snapshot = SessionSnapshot.load(snapshot)
+        if snapshot.cores is None:
+            raise SimulationError(
+                "snapshot holds a single-core session; restore it with "
+                "SimulationSession.restore"
+            )
+        states = snapshot.cores
+        workloads = list(workloads)
+        if len(workloads) != len(states):
+            raise SimulationError(
+                f"snapshot has {len(states)} cores but {len(workloads)} "
+                "workloads were supplied"
+            )
+        if compiled is None:
+            compiled_list: list["CompiledStream | None"] = [None] * len(states)
+        else:
+            compiled_list = list(compiled)
+            if len(compiled_list) != len(states):
+                raise SimulationError(
+                    f"snapshot has {len(states)} cores but "
+                    f"{len(compiled_list)} compiled streams were supplied"
+                )
+        # The pickled states list is rotated to encode the scheduler
+        # pointer; the caller's workloads/compiled lists are in core_id
+        # order. Match them up by core_id.
+        if sorted(s.core_id for s in states) != list(range(len(states))):
+            raise SimulationError(
+                f"snapshot core ids {sorted(s.core_id for s in states)} "
+                "are not contiguous"
+            )
+        cores: list[CoreContext] = [None] * len(states)  # type: ignore[list-item]
+        shared = None
+        for state in sorted(states, key=lambda s: s.core_id):
+            workload = workloads[state.core_id]
+            workload.address_offset = state.address_offset
+            stream = compiled_list[state.core_id]
+            if stream is not None:
+                stream = offset_stream(stream, state.address_offset)
+            session = SimulationSession._resume(
+                state,
+                workload,
+                observers=observers,
+                compiled=stream,
+                core_id=state.core_id,
+            )
+            port = session.cache.levels[-1]
+            session._shared_port = port
+            workload.object_map.namespace = f"c{state.core_id}"
+            if shared is None:
+                shared = port.shared_level
+            elif port.shared_level is not shared:
+                raise SimulationError(
+                    "restored cores do not share one LLC; the snapshot "
+                    "graph lost the shared identity"
+                )
+            cores[state.core_id] = CoreContext(
+                core_id=state.core_id,
+                workload=workload,
+                session=session,
+                port=port,
+                ratio=state.ratio,
+                compiled=stream,
+                self_by_object=dict(state.self_by_object),
+                contention_by_object=dict(state.contention_by_object),
+                unattributed_self=state.unattributed_self,
+                unattributed_contention=state.unattributed_contention,
+            )
+        restored = cls(
+            cores,
+            shared,
+            chunk_size=snapshot.chunk_size,
+            cost_model=snapshot.cost_model,
+        )
+        restored._next = states[0].core_id
+        return restored

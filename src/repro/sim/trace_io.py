@@ -45,11 +45,17 @@ def save_trace(path: str | Path, blocks: list[ReferenceBlock]) -> None:
     np.savez_compressed(path, **arrays)
 
 
-def load_trace(path: str | Path) -> list[ReferenceBlock]:
-    """Read blocks previously written by :func:`save_trace`."""
-    path = Path(path)
+def load_trace(path) -> list[ReferenceBlock]:
+    """Read blocks previously written by :func:`save_trace`.
+
+    ``path`` is a filesystem path or a seekable binary file object (the
+    compressed-trace importer decompresses ``.npz.gz`` archives into
+    memory and loads them from a buffer).
+    """
+    source = path if hasattr(path, "read") else Path(path)
+    path = getattr(path, "name", source)
     try:
-        with np.load(path) as archive:
+        with np.load(source) as archive:
             if "manifest" not in archive:
                 raise TraceError(f"{path} has no manifest — not a repro trace")
             manifest = json.loads(bytes(archive["manifest"]).decode("utf-8"))

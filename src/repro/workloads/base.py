@@ -56,6 +56,14 @@ class Workload(abc.ABC):
             raise WorkloadError(f"scale must be positive, got {scale}")
         self.scale = scale
         self.seed = seed
+        #: Base-address shift applied to the whole substrate at
+        #: :meth:`prepare` time. Deliberately *not* a constructor
+        #: parameter: the reference stream is a pure function of
+        #: (kwargs, seed) and the offset is a relocation of that same
+        #: stream, so compiled-stream fingerprints (RPL601/602) stay
+        #: offset-free and multi-core sessions can share one compiled
+        #: stream across cores. Set by `MultiCoreSession` before prepare.
+        self.address_offset: int = 0
         self._prepared = False
         self._consumed = False
         self.address_space: AddressSpace | None = None
@@ -70,7 +78,7 @@ class Workload(abc.ABC):
         """Build the memory substrate and lay out data structures (idempotent)."""
         if self._prepared:
             return
-        self.address_space = AddressSpace()
+        self.address_space = AddressSpace.with_offset(self.address_offset)
         self.symbols = SymbolTable(self.address_space.data)
         self.object_map = ObjectMap()
         self.heap = HeapAllocator(self.address_space.heap)

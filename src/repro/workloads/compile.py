@@ -278,6 +278,42 @@ def compile_workload(
     )
 
 
+def offset_stream(stream: CompiledStream, offset: int) -> CompiledStream:
+    """``stream`` relocated by ``offset`` bytes (multi-core namespaces).
+
+    Every address a workload generates is segment-base arithmetic, and
+    ``Workload.address_offset`` shifts every segment base wholesale — so
+    shifting a compiled stream's addresses is exactly the stream the
+    offset workload would compile to (a test pins this equivalence).
+    Done here, co-runners share one cached compilation of the unoffset
+    stream instead of compiling (and caching) once per core slot; the
+    fingerprint is kept because ``address_offset`` is deliberately not a
+    fingerprinted constructor parameter (see
+    :attr:`repro.workloads.base.Workload.address_offset`).
+    """
+    if offset == 0:
+        return stream
+    if offset < 0:
+        raise StreamCompileError(f"stream offset must be >= 0, got {offset:#x}")
+    shifted: list[ReferenceBlock] = []
+    for b in stream.blocks:
+        block = ReferenceBlock(
+            addrs=b.addrs + np.uint64(offset),
+            cycles_per_ref=b.cycles_per_ref,
+            writes=b.writes,
+            label=b.label,
+            extra_cycles=b.extra_cycles,
+        )
+        block.addrs.setflags(write=False)
+        shifted.append(block)
+    return CompiledStream(
+        workload_name=stream.workload_name,
+        fingerprint=stream.fingerprint,
+        blocks=tuple(shifted),
+        n_refs=stream.n_refs,
+    )
+
+
 def compiled_stream_for(
     workload: "Workload", cache_dir: str | Path | None = None
 ) -> CompiledStream:

@@ -29,13 +29,193 @@ than guessing. A write -> read round trip is exact
 
 from __future__ import annotations
 
+import gzip
+import io
 from pathlib import Path
 from typing import Iterator
 
+import numpy as np
+
 from repro.errors import WorkloadError
 from repro.sim.blocks import ReferenceBlock
-from repro.sim.trace_io import load_trace
+from repro.sim.trace_io import TraceError, load_trace, save_trace
 from repro.workloads.base import Workload
+
+#: References per block when chunking a flat text trace (one block per
+#: chunk keeps replay memory bounded for arbitrarily long captures).
+TEXT_TRACE_BLOCK_REFS = 1 << 16
+
+_GZIP_MAGIC = b"\x1f\x8b"
+_ZIP_MAGIC = b"PK"
+
+
+def sniff_trace_format(path: "str | Path") -> str:
+    """Identify a trace file by content, never by extension.
+
+    Returns one of ``"npz"`` (the canonical :mod:`repro.sim.trace_io`
+    archive), ``"npz.gz"`` (the same archive gzip-compressed), ``"text"``
+    (one ``R|W <address>`` line per reference) or ``"text.gz"``.
+    """
+    path = Path(path)
+    try:
+        with path.open("rb") as fh:
+            head = fh.read(2)
+    except OSError as exc:
+        raise TraceError(f"cannot read trace {path}: {exc}") from exc
+    if head == _ZIP_MAGIC:
+        return "npz"
+    if head == _GZIP_MAGIC:
+        try:
+            with gzip.open(path, "rb") as fh:
+                inner = fh.read(2)
+        except OSError as exc:
+            raise TraceError(f"corrupt gzip trace {path}: {exc}") from exc
+        return "npz.gz" if inner == _ZIP_MAGIC else "text.gz"
+    return "text"
+
+
+def read_text_trace(
+    source, cycles_per_ref: float = 1.0, block_refs: int = TEXT_TRACE_BLOCK_REFS
+) -> list[ReferenceBlock]:
+    """Parse a text address trace into reference blocks.
+
+    The text format external capture tools most easily emit: one
+    reference per line as ``R <address>`` or ``W <address>`` (hex with a
+    ``0x`` prefix, or decimal), with ``#`` comments and blank lines
+    ignored. ``source`` is a path or an open text file. The flat stream
+    is chunked into blocks of ``block_refs`` references; write masks are
+    attached only to blocks that contain at least one ``W`` line.
+    """
+    if block_refs <= 0:
+        raise TraceError(f"block_refs must be positive, got {block_refs}")
+    if hasattr(source, "read"):
+        lines = source
+        name = getattr(source, "name", "<trace>")
+    else:
+        lines = Path(source).open("r", encoding="utf-8")
+        name = str(source)
+    addrs: list[int] = []
+    writes: list[bool] = []
+    blocks: list[ReferenceBlock] = []
+
+    def flush() -> None:
+        if not addrs:
+            return
+        arr = np.array(addrs, dtype=np.uint64)
+        mask = np.array(writes, dtype=bool) if any(writes) else None
+        blocks.append(
+            ReferenceBlock(
+                addrs=arr,
+                cycles_per_ref=cycles_per_ref,
+                writes=mask,
+                label=f"text[{len(blocks)}]",
+            )
+        )
+        addrs.clear()
+        writes.clear()
+
+    try:
+        for lineno, raw in enumerate(lines, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2 or parts[0].upper() not in ("R", "W"):
+                raise TraceError(
+                    f"{name}:{lineno}: expected 'R <addr>' or 'W <addr>', "
+                    f"got {raw.strip()!r}"
+                )
+            try:
+                addr = int(parts[1], 0)
+            except ValueError:
+                raise TraceError(
+                    f"{name}:{lineno}: bad address {parts[1]!r}"
+                ) from None
+            if addr < 0:
+                raise TraceError(f"{name}:{lineno}: negative address {addr}")
+            addrs.append(addr)
+            writes.append(parts[0].upper() == "W")
+            if len(addrs) >= block_refs:
+                flush()
+    finally:
+        if not hasattr(source, "read"):
+            lines.close()
+    flush()
+    if not blocks:
+        raise TraceError(f"{name}: trace contains no references")
+    return blocks
+
+
+def load_any_trace(path: "str | Path") -> list[ReferenceBlock]:
+    """Load a trace in any supported format (content-sniffed).
+
+    Canonical ``.npz`` archives load directly; gzip'd archives are
+    decompressed in memory first; text traces (plain or gzip'd) go
+    through :func:`read_text_trace`.
+    """
+    path = Path(path)
+    fmt = sniff_trace_format(path)
+    if fmt == "npz":
+        return load_trace(path)
+    if fmt == "npz.gz":
+        # np.load wants a seekable file; a GzipFile only emulates seeks,
+        # so decompress into memory (traces are chunked arrays, not huge).
+        with gzip.open(path, "rb") as fh:
+            return load_trace(io.BytesIO(fh.read()))
+    if fmt == "text.gz":
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            return read_text_trace(fh)
+    return read_text_trace(path)
+
+
+def import_trace(source: "str | Path", dest: "str | Path") -> Path:
+    """Convert any supported trace into the canonical ``.npz`` archive.
+
+    The ``repro trace import`` verb: sniff, load, re-save through
+    :func:`repro.sim.trace_io.save_trace`. Round-trips are exact — the
+    written archive replays the same addresses/writes in the same block
+    structure the reader produced.
+    """
+    dest = Path(dest)
+    if dest.suffix != ".npz":
+        # np.savez appends .npz itself; mirror that so we return the
+        # path that actually exists afterwards.
+        dest = dest.with_suffix(dest.suffix + ".npz")
+    save_trace(dest, load_any_trace(source))
+    return dest
+
+
+def derive_layout(
+    blocks: list[ReferenceBlock],
+    max_objects: int = 8,
+    min_gap: int = 1 << 16,
+) -> dict[str, tuple[int, int]]:
+    """A plausible object layout for an unannotated trace.
+
+    Clusters the referenced cache lines by address gaps (a new object
+    starts wherever consecutive touched lines are more than ``min_gap``
+    bytes apart), largest clusters first, at most ``max_objects`` named
+    ``t0`` .. ``tN`` in address order. A convenience for ``repro trace
+    info`` and for bootstrapping a :class:`TraceWorkload` layout —
+    real converters should declare the program's actual symbols.
+    """
+    if not blocks:
+        raise TraceError("cannot derive a layout from an empty trace")
+    lines = np.unique(
+        np.concatenate([b.addrs for b in blocks]) & ~np.uint64(63)
+    )
+    gaps = np.flatnonzero(np.diff(lines) > np.uint64(min_gap))
+    starts = np.concatenate([[0], gaps + 1])
+    ends = np.concatenate([gaps, [len(lines) - 1]])
+    clusters = [
+        (int(lines[s]), int(lines[e]) + 64 - int(lines[s]), int(e - s + 1))
+        for s, e in zip(starts, ends)
+    ]
+    clusters.sort(key=lambda c: -c[2])
+    kept = sorted(clusters[:max_objects])
+    return {
+        f"t{i}": (base, size) for i, (base, size, _) in enumerate(kept)
+    }
 
 
 class TraceWorkload(Workload):
@@ -83,7 +263,11 @@ class TraceWorkload(Workload):
         # placement-checked malloc for heap ones.
         from repro.memory.objects import MemoryObject, ObjectKind
 
-        for name, (base, size) in sorted(self.layout.items(), key=lambda kv: kv[1][0]):
+        for name, (raw, size) in sorted(self.layout.items(), key=lambda kv: kv[1][0]):
+            # Recorded traces hold absolute addresses; relocating into a
+            # per-core namespace (multi-core sessions) shifts the whole
+            # capture — layout here, replayed blocks in _generate.
+            base = raw + self.address_offset
             if data.contains(base):
                 self.object_map.add_global(
                     MemoryObject(name=name, base=base, size=size, kind=ObjectKind.GLOBAL)
@@ -108,8 +292,21 @@ class TraceWorkload(Workload):
 
     def _generate(self) -> Iterator[ReferenceBlock]:
         if self._blocks is None:
-            self._blocks = load_trace(self._trace_source)
-        yield from self._blocks
+            # Content-sniffed, so compressed captures replay without an
+            # explicit `repro trace import` conversion step.
+            self._blocks = load_any_trace(self._trace_source)
+        if not self.address_offset:
+            yield from self._blocks
+            return
+        offset = np.uint64(self.address_offset)
+        for block in self._blocks:
+            yield ReferenceBlock(
+                addrs=block.addrs + offset,
+                cycles_per_ref=block.cycles_per_ref,
+                writes=block.writes,
+                label=block.label,
+                extra_cycles=block.extra_cycles,
+            )
 
 
 class RecursiveCalls(Workload):

@@ -94,7 +94,7 @@ class TestConstruction:
             parse_mechanisms("tlb")
 
     def test_prefetch_flag_conflicts_with_mechanisms(self):
-        with pytest.raises(CacheConfigError, match="StreamBuffers"):
+        with pytest.raises(CacheConfigError, match=r"vc\(8\).*stream buffers"):
             make_cache(
                 dataclasses.replace(CFG, mechanisms="vc"),
                 prefetch_next_line=True,

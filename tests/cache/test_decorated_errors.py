@@ -1,0 +1,50 @@
+"""CacheConfigError messages for decorated stacks name the mechanisms.
+
+Regression tests for the error-message contract: when a mechanism stack
+blocks a path (the MRC model, the prefetch kernel), the error must say
+*which* stack (the ``MechanismSpec.describe()`` strings) and point at
+the exact-sweep fallback (``repro mechanisms``), so the user can act on
+it without reading source.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import CacheConfig, make_cache
+from repro.errors import CacheConfigError
+
+
+class TestMakeCachePrefetchOnDecorated:
+    def test_names_the_stack_and_the_fallback(self):
+        cfg = CacheConfig(size=16 * 1024, mechanisms="vc:16+sb:4:8")
+        with pytest.raises(CacheConfigError) as err:
+            make_cache(cfg, prefetch_next_line=True)
+        message = str(err.value)
+        assert "vc(16)+sb(4x8)" in message
+        assert "repro mechanisms" in message
+
+
+class TestMrcOnDecorated:
+    def test_names_the_stack_and_the_fallback(self):
+        from repro.experiments.mrc import _require_undecorated
+        from repro.experiments.runner import ExperimentRunner, RunnerConfig
+
+        runner = ExperimentRunner(
+            RunnerConfig(mechanisms="mc:4", seed=1), quick=True
+        )
+        with pytest.raises(CacheConfigError) as err:
+            _require_undecorated(runner)
+        message = str(err.value)
+        assert "mc(4)" in message
+        assert "repro mechanisms" in message
+
+    def test_run_mrc_surfaces_the_same_error(self):
+        from repro.experiments.mrc import mrc_pass
+        from repro.experiments.runner import ExperimentRunner, RunnerConfig
+
+        runner = ExperimentRunner(
+            RunnerConfig(mechanisms="vc", seed=1), quick=True
+        )
+        with pytest.raises(CacheConfigError, match=r"vc\(8\)"):
+            mrc_pass(runner, "compress")

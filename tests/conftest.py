@@ -46,6 +46,11 @@ def pytest_configure(config):
         "cache, stream buffers) — the CI leg `-m mechanisms` runs just "
         "these",
     )
+    config.addinivalue_line(
+        "markers",
+        "multicore: shared-LLC multi-core sessions and contention "
+        "attribution — the CI leg `-m multicore` runs just these",
+    )
 
 
 @pytest.fixture

@@ -1,0 +1,26 @@
+"""Bad: the v4 drift this fixture pins — a ``cores`` field added to the
+dataclass but never written by the payload, so a restored multi-core
+session would silently come back single-core.
+
+Expected RPL501 violation: field ``cores`` missing from the payload.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SessionSnapshot:
+    version: int
+    workload_name: str
+    cycle_carry: float
+    cores: list | None = None
+
+
+class SimulationSession:
+    def snapshot(self):
+        payload = {
+            "version": 4,
+            "workload_name": "x",
+            "cycle_carry": 0.0,
+        }
+        return SessionSnapshot(**payload)

@@ -1,0 +1,23 @@
+"""Good: the v4 multi-core shape — ``cores`` field written by both the
+single-core payload (as None) and the multi-core builder."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SessionSnapshot:
+    version: int
+    workload_name: str
+    cycle_carry: float
+    cores: list | None = None
+
+
+class SimulationSession:
+    def snapshot(self):
+        payload = {
+            "version": 4,
+            "workload_name": "x",
+            "cycle_carry": 0.0,
+            "cores": None,
+        }
+        return SessionSnapshot(**payload)

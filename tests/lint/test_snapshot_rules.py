@@ -37,6 +37,14 @@ class TestFixtures:
     def test_snapshot_without_builder(self):
         assert counts(FIXTURES / "snapshot_no_builder.py") == {"RPL501": 1}
 
+    def test_v4_multicore_shape_clean(self):
+        assert counts(FIXTURES / "snapshot_v4_good.py") == {}
+
+    def test_v4_cores_field_missing_from_payload_flagged(self):
+        violations = run_lint([FIXTURES / "snapshot_v4_bad.py"])
+        assert Counter(v.code for v in violations) == {"RPL501": 1}
+        assert any("'cores'" in v.message for v in violations)
+
 
 class TestDriftRegression:
     def test_removing_a_field_from_the_real_payload_fails_lint(self, tmp_path):

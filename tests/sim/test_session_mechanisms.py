@@ -49,7 +49,8 @@ def fingerprint(result):
 
 
 def test_snapshot_version_bumped_for_draw_accounting():
-    assert SNAPSHOT_VERSION == 3
+    # v3 added RNG draw accounting; v4 added the multi-core `cores` entry.
+    assert SNAPSHOT_VERSION == 4
 
 
 def test_decorated_restore_bit_identical():
